@@ -1,0 +1,119 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§VIII), then runs Bechamel micro-benchmarks of the
+   computational kernels behind them.
+
+     dune exec bench/main.exe                 # quick scale (default)
+     dune exec bench/main.exe -- --full       # paper-scale sweeps
+     dune exec bench/main.exe -- fig8a fig9b  # a subset
+     dune exec bench/main.exe -- micro        # only the micro-benchmarks *)
+
+open Bechamel
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmarks: one per computational kernel, labelled by the
+   table/figure whose pre-computation they dominate. *)
+
+let micro_workload =
+  lazy
+    (let rng = Sdn_util.Prng.create 77 in
+     let topo = Topogen.Topo_gen.rocketfuel_like rng ~n_switches:16 () in
+     let net = Topogen.Rule_gen.install rng topo in
+     let rg = Rulegraph.Rule_graph.build net in
+     (net, rg))
+
+let campus = lazy (Topogen.Campus.synthesize (Sdn_util.Prng.create 42))
+
+let tests () =
+  let net, rg = Lazy.force micro_workload in
+  let campus = Lazy.force campus in
+  let cube_a = Hspace.Cube.of_string (String.concat "" (List.init 4 (fun _ -> "0010xxx1")))
+  and cube_b = Hspace.Cube.of_string (String.concat "" (List.init 4 (fun _ -> "0x10x1xx"))) in
+  [
+    Test.make ~name:"hs.cube-intersection (all)"
+      (Staged.stage (fun () -> ignore (Hspace.Cube.inter cube_a cube_b)));
+    Test.make ~name:"hs.cube-difference (all)"
+      (Staged.stage (fun () -> ignore (Hspace.Cube.diff cube_a cube_b)));
+    Test.make ~name:"sat.header-pick (tableII PCT, §VIII-A)"
+      (Staged.stage (fun () ->
+           ignore
+             (Sat.Header_encoding.find_rule_input
+                ~match_:(Hspace.Cube.of_string (String.make 32 'x'))
+                ~overlaps:[ cube_a; cube_b ])));
+    Test.make ~name:"rulegraph.build (tableII PCT)"
+      (Staged.stage (fun () -> ignore (Rulegraph.Rule_graph.build net)));
+    Test.make ~name:"mlpc.solve (fig8a, tableII TPC)"
+      (Staged.stage (fun () -> ignore (Mlpc.Legal_matching.solve rg)));
+    Test.make ~name:"mlpc.randomized (fig8a rand)"
+      (Staged.stage (fun () ->
+           ignore (Mlpc.Legal_matching.randomized (Sdn_util.Prng.create 3) rg)));
+    Test.make ~name:"plan.generate campus (§VIII-A)"
+      (Staged.stage (fun () -> ignore (Sdnprobe.Plan.generate campus)));
+    Test.make ~name:"emulator.inject (fig8b/8c delay)"
+      (Staged.stage
+         (let emu = Dataplane.Emulator.create net in
+          let probe = List.hd (Sdnprobe.Plan.generate net).Sdnprobe.Plan.probes in
+          fun () ->
+            ignore
+              (Dataplane.Emulator.inject emu ~at:probe.Sdnprobe.Probe.inject_switch
+                 probe.Sdnprobe.Probe.header)));
+  ]
+
+let run_micro () =
+  Experiments.Exp_common.banner "Bechamel micro-benchmarks";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.8) ~kde:None () in
+  let table = Metrics.Table.create [ "kernel"; "time/run"; "r²" ] in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let results = Analyze.all ols Toolkit.Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let ns =
+            match Analyze.OLS.estimates ols_result with
+            | Some (e :: _) -> e
+            | _ -> nan
+          in
+          let pretty =
+            if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+            else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+            else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+            else Printf.sprintf "%.0f ns" ns
+          in
+          let r2 =
+            match Analyze.OLS.r_square ols_result with
+            | Some r -> Printf.sprintf "%.4f" r
+            | None -> "-"
+          in
+          Metrics.Table.add_row table [ name; pretty; r2 ])
+        results)
+    (tests ());
+  Metrics.Table.print table
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let full = List.mem "--full" args in
+  let scale = if full then Experiments.Registry.Full else Experiments.Registry.Quick in
+  let names = List.filter (fun a -> a <> "--full") args in
+  let t0 = Unix.gettimeofday () in
+  (match names with
+  | [] ->
+      Experiments.Registry.run_all ~scale;
+      run_micro ()
+  | names ->
+      List.iter
+        (fun name ->
+          if name = "micro" then run_micro ()
+          else
+            match Experiments.Registry.run ~scale name with
+            | Ok () -> ()
+            | Error msg ->
+                prerr_endline msg;
+                exit 1)
+        names);
+  Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)

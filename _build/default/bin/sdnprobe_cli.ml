@@ -1,0 +1,224 @@
+(* Command-line interface to the SDNProbe reproduction.
+
+   Subcommands:
+     list        enumerate available experiments
+     experiment  run one experiment (or "all")
+     plan        generate a probe plan for a synthetic topology
+     detect      inject faults into a synthetic topology and localize *)
+
+open Cmdliner
+
+let scale_term =
+  let doc = "Run experiments at full scale (slower, closer to the paper's sweep)." in
+  Term.(
+    const (fun full -> if full then Experiments.Registry.Full else Experiments.Registry.Quick)
+    $ Arg.(value & flag & info [ "full" ] ~doc))
+
+(* ------------------------------------------------------------------ *)
+(* list *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (name, desc) -> Printf.printf "%-14s %s\n" name desc)
+      Experiments.Registry.experiments
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the paper's experiments") Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* experiment *)
+
+let experiment_cmd =
+  let name_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"NAME" ~doc:"Experiment name (see $(b,list)) or $(b,all).")
+  in
+  let run scale name =
+    if name = "all" then begin
+      Experiments.Registry.run_all ~scale;
+      `Ok ()
+    end
+    else
+      match Experiments.Registry.run ~scale name with
+      | Ok () -> `Ok ()
+      | Error msg -> `Error (false, msg)
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Reproduce one of the paper's tables or figures")
+    Term.(ret (const run $ scale_term $ name_arg))
+
+(* ------------------------------------------------------------------ *)
+(* shared network construction *)
+
+let switches_term =
+  Arg.(value & opt int 16 & info [ "switches"; "n" ] ~docv:"N" ~doc:"Topology size.")
+
+let seed_term =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic seed.")
+
+let make_network ~switches ~seed =
+  let rng = Sdn_util.Prng.create seed in
+  let topo = Topogen.Topo_gen.rocketfuel_like rng ~n_switches:switches () in
+  Topogen.Rule_gen.install rng topo
+
+let load_term =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "load" ] ~docv:"FILE" ~doc:"Load a saved policy instead of generating one.")
+
+let save_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "save" ] ~docv:"FILE" ~doc:"Save the network policy to a file.")
+
+let resolve_network ~switches ~seed = function
+  | None -> make_network ~switches ~seed
+  | Some path -> (
+      match Openflow.Serial.load ~path with
+      | Ok net -> net
+      | Error msg ->
+          prerr_endline ("cannot load policy: " ^ msg);
+          exit 1)
+
+(* ------------------------------------------------------------------ *)
+(* plan *)
+
+let plan_cmd =
+  let randomized =
+    Arg.(value & flag & info [ "randomized" ] ~doc:"Use Randomized SDNProbe path drawing.")
+  in
+  let run switches seed randomized load save =
+    let net = resolve_network ~switches ~seed load in
+    (match save with
+    | Some path ->
+        Openflow.Serial.save net ~path;
+        Format.printf "policy saved to %s@." path
+    | None -> ());
+    let mode =
+      if randomized then Sdnprobe.Plan.Randomized (Sdn_util.Prng.create seed)
+      else Sdnprobe.Plan.Static
+    in
+    let plan = Sdnprobe.Plan.generate ~mode net in
+    Format.printf "%a@." Openflow.Network.pp_summary net;
+    Format.printf "probes: %d (generated in %.3fs)@." (Sdnprobe.Plan.size plan)
+      plan.Sdnprobe.Plan.generation_s;
+    let cover = plan.Sdnprobe.Plan.cover in
+    Format.printf "cover: mean path length %.2f, max %d, untestable rules %d@."
+      (Mlpc.Cover.mean_path_length cover)
+      (Mlpc.Cover.max_path_length cover)
+      (List.length cover.Mlpc.Cover.untestable);
+    List.iteri
+      (fun i (p : Sdnprobe.Probe.t) ->
+        if i < 10 then Format.printf "  %a@." Sdnprobe.Probe.pp p)
+      plan.Sdnprobe.Plan.probes;
+    if Sdnprobe.Plan.size plan > 10 then
+      Format.printf "  ... (%d more)@." (Sdnprobe.Plan.size plan - 10)
+  in
+  Cmd.v
+    (Cmd.info "plan" ~doc:"Generate and summarize a test-packet plan")
+    Term.(const run $ switches_term $ seed_term $ randomized $ load_term $ save_term)
+
+(* ------------------------------------------------------------------ *)
+(* detect *)
+
+let detect_cmd =
+  let scheme =
+    let scheme_conv =
+      Arg.enum
+        [
+          ("sdnprobe", Experiments.Schemes.Sdnprobe);
+          ("rand-sdnprobe", Experiments.Schemes.Randomized_sdnprobe);
+          ("atpg", Experiments.Schemes.Atpg);
+          ("per-rule", Experiments.Schemes.Per_rule);
+        ]
+    in
+    Arg.(
+      value
+      & opt scheme_conv Experiments.Schemes.Sdnprobe
+      & info [ "scheme" ] ~docv:"SCHEME" ~doc:"Detection scheme.")
+  in
+  let fraction =
+    Arg.(
+      value & opt float 0.02
+      & info [ "faulty" ] ~docv:"FRACTION" ~doc:"Fraction of faulty flow entries.")
+  in
+  let kind =
+    let kind_conv =
+      Arg.enum
+        [
+          ("basic", Experiments.Workloads.Basic);
+          ("drop", Experiments.Workloads.Drop_only);
+          ("detour", Experiments.Workloads.Detour);
+        ]
+    in
+    Arg.(
+      value
+      & opt kind_conv Experiments.Workloads.Basic
+      & info [ "kind" ] ~docv:"KIND" ~doc:"Fault kind: basic, drop, or detour.")
+  in
+  let run switches seed scheme fraction kind load =
+    let net = resolve_network ~switches ~seed load in
+    let emulator = Dataplane.Emulator.create net in
+    let truth =
+      Experiments.Workloads.inject (Sdn_util.Prng.create (seed + 1)) ~kind ~fraction
+        emulator
+    in
+    Format.printf "%a@." Openflow.Network.pp_summary net;
+    Format.printf "injected faults on switches: %a@."
+      Fmt.(list ~sep:comma int)
+      truth;
+    let config = { Sdnprobe.Config.default with Sdnprobe.Config.max_rounds = 150 } in
+    let report =
+      Experiments.Schemes.run scheme ~seed
+        ~stop:(Sdnprobe.Runner.stop_when_flagged truth)
+        ~config emulator
+    in
+    Format.printf "%a@." Sdnprobe.Report.pp report;
+    let confusion =
+      Metrics.Confusion.compute ~ground_truth:truth
+        ~flagged:(Sdnprobe.Report.flagged_switches report)
+        ~population:(Experiments.Workloads.population net)
+    in
+    Format.printf "accuracy: %a@." Metrics.Confusion.pp confusion
+  in
+  Cmd.v
+    (Cmd.info "detect" ~doc:"Inject faults and run fault localization")
+    Term.(const run $ switches_term $ seed_term $ scheme $ fraction $ kind $ load_term)
+
+(* ------------------------------------------------------------------ *)
+(* verify *)
+
+let verify_cmd =
+  let campus =
+    Arg.(value & flag & info [ "campus" ] ~doc:"Check the synthetic campus dataset.")
+  in
+  let run switches seed campus load =
+    let net =
+      if campus then Topogen.Campus.synthesize (Sdn_util.Prng.create seed)
+      else resolve_network ~switches ~seed load
+    in
+    Format.printf "%a@." Openflow.Network.pp_summary net;
+    match Rulegraph.Static_checks.check net with
+    | [] ->
+        Format.printf "policy is clean: no loops, blackholes or shadowed rules@."
+    | issues ->
+        List.iter
+          (fun i -> Format.printf "  %a@." (Rulegraph.Static_checks.pp_issue net) i)
+          issues;
+        Format.printf "%d issue(s) found@." (List.length issues)
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Statically check a policy for loops, blackholes and shadowed rules")
+    Term.(const run $ switches_term $ seed_term $ campus $ load_term)
+
+let () =
+  let doc = "SDNProbe: lightweight SDN fault localization (ICDCS'18 reproduction)" in
+  let info = Cmd.info "sdnprobe" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info [ list_cmd; experiment_cmd; plan_cmd; detect_cmd; verify_cmd ]))

@@ -1,0 +1,1 @@
+examples/campus_audit.ml: Dataplane Fmt Format Hspace List Openflow Printf Sdn_util Sdnprobe String Topogen

@@ -1,0 +1,1 @@
+examples/detour_hunt.ml: Dataplane Format List Openflow Rulegraph Sdn_util Sdngraph Sdnprobe Topogen

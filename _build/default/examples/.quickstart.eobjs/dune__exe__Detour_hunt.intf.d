@@ -1,0 +1,1 @@
+examples/detour_hunt.mli:

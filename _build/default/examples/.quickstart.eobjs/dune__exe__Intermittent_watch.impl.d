@@ -1,0 +1,1 @@
+examples/intermittent_watch.ml: Dataplane Format List Openflow Sdn_util Sdnprobe Topogen

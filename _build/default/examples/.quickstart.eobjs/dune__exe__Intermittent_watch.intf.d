@@ -1,0 +1,1 @@
+examples/intermittent_watch.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dataplane Dump Fmt Format Hspace List Openflow Option Sdnprobe

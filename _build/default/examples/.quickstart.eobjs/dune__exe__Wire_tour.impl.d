@@ -1,0 +1,1 @@
+examples/wire_tour.ml: Bytes Dataplane Format Hspace Int64 List Ofwire Openflow Sdn_util Sdnprobe Topogen

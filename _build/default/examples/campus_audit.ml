@@ -1,0 +1,76 @@
+(* Campus audit: continuous data-plane verification of a campus backbone
+   (the paper's §VIII-A setting).
+
+   Synthesizes the campus dataset (550 + 579 entry core tables, overlap
+   chains up to 65), generates the probe plan once, then audits three
+   epochs: a healthy baseline, an epoch where an operator fat-fingers a
+   core rule into a wrong port, and an epoch with a stealthy
+   header-mangling middlebox. The suspicion ranking shows what a network
+   operator would inspect first.
+
+     dune exec examples/campus_audit.exe *)
+
+module FE = Openflow.Flow_entry
+module Net = Openflow.Network
+module Emu = Dataplane.Emulator
+module Fault = Dataplane.Fault
+module Runner = Sdnprobe.Runner
+module Report = Sdnprobe.Report
+
+let audit name emulator ~expect =
+  Format.printf "@.--- epoch: %s ---@." name;
+  let config = { Sdnprobe.Config.default with Sdnprobe.Config.max_rounds = 40 } in
+  let stop = match expect with [] -> Runner.stop_never | sws -> Runner.stop_when_flagged sws in
+  (* Cap the healthy epoch at a few monitoring rounds. *)
+  let stop =
+    Runner.stop_any [ stop; (fun ~detections:_ ~round ~time_s:_ -> round >= 8) ]
+  in
+  let report = Runner.detect ~stop ~config emulator in
+  Format.printf "%a@." Report.pp report;
+  (match report.Report.suspicion_ranking with
+  | [] -> Format.printf "suspicion ranking: all clear@."
+  | ranking ->
+      Format.printf "suspicion ranking (rule: level):%a@."
+        (Fmt.list ~sep:Fmt.nop (fun fmt (r, l) -> Fmt.pf fmt " %d:%d" r l))
+        (Sdn_util.Misc.take 5 ranking));
+  report
+
+let () =
+  let net = Topogen.Campus.synthesize (Sdn_util.Prng.create 42) in
+  let stats = Topogen.Campus.stats_of net in
+  Format.printf "campus backbone: %d rules (%s), max overlap %d@."
+    stats.Topogen.Campus.total_rules
+    (String.concat ", "
+       (List.map (fun (sw, n) -> Printf.sprintf "core%d=%d" sw n)
+          stats.Topogen.Campus.table_sizes))
+    stats.Topogen.Campus.max_overlap;
+  let plan = Sdnprobe.Plan.generate net in
+  Format.printf "probe plan: %d test packets (paper: ~600), generated in %.2fs@."
+    (Sdnprobe.Plan.size plan) plan.Sdnprobe.Plan.generation_s;
+
+  (* Healthy epoch. *)
+  let emulator = Emu.create net in
+  let healthy = audit "healthy baseline" emulator ~expect:[] in
+  assert (Report.flagged_switches healthy = []);
+
+  (* A fat-fingered core rule: forwards out the wrong port (back towards
+     the ingress). *)
+  let core_rule =
+    List.find (fun (e : FE.t) -> e.switch = 1 && e.priority = 20) (Net.all_entries net)
+  in
+  let emulator = Emu.create net in
+  Emu.set_fault emulator ~entry:core_rule.FE.id (Fault.make (Fault.Misdirect 1));
+  let misdirect = audit "misconfigured core rule" emulator ~expect:[ 1 ] in
+  assert (Report.flagged_switches misdirect = [ 1 ]);
+
+  (* A mangling middlebox on core B: flips a payload bit of everything a
+     particular rule forwards. *)
+  let mangled_rule =
+    List.find (fun (e : FE.t) -> e.switch = 2 && e.priority = 10) (Net.all_entries net)
+  in
+  let emulator = Emu.create net in
+  Emu.set_fault emulator ~entry:mangled_rule.FE.id
+    (Fault.make (Fault.Rewrite (Hspace.Cube.of_string (String.make 31 'x' ^ "1"))));
+  let mangle = audit "header-mangling middlebox" emulator ~expect:[ 2 ] in
+  assert (Report.flagged_switches mangle = [ 2 ]);
+  Format.printf "@.all three epochs behaved as expected. \u{2713}@."

@@ -1,0 +1,1 @@
+lib/baselines/atpg.ml: Array Common Dataplane Fun Hashtbl Hspace List Openflow Option Rulegraph Sdn_util Sdngraph Sdnprobe Unix

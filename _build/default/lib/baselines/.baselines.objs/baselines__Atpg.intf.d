@@ -1,0 +1,1 @@
+lib/baselines/atpg.mli: Dataplane Openflow Sdnprobe

@@ -1,0 +1,1 @@
+lib/baselines/common.ml: Dataplane Hashtbl Hspace List Openflow Rulegraph Sdnprobe

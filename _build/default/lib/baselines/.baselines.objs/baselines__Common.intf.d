@@ -1,0 +1,1 @@
+lib/baselines/common.mli: Dataplane Hspace Openflow Rulegraph Sdnprobe

@@ -1,0 +1,1 @@
+lib/baselines/per_rule.ml: Common Dataplane Hashtbl Hspace List Openflow Option Rulegraph Sdngraph Sdnprobe Unix

@@ -1,0 +1,1 @@
+lib/baselines/per_rule.mli: Dataplane Openflow Sdnprobe

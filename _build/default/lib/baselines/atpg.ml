@@ -1,0 +1,282 @@
+module RG = Rulegraph.Rule_graph
+module Digraph = Sdngraph.Digraph
+module Emu = Dataplane.Emulator
+module Clock = Dataplane.Clock
+module Probe = Sdnprobe.Probe
+module Report = Sdnprobe.Report
+module Config = Sdnprobe.Config
+module FE = Openflow.Flow_entry
+module Hs = Hspace.Hs
+
+type gen = { probes : Probe.t list; pool : Probe.t list; generation_s : float }
+
+(* Enumerate maximal legal paths of the base rule graph by DFS from its
+   source rules, propagating header spaces. Capped: candidate explosion
+   is inherent to the approach (one of the paper's criticisms). *)
+let enumerate_candidates rg ~cap =
+  let g = RG.base_graph rg in
+  let n = RG.n_vertices rg in
+  let testable v = not (Hs.is_empty (RG.input rg v)) in
+  let step hs w =
+    let e = RG.vertex_entry rg w in
+    Hs.apply_set_field ~set:e.FE.set_field (Hs.inter hs (RG.input rg w))
+  in
+  let paths = ref [] in
+  let count = ref 0 in
+  let budget = ref 0 in
+  let rec dfs v hs path =
+    if !count < cap && !budget > 0 then begin
+      let extensions =
+        List.filter_map
+          (fun w ->
+            let hs' = step hs w in
+            if Hs.is_empty hs' then None else Some (w, hs'))
+          (Digraph.succ g v)
+      in
+      if extensions = [] then begin
+        paths := List.rev path :: !paths;
+        incr count;
+        decr budget
+      end
+      else List.iter (fun (w, hs') -> dfs w hs' (w :: path)) extensions
+    end
+  in
+  let sources =
+    List.filter (fun v -> testable v && Digraph.pred g v = []) (List.init n Fun.id)
+  in
+  (* Split the candidate budget across sources so the cap does not
+     starve coverage of late sources. *)
+  let per_source = max 8 (cap / max 1 (List.length sources)) in
+  List.iter
+    (fun s ->
+      budget := per_source;
+      dfs s (RG.output rg s) [ s ])
+    sources;
+  (* Rules unreachable from any source (all their predecessors are
+     shadowed) still need a candidate: their own maximal suffix. *)
+  let covered = Array.make n false in
+  List.iter (fun p -> List.iter (fun v -> covered.(v) <- true) p) !paths;
+  for v = 0 to n - 1 do
+    if testable v && not covered.(v) then begin
+      budget := 4;
+      dfs v (RG.output rg v) [ v ];
+      List.iter (fun p -> List.iter (fun u -> covered.(u) <- true) p) !paths
+    end
+  done;
+  !paths
+
+let greedy_set_cover rg candidates =
+  let n = RG.n_vertices rg in
+  let uncovered = Array.init n (fun v -> not (Hs.is_empty (RG.input rg v))) in
+  let remaining = ref (Array.fold_left (fun a b -> if b then a + 1 else a) 0 uncovered) in
+  let chosen = ref [] in
+  let pool = ref candidates in
+  while !remaining > 0 && !pool <> [] do
+    let gain p = List.length (List.filter (fun v -> uncovered.(v)) p) in
+    let best =
+      List.fold_left
+        (fun acc p -> match acc with
+          | Some (_, g) when g >= gain p -> acc
+          | _ -> Some (p, gain p))
+        None !pool
+    in
+    match best with
+    | Some (p, g) when g > 0 ->
+        chosen := p :: !chosen;
+        pool := List.filter (fun q -> q != p) !pool;
+        List.iter
+          (fun v ->
+            if uncovered.(v) then begin
+              uncovered.(v) <- false;
+              decr remaining
+            end)
+          p
+    | _ -> pool := []
+  done;
+  (* Stragglers (rules on no selected candidate): cover each with a
+     greedy maximal legal path through it. *)
+  let g = RG.base_graph rg in
+  let step hs w =
+    let e = RG.vertex_entry rg w in
+    Hs.apply_set_field ~set:e.FE.set_field (Hs.inter hs (RG.input rg w))
+  in
+  for v = 0 to n - 1 do
+    if uncovered.(v) then begin
+      let rec extend u hs acc =
+        let next =
+          List.find_map
+            (fun w ->
+              let hs' = step hs w in
+              if Hs.is_empty hs' then None else Some (w, hs'))
+            (Digraph.succ g u)
+        in
+        match next with
+        | Some (w, hs') -> extend w hs' (w :: acc)
+        | None -> List.rev acc
+      in
+      let path = extend v (RG.output rg v) [ v ] in
+      chosen := path :: !chosen;
+      List.iter
+        (fun u ->
+          if uncovered.(u) then begin
+            uncovered.(u) <- false;
+            decr remaining
+          end)
+        path
+    end
+  done;
+  (List.rev !chosen, !pool)
+
+let to_probes ?alloc net rg ~start_id paths =
+  let alloc = match alloc with Some a -> a | None -> Common.allocator () in
+  let id = ref (start_id - 1) in
+  List.filter_map
+    (fun path ->
+      match Common.unique_header alloc rg path with
+      | None -> None
+      | Some header ->
+          incr id;
+          let rules = List.map (fun v -> (RG.vertex_entry rg v).FE.id) path in
+          Some (Probe.make net ~id:!id ~rules ~header))
+    paths
+
+let generate ?(max_candidates = 2048) net =
+  let t0 = Unix.gettimeofday () in
+  let rg = RG.build ~closure:false net in
+  let candidates = enumerate_candidates rg ~cap:max_candidates in
+  let cover_paths, pool_paths = greedy_set_cover rg candidates in
+  let alloc = Common.allocator () in
+  let probes = to_probes ~alloc net rg ~start_id:0 cover_paths in
+  let pool =
+    to_probes ~alloc net rg ~start_id:(List.length probes)
+      (Sdn_util.Misc.take 512 pool_paths)
+  in
+  { probes; pool; generation_s = Unix.gettimeofday () -. t0 }
+
+(* Intersection of non-empty switch-set list. *)
+let intersect_all = function
+  | [] -> []
+  | first :: rest ->
+      List.filter (fun sw -> List.for_all (List.mem sw) rest) first
+
+let pairwise_intersections sets =
+  let rec loop acc = function
+    | [] -> acc
+    | s :: rest ->
+        let acc =
+          List.fold_left
+            (fun acc s' ->
+              List.fold_left
+                (fun acc sw -> if List.mem sw s' && not (List.mem sw acc) then sw :: acc else acc)
+                acc s)
+            acc rest
+        in
+        loop acc rest
+  in
+  loop [] sets
+
+let run ?(stop = Sdnprobe.Runner.stop_never) ?(compute_us_per_rule = 150) ~config
+    emulator =
+  let net = Emu.network emulator in
+  let { probes; pool; generation_s } = generate net in
+  let clock = Emu.clock emulator in
+  let start_s = Clock.now_seconds clock in
+  let suspicion = Sdnprobe.Suspicion.create ~threshold:config.Config.threshold in
+  let switch_suspicion : (int, int) Hashtbl.t = Hashtbl.create 32 in
+  let packets = ref 0 in
+  let round = ref 0 in
+  let finished = ref false in
+  let extra : Probe.t list ref = ref [] in
+  let pool = ref pool in
+  (* Round 1 sends the full plan; follow-up rounds only re-test failed
+     paths plus freshly computed localization packets. When nothing is
+     left to chase, a new monitoring cycle restarts from the plan. *)
+  let active = ref probes in
+  while (not !finished) && !round < config.Config.max_rounds do
+    incr round;
+    let results = Common.send_round ~config ~emulator !active in
+    packets := !packets + List.length !active;
+    let failed = List.filter_map (fun (p, pass) -> if pass then None else Some p) results in
+    let failed_sets = List.map (Common.switches_of_probe net) failed in
+    (* Recomputing localization packets costs ATPG real time (§VIII:
+       "ATPG needs to compute additional test packets"): each round with
+       failures re-runs the generation machinery over the network's
+       rules. *)
+    if failed <> [] then
+      Clock.advance_us clock (compute_us_per_rule * Openflow.Network.n_entries net);
+    let now_s = Clock.now_seconds clock in
+    (* Iterative refinement: switches already flagged explain the paths
+       they sit on; the remaining failures must have other culprits. A
+       failure set that intersects nothing cannot be narrowed, so all
+       its switches become suspects (the paper's FP mechanism), which
+       keeps FNR at zero for persistent basic faults. *)
+    let suspects =
+      let sets =
+        List.filter_map
+          (fun set ->
+            match
+              List.filter (fun sw -> not (Sdnprobe.Suspicion.is_flagged suspicion sw)) set
+            with
+            | [] -> None
+            | s -> Some s)
+          failed_sets
+      in
+      match sets with
+      | [] -> []
+      | [ only ] -> only
+      | sets -> (
+          match intersect_all sets with
+          | _ :: _ as i -> i
+          | [] ->
+              let pw = pairwise_intersections sets in
+              let unexplained =
+                List.filter (fun s -> not (List.exists (fun sw -> List.mem sw pw) s)) sets
+              in
+              List.sort_uniq compare (pw @ List.concat unexplained))
+    in
+    List.iter
+      (fun sw ->
+        let level = 1 + Option.value ~default:0 (Hashtbl.find_opt switch_suspicion sw) in
+        Hashtbl.replace switch_suspicion sw level;
+        if level > config.Config.threshold then
+          Sdnprobe.Suspicion.flag suspicion ~switch:sw ~time_s:now_s ~round:!round)
+      suspects;
+    (* Pull additional pool paths crossing unresolved suspects. *)
+    let unresolved =
+      List.filter (fun sw -> not (Sdnprobe.Suspicion.is_flagged suspicion sw)) suspects
+    in
+    (if unresolved <> [] then begin
+       let crossing, rest =
+         List.partition
+           (fun (p : Probe.t) ->
+             List.exists (fun sw -> List.mem sw unresolved) (Common.switches_of_probe net p))
+           !pool
+       in
+       let add = Sdn_util.Misc.take 4 crossing in
+       extra := add;
+       pool := List.filter (fun p -> not (List.memq p add)) crossing @ rest
+     end
+     else extra := []);
+    (* Next round chases only the suspicious region. *)
+    active := (if failed = [] then probes else failed @ !extra);
+    let detections =
+      List.map
+        (fun (switch, time_s, round) -> { Report.switch; time_s; round })
+        (Sdnprobe.Suspicion.detections suspicion)
+    in
+    if stop ~detections ~round:!round ~time_s:now_s then finished := true
+  done;
+  {
+    Report.scheme = "atpg";
+    plan_size = List.length probes;
+    generation_s;
+    detections =
+      List.map
+        (fun (switch, time_s, round) -> { Report.switch; time_s; round })
+        (Sdnprobe.Suspicion.detections suspicion);
+    packets_sent = !packets;
+    bytes_sent = !packets * config.Config.probe_size_bytes;
+    rounds = !round;
+    duration_s = Clock.now_seconds clock -. start_s;
+    suspicion_ranking = Sdnprobe.Suspicion.rule_levels suspicion;
+  }

@@ -1,0 +1,36 @@
+(** The ATPG baseline (Zeng et al., ToN 2014), adapted to the SDN
+    setting the paper evaluates it in.
+
+    {b Generation.} ATPG reduces test-packet selection to minimum set
+    cover and solves it greedily: enumerate candidate end-to-end legal
+    paths (source rules to sink rules of the rule graph), then pick the
+    path covering the most uncovered rules until every testable rule is
+    covered. Greedy MSC is the paper's explanation for ATPG sending
+    ~30% more packets than SDNProbe's exact MLPC (Fig. 8a); unselected
+    candidates are kept as a pool for localization.
+
+    {b Localization} is intersection-based (§VII): the suspects each
+    round are the switches in the intersection of the failed paths
+    (pairwise intersections when the global intersection is empty —
+    the multiple-fault case, where benign switches at crossings get
+    framed). Suspicion accumulates per round and a switch is flagged
+    past the threshold. When suspects cannot be narrowed, ATPG computes
+    {e additional test packets} from the candidate pool; that
+    recomputation is charged to the virtual clock
+    ([compute_us_per_rule] × rules on failed paths, default 150 µs),
+    reproducing ATPG's localization-delay penalty (Fig. 8b/8c). *)
+
+type gen = {
+  probes : Sdnprobe.Probe.t list;
+  pool : Sdnprobe.Probe.t list;  (** unselected candidates, for refinement *)
+  generation_s : float;
+}
+
+val generate : ?max_candidates:int -> Openflow.Network.t -> gen
+
+val run :
+  ?stop:Sdnprobe.Runner.stop ->
+  ?compute_us_per_rule:int ->
+  config:Sdnprobe.Config.t ->
+  Dataplane.Emulator.t ->
+  Sdnprobe.Report.t

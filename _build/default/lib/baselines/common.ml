@@ -1,0 +1,66 @@
+module Emu = Dataplane.Emulator
+module Clock = Dataplane.Clock
+module Probe = Sdnprobe.Probe
+module Config = Sdnprobe.Config
+module FE = Openflow.Flow_entry
+
+let send_round ~config ~emulator probes =
+  let clock = Emu.clock emulator in
+  List.iter
+    (fun (p : Probe.t) ->
+      Emu.install_trap emulator ~probe:p.Probe.id ~switch:p.Probe.terminal_switch
+        ~rule:p.Probe.terminal_rule ~header:p.Probe.expected_header)
+    probes;
+  let per_packet_us = Config.serialization_us config ~packets:1 in
+  let results =
+    List.map
+      (fun (p : Probe.t) ->
+        Clock.advance_us clock per_packet_us;
+        let r = Emu.inject emulator ~at:p.Probe.inject_switch p.Probe.header in
+        let pass =
+          match r.Emu.outcome with
+          | Emu.Returned { probe; _ } -> probe = p.Probe.id
+          | _ -> false
+        in
+        (p, pass))
+      probes
+  in
+  let max_hops =
+    List.fold_left (fun acc (p : Probe.t) -> max acc (Probe.hop_count p)) 0 probes
+  in
+  Clock.advance_us clock (max_hops * config.Config.per_hop_latency_us);
+  Clock.advance_us clock config.Config.per_round_overhead_us;
+  List.iter (fun (p : Probe.t) -> Emu.remove_probe_traps emulator ~probe:p.Probe.id) probes;
+  results
+
+let switches_of_probe net (p : Probe.t) =
+  List.sort_uniq compare
+    (List.map (fun r -> (Openflow.Network.entry net r).FE.switch) p.Probe.rules)
+
+type header_allocator = {
+  used : (string, unit) Hashtbl.t;
+  mutable counter : int;
+}
+
+let allocator () = { used = Hashtbl.create 256; counter = 0 }
+
+let unique_header alloc rg vertices =
+  let hs = Rulegraph.Rule_graph.start_space rg vertices in
+  match Hspace.Hs.cubes hs with
+  | [] -> None
+  | cube :: _ ->
+      (* Walk the cube's members starting at a global counter so that
+         identical start spaces (common for aggregate rules) yield
+         distinct headers; cap the search and accept a duplicate when a
+         tiny space is exhausted. *)
+      let rec pick k attempts =
+        let h = Hspace.Cube.nth_member cube k in
+        let key = Hspace.Cube.to_string h in
+        if (not (Hashtbl.mem alloc.used key)) || attempts > 256 then begin
+          Hashtbl.replace alloc.used key ();
+          alloc.counter <- k + 1;
+          h
+        end
+        else pick (k + 1) (attempts + 1)
+      in
+      Some (Hspace.Header.of_cube (pick alloc.counter 0))

@@ -1,0 +1,33 @@
+(** Shared plumbing for the baseline schemes: probe rounds against the
+    emulator with the same trap mechanism and timing model as SDNProbe,
+    so reports are directly comparable. *)
+
+val send_round :
+  config:Sdnprobe.Config.t ->
+  emulator:Dataplane.Emulator.t ->
+  Sdnprobe.Probe.t list ->
+  (Sdnprobe.Probe.t * bool) list
+(** Install traps, serialize and inject each probe (advancing the
+    virtual clock per packet, then flight time and round overhead),
+    remove traps; returns pass/fail per probe. *)
+
+val switches_of_probe : Openflow.Network.t -> Sdnprobe.Probe.t -> int list
+(** De-duplicated switches along the probe's rule sequence. *)
+
+type header_allocator
+(** Assigns deterministic {e pairwise-distinct} headers to tested
+    paths. Distinctness matters for the baselines exactly as it does
+    for SDNProbe (§VI): probes sharing a header can trip each other's
+    return traps and corrupt localization. *)
+
+val allocator : unit -> header_allocator
+
+val unique_header :
+  header_allocator ->
+  Rulegraph.Rule_graph.t ->
+  int list ->
+  Hspace.Header.t option
+(** Deterministic header traversing the given rule-graph vertex
+    sequence, distinct from all headers previously drawn from this
+    allocator whenever the header spaces permit; [None] if the path is
+    illegal. *)

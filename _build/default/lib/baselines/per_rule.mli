@@ -1,0 +1,25 @@
+(** The Per-rule Test baseline (Chi et al. [12], Monocle [31]).
+
+    One test packet per flow entry: the probe for rule [r] is injected
+    at [r]'s previous-hop rule (when one exists) and captured at [r]'s
+    next-hop rule, so the tested path is at most three hops. On a
+    failure the scheme blames the {e target} switch — it cannot tell
+    which of the three switches on the short path actually misbehaved
+    (§VII footnote 3), so a fault on a neighbouring rule frames the
+    target: the paper's false-positive mechanism under multiple faults.
+
+    The probe count equals the number of (testable) flow entries by
+    construction — the paper's Figure 8(a) upper line. *)
+
+val generate : Openflow.Network.t -> (Sdnprobe.Probe.t * int) list * float
+(** Per-rule probes, each paired with the entry id it targets, and the
+    wall-clock generation time. *)
+
+val run :
+  ?stop:Sdnprobe.Runner.stop ->
+  config:Sdnprobe.Config.t ->
+  Dataplane.Emulator.t ->
+  Sdnprobe.Report.t
+(** Detection loop: every round re-sends every probe; a failed probe
+    bumps the suspicion of its target switch, flagged past the
+    threshold. *)

@@ -1,0 +1,1 @@
+lib/core/plan.ml: List Mlpc Openflow Probe Rulegraph Sdn_util Unix

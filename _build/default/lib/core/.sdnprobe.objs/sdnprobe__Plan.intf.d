@@ -1,0 +1,1 @@
+lib/core/plan.mli: Mlpc Openflow Probe Rulegraph Sdn_util

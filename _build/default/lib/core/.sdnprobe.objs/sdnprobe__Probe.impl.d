@@ -1,0 +1,1 @@
+lib/core/probe.ml: Array Format Hspace List Openflow

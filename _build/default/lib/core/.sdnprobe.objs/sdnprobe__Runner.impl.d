@@ -1,0 +1,1 @@
+lib/core/runner.ml: Config Dataplane List Openflow Plan Probe Report Suspicion

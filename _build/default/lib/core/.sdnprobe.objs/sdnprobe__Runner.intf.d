@@ -1,0 +1,1 @@
+lib/core/runner.mli: Config Dataplane Plan Probe Report

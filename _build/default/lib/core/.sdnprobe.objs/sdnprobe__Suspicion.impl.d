@@ -1,0 +1,1 @@
+lib/core/suspicion.ml: Hashtbl List Option

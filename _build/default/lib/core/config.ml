@@ -1,0 +1,24 @@
+type t = {
+  threshold : int;
+  send_rate_bytes_per_s : int;
+  probe_size_bytes : int;
+  per_hop_latency_us : int;
+  per_round_overhead_us : int;
+  max_rounds : int;
+}
+
+let default =
+  {
+    threshold = 3;
+    send_rate_bytes_per_s = 250_000;
+    probe_size_bytes = 100;
+    per_hop_latency_us = 500;
+    per_round_overhead_us = 50_000;
+    max_rounds = 200;
+  }
+
+let with_threshold threshold t = { t with threshold }
+
+let serialization_us t ~packets =
+  let bytes = packets * t.probe_size_bytes in
+  int_of_float (1e6 *. float_of_int bytes /. float_of_int t.send_rate_bytes_per_s)

@@ -1,0 +1,26 @@
+(** Detection parameters.
+
+    Defaults follow the paper's evaluation setup: probes serialized at
+    250 KB/s from the controller, detection threshold 3. Probe size,
+    per-hop latency and per-round controller overhead parameterize the
+    virtual-time model (the paper's testbed values are not published;
+    these are typical OpenFlow figures and only scale absolute delays,
+    not orderings). *)
+
+type t = {
+  threshold : int;  (** suspicion level that flags a switch (paper: 3) *)
+  send_rate_bytes_per_s : int;  (** probe serialization rate (paper: 250 KB/s) *)
+  probe_size_bytes : int;  (** bytes per test packet (default 100) *)
+  per_hop_latency_us : int;  (** link + switch traversal latency (default 500) *)
+  per_round_overhead_us : int;
+      (** controller round-trip + processing per detection round
+          (default 50 ms) *)
+  max_rounds : int;  (** hard stop for the detection loop *)
+}
+
+val default : t
+
+val with_threshold : int -> t -> t
+
+val serialization_us : t -> packets:int -> int
+(** Virtual time to push [packets] probes out of the controller. *)

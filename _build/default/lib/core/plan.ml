@@ -1,0 +1,40 @@
+module RG = Rulegraph.Rule_graph
+module FE = Openflow.Flow_entry
+
+type t = {
+  network : Openflow.Network.t;
+  rulegraph : RG.t;
+  cover : Mlpc.Cover.t;
+  probes : Probe.t list;
+  generation_s : float;
+}
+
+type mode = Static | Randomized of Sdn_util.Prng.t
+
+let of_cover net rg ~policy cover =
+  let assigned = Mlpc.Headers.assign policy cover in
+  List.mapi
+    (fun i ((p : Mlpc.Cover.path), header) ->
+      let rules = List.map (fun v -> (RG.vertex_entry rg v).FE.id) p.Mlpc.Cover.rules in
+      Probe.make net ~id:i ~rules ~header)
+    assigned
+
+let generate ?(mode = Static) network =
+  let t0 = Unix.gettimeofday () in
+  let rulegraph = RG.build network in
+  let cover, policy =
+    match mode with
+    | Static -> (Mlpc.Legal_matching.solve rulegraph, Mlpc.Headers.Sat_unique)
+    | Randomized rng ->
+        (Mlpc.Legal_matching.randomized rng rulegraph, Mlpc.Headers.Random rng)
+  in
+  let probes = of_cover network rulegraph ~policy cover in
+  { network; rulegraph; cover; probes; generation_s = Unix.gettimeofday () -. t0 }
+
+let redraw t rng =
+  let t0 = Unix.gettimeofday () in
+  let cover = Mlpc.Legal_matching.randomized rng t.rulegraph in
+  let probes = of_cover t.network t.rulegraph ~policy:(Mlpc.Headers.Random rng) cover in
+  { t with cover; probes; generation_s = Unix.gettimeofday () -. t0 }
+
+let size t = List.length t.probes

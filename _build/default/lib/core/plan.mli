@@ -1,0 +1,40 @@
+(** Probe-plan generation: the paper's test-packet generation stage
+    (Figure 2) end to end — rule graph, MLPC, header construction.
+
+    A generated plan keeps its rule graph so Randomized SDNProbe can
+    cheaply re-draw paths each detection cycle ("tested path
+    randomization can reuse the same rule graph", §V-C). *)
+
+type t = {
+  network : Openflow.Network.t;
+  rulegraph : Rulegraph.Rule_graph.t;
+  cover : Mlpc.Cover.t;
+  probes : Probe.t list;
+  generation_s : float;  (** wall-clock pre-computation time *)
+}
+
+type mode =
+  | Static  (** SDNProbe: minimum cover, SAT-unique headers *)
+  | Randomized of Sdn_util.Prng.t
+      (** Randomized SDNProbe: randomized greedy legal matching and
+          uniform header draws *)
+
+val generate : ?mode:mode -> Openflow.Network.t -> t
+(** Build the full pipeline. [mode] defaults to [Static]. Raises
+    {!Rulegraph.Rule_graph.Cyclic_policy} on looping policies. *)
+
+val redraw : t -> Sdn_util.Prng.t -> t
+(** New randomized paths + headers over the existing rule graph (used
+    between detection cycles by Randomized SDNProbe). *)
+
+val of_cover :
+  Openflow.Network.t ->
+  Rulegraph.Rule_graph.t ->
+  policy:Mlpc.Headers.policy ->
+  Mlpc.Cover.t ->
+  Probe.t list
+(** Lower a cover to probes with the given header policy (probe ids are
+    indices into the cover's path list). *)
+
+val size : t -> int
+(** Number of probes (= test packets). *)

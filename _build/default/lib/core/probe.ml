@@ -1,0 +1,83 @@
+module Header = Hspace.Header
+module FE = Openflow.Flow_entry
+module Network = Openflow.Network
+
+type t = {
+  id : int;
+  rules : int list;
+  header : Header.t;
+  inject_switch : int;
+  terminal_switch : int;
+  terminal_rule : int;
+  expected_header : Header.t;
+}
+
+let headers_along net ~rules header =
+  let _, acc =
+    List.fold_left
+      (fun (h, acc) rule ->
+        let h' = FE.apply (Network.entry net rule) h in
+        (h', h' :: acc))
+      (header, []) rules
+  in
+  List.rev acc
+
+let make net ~id ~rules ~header =
+  match rules with
+  | [] -> invalid_arg "Probe.make: empty rule list"
+  | first :: _ ->
+      let last = List.nth rules (List.length rules - 1) in
+      let along = headers_along net ~rules header in
+      {
+        id;
+        rules;
+        header;
+        inject_switch = (Network.entry net first).FE.switch;
+        terminal_switch = (Network.entry net last).FE.switch;
+        terminal_rule = last;
+        expected_header = List.nth along (List.length along - 1);
+      }
+
+let hop_count t = List.length t.rules
+
+let slice net ~fresh_id t =
+  let n = List.length t.rules in
+  if n < 2 then None
+  else begin
+    let rules = Array.of_list t.rules in
+    (* Cut points: prefer indices where the second half starts at a
+       table-0 rule (a clean injection); fall back to any index — the
+       packet still reaches a mid-table rule through its switch's
+       earlier tables, and the parent's header already survived them.
+       Prefer the cut closest to the middle. *)
+    let all = List.init (n - 1) (fun k -> k + 1) in
+    let table0 =
+      List.filter (fun i -> (Network.entry net rules.(i)).FE.table = 0) all
+    in
+    let candidates = if table0 <> [] then table0 else all in
+    match candidates with
+    | [] -> None
+    | _ ->
+        let mid = n / 2 in
+        let cut =
+          List.fold_left
+            (fun best i -> if abs (i - mid) < abs (best - mid) then i else best)
+            (List.hd candidates) candidates
+        in
+        let along = headers_along net ~rules:t.rules t.header in
+        let first_rules = Array.to_list (Array.sub rules 0 cut) in
+        let second_rules = Array.to_list (Array.sub rules cut (n - cut)) in
+        let second_header = List.nth along (cut - 1) in
+        let a = make net ~id:(fresh_id ()) ~rules:first_rules ~header:t.header in
+        let b = make net ~id:(fresh_id ()) ~rules:second_rules ~header:second_header in
+        Some (a, b)
+  end
+
+let pp fmt t =
+  Format.fprintf fmt "probe#%d %s@sw%d [%a] ->sw%d" t.id
+    (Header.to_string t.header)
+    t.inject_switch
+    (Format.pp_print_list
+       ~pp_sep:(fun f () -> Format.pp_print_string f ",")
+       Format.pp_print_int)
+    t.rules t.terminal_switch

@@ -1,0 +1,42 @@
+(** A probe: one test packet bound to one tested path.
+
+    The [rules] field is the expanded rule sequence (entry ids) the
+    packet must traverse; the probe is injected at the first rule's
+    switch and captured by a return trap keyed on the last rule and the
+    expected post-rewrite header (§VI). Sub-probes produced by path
+    slicing (§VI, Algorithm 2) share the parent's header but inject
+    mid-path. *)
+
+type t = {
+  id : int;
+  rules : int list;  (** entry ids in traversal order; non-empty *)
+  header : Hspace.Header.t;  (** header as injected *)
+  inject_switch : int;
+  terminal_switch : int;
+  terminal_rule : int;
+  expected_header : Hspace.Header.t;
+      (** header after the terminal rule's set field: the trap key *)
+}
+
+val make : Openflow.Network.t -> id:int -> rules:int list -> header:Hspace.Header.t -> t
+(** Derives switches and the expected header by folding set fields over
+    [rules]. Raises [Invalid_argument] on an empty rule list. *)
+
+val headers_along : Openflow.Network.t -> rules:int list -> Hspace.Header.t -> Hspace.Header.t list
+(** Header after each rule of the sequence (same length as [rules]). *)
+
+val hop_count : t -> int
+
+val slice :
+  Openflow.Network.t ->
+  fresh_id:(unit -> int) ->
+  t ->
+  (t * t) option
+(** Split the probe's path into two sub-probes at a switch boundary
+    (the second half must start at a table-0 rule so the controller can
+    inject there). [None] when the path has a single rule or no valid
+    cut point. The first half keeps the parent's injected header; the
+    second half is injected with the header the packet would carry at
+    the cut. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,34 @@
+type detection = { switch : int; time_s : float; round : int }
+
+type t = {
+  scheme : string;
+  plan_size : int;
+  generation_s : float;
+  detections : detection list;
+  packets_sent : int;
+  bytes_sent : int;
+  rounds : int;
+  duration_s : float;
+  suspicion_ranking : (int * int) list;
+}
+
+let flagged_switches t = List.sort compare (List.map (fun d -> d.switch) t.detections)
+
+let detection_time t switch =
+  List.find_opt (fun d -> d.switch = switch) t.detections
+  |> Option.map (fun d -> d.time_s)
+
+let time_to_detect_all t ~ground_truth =
+  let times = List.map (detection_time t) ground_truth in
+  if List.exists Option.is_none times then None
+  else Some (List.fold_left (fun acc o -> max acc (Option.get o)) 0. times)
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>%s: %d probes (gen %.3fs), %d rounds, %.2fs virtual, %d pkts/%d bytes, flagged: %a@]"
+    t.scheme t.plan_size t.generation_s t.rounds t.duration_s t.packets_sent
+    t.bytes_sent
+    (Format.pp_print_list
+       ~pp_sep:(fun f () -> Format.pp_print_string f ",")
+       Format.pp_print_int)
+    (flagged_switches t)

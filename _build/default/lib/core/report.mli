@@ -1,0 +1,28 @@
+(** Outcome of one detection run, common to SDNProbe and the baseline
+    schemes so the evaluation harness can tabulate them uniformly. *)
+
+type detection = { switch : int; time_s : float; round : int }
+
+type t = {
+  scheme : string;
+  plan_size : int;  (** test packets in the (initial) plan *)
+  generation_s : float;  (** wall-clock pre-computation time *)
+  detections : detection list;  (** in detection order *)
+  packets_sent : int;  (** total probes injected, incl. re-sends/slices *)
+  bytes_sent : int;
+  rounds : int;
+  duration_s : float;  (** virtual detection time *)
+  suspicion_ranking : (int * int) list;  (** (rule, level), descending *)
+}
+
+val flagged_switches : t -> int list
+(** Sorted. *)
+
+val detection_time : t -> int -> float option
+(** Virtual time at which a switch was flagged. *)
+
+val time_to_detect_all : t -> ground_truth:int list -> float option
+(** Time of the last ground-truth switch's detection; [None] if any
+    ground-truth switch went undetected. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,147 @@
+module Emulator = Dataplane.Emulator
+module Clock = Dataplane.Clock
+module FE = Openflow.Flow_entry
+module Network = Openflow.Network
+
+type stop = detections:Report.detection list -> round:int -> time_s:float -> bool
+
+let stop_never ~detections:_ ~round:_ ~time_s:_ = false
+
+let stop_when_flagged switches ~detections ~round:_ ~time_s:_ =
+  let flagged = List.map (fun (d : Report.detection) -> d.switch) detections in
+  List.for_all (fun sw -> List.mem sw flagged) switches
+
+let stop_after_s limit ~detections:_ ~round:_ ~time_s = time_s >= limit
+
+let stop_any stops ~detections ~round ~time_s =
+  List.exists (fun s -> s ~detections ~round ~time_s) stops
+
+let install_traps emu probes =
+  List.iter
+    (fun (p : Probe.t) ->
+      Emulator.install_trap emu ~probe:p.id ~switch:p.terminal_switch
+        ~rule:p.terminal_rule ~header:p.expected_header)
+    probes
+
+let remove_traps emu probes =
+  List.iter (fun (p : Probe.t) -> Emulator.remove_probe_traps emu ~probe:p.id) probes
+
+(* A probe passes iff its own trap captured it. *)
+let probe_passes emu (p : Probe.t) =
+  let result = Emulator.inject emu ~at:p.inject_switch p.header in
+  match result.Emulator.outcome with
+  | Emulator.Returned { probe; _ } -> probe = p.id
+  | Emulator.Delivered _ | Emulator.Lost _ -> false
+
+let run ?(stop = stop_never) ?redraw ?(name = "sdnprobe") ~config ~emulator
+    ~generation_s probes =
+  let clock = Emulator.clock emulator in
+  let start_s = Clock.now_seconds clock in
+  let net = Emulator.network emulator in
+  let suspicion = Suspicion.create ~threshold:config.Config.threshold in
+  let next_id =
+    ref (1 + List.fold_left (fun acc (p : Probe.t) -> max acc p.id) 0 probes)
+  in
+  let fresh_id () =
+    let id = !next_id in
+    incr next_id;
+    id
+  in
+  let packets_sent = ref 0 in
+  let round = ref 0 in
+  let cycle = ref 0 in
+  let active = ref probes in
+  let finished = ref false in
+  let per_packet_us = Config.serialization_us config ~packets:1 in
+  while (not !finished) && !round < config.Config.max_rounds do
+    incr round;
+    let probes_this_round = !active in
+    install_traps emulator probes_this_round;
+    (* Send serially at the controller rate; each probe sees the clock
+       at its own send instant (intermittent faults depend on it). *)
+    let results =
+      List.map
+        (fun p ->
+          Clock.advance_us clock per_packet_us;
+          incr packets_sent;
+          (p, probe_passes emulator p))
+        probes_this_round
+    in
+    (* Flight time of the slowest probe, plus controller processing. *)
+    let max_hops =
+      List.fold_left (fun acc (p : Probe.t) -> max acc (Probe.hop_count p)) 0
+        probes_this_round
+    in
+    Clock.advance_us clock (max_hops * config.Config.per_hop_latency_us);
+    Clock.advance_us clock config.Config.per_round_overhead_us;
+    remove_traps emulator probes_this_round;
+    let now_s = Clock.now_seconds clock in
+    (* Algorithm 2 lines 5-14. *)
+    let follow_up = ref [] in
+    List.iter
+      (fun ((p : Probe.t), passed) ->
+        if not passed then begin
+          List.iter (Suspicion.bump_rule suspicion) p.rules;
+          if List.length p.rules > 1 then
+            match Probe.slice net ~fresh_id p with
+            | Some (a, b) -> follow_up := a :: b :: !follow_up
+            | None ->
+                (* Uncuttable multi-rule path (goto chain): treat as a
+                   unit and re-test. *)
+                follow_up := p :: !follow_up
+          else begin
+            let rule = List.hd p.rules in
+            let switch = (Network.entry net rule).FE.switch in
+            if Suspicion.exceeds_threshold suspicion rule then
+              Suspicion.flag suspicion ~switch ~time_s:now_s ~round:!round;
+            (* An identified switch needs no further probing ("requires
+               further manual inspection", §VI); retiring its probes
+               lets the detection cycle restart — essential for the
+               randomized variant, whose fresh paths come from cycle
+               boundaries. *)
+            if not (Suspicion.is_flagged suspicion switch) then
+              follow_up := p :: !follow_up
+          end
+        end)
+      results;
+    (* New cycle when no suspected paths remain. *)
+    (if !follow_up = [] then begin
+       incr cycle;
+       match redraw with
+       | Some f -> active := f ~cycle:!cycle
+       | None -> active := probes
+     end
+     else active := !follow_up);
+    let detections =
+      List.map
+        (fun (switch, time_s, round) -> { Report.switch; time_s; round })
+        (Suspicion.detections suspicion)
+    in
+    if stop ~detections ~round:!round ~time_s:now_s then finished := true
+  done;
+  {
+    Report.scheme = name;
+    plan_size = List.length probes;
+    generation_s;
+    detections =
+      List.map
+        (fun (switch, time_s, round) -> { Report.switch; time_s; round })
+        (Suspicion.detections suspicion);
+    packets_sent = !packets_sent;
+    bytes_sent = !packets_sent * config.Config.probe_size_bytes;
+    rounds = !round;
+    duration_s = Clock.now_seconds clock -. start_s;
+    suspicion_ranking = Suspicion.rule_levels suspicion;
+  }
+
+let detect ?stop ?(mode = Plan.Static) ~config emulator =
+  let plan = Plan.generate ~mode (Emulator.network emulator) in
+  let name, redraw =
+    match mode with
+    | Plan.Static -> ("sdnprobe", None)
+    | Plan.Randomized rng ->
+        ( "randomized-sdnprobe",
+          Some (fun ~cycle:_ -> (Plan.redraw plan rng).Plan.probes) )
+  in
+  run ?stop ?redraw ~name ~config ~emulator ~generation_s:plan.Plan.generation_s
+    plan.Plan.probes

@@ -1,0 +1,41 @@
+(** The detection loop (Algorithm 2) against the data-plane emulator.
+
+    Each round: install return traps for the active probes, serialize
+    them at the configured controller rate (advancing the virtual
+    clock), inject, and classify. A failed probe bumps the suspicion of
+    every rule on its path and is sliced in two; a failed single-rule
+    probe whose suspicion exceeds the threshold flags its switch. When a
+    round produces no follow-up work, a new detection cycle starts from
+    the full plan — re-drawn by [redraw] for Randomized SDNProbe. *)
+
+type stop = detections:Report.detection list -> round:int -> time_s:float -> bool
+(** Return true to end the run (evaluated between rounds). *)
+
+val stop_never : stop
+
+val stop_when_flagged : int list -> stop
+(** Stop once all the given switches are flagged. *)
+
+val stop_after_s : float -> stop
+
+val stop_any : stop list -> stop
+
+val run :
+  ?stop:stop ->
+  ?redraw:(cycle:int -> Probe.t list) ->
+  ?name:string ->
+  config:Config.t ->
+  emulator:Dataplane.Emulator.t ->
+  generation_s:float ->
+  Probe.t list ->
+  Report.t
+(** Run detection with the given initial probes. [redraw ~cycle] (if
+    given) supplies fresh probes when cycle [cycle >= 1] begins;
+    otherwise the initial plan is reused. The emulator's faults are the
+    ground truth being hunted; its clock is advanced by this function
+    and left at the end-of-run time. *)
+
+val detect : ?stop:stop -> ?mode:Plan.mode -> config:Config.t -> Dataplane.Emulator.t -> Report.t
+(** Convenience: generate a plan for the emulator's network and run.
+    [mode] defaults to [Plan.Static]; with [Plan.Randomized rng] the
+    plan is re-drawn every cycle (Randomized SDNProbe). *)

@@ -1,0 +1,29 @@
+type t = {
+  threshold : int;
+  levels : (int, int) Hashtbl.t; (* rule -> suspicion *)
+  flagged : (int, float * int) Hashtbl.t; (* switch -> time, round *)
+}
+
+let create ~threshold = { threshold; levels = Hashtbl.create 64; flagged = Hashtbl.create 16 }
+
+let threshold t = t.threshold
+
+let bump_rule t rule =
+  Hashtbl.replace t.levels rule (1 + Option.value ~default:0 (Hashtbl.find_opt t.levels rule))
+
+let level t rule = Option.value ~default:0 (Hashtbl.find_opt t.levels rule)
+
+let exceeds_threshold t rule = level t rule > t.threshold
+
+let flag t ~switch ~time_s ~round =
+  if not (Hashtbl.mem t.flagged switch) then Hashtbl.add t.flagged switch (time_s, round)
+
+let is_flagged t switch = Hashtbl.mem t.flagged switch
+
+let detections t =
+  Hashtbl.fold (fun sw (time_s, round) acc -> (sw, time_s, round) :: acc) t.flagged []
+  |> List.sort (fun (_, a, _) (_, b, _) -> compare a b)
+
+let rule_levels t =
+  Hashtbl.fold (fun r l acc -> if l > 0 then (r, l) :: acc else acc) t.levels []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)

@@ -1,0 +1,34 @@
+(** Suspicion-level bookkeeping (Algorithm 2).
+
+    Every rule on a suspected path gains one suspicion level per failed
+    round; a switch is flagged when one of its rules exceeds the
+    threshold {e while isolated on a single-rule tested path} — the
+    restriction that keeps SDNProbe free of false positives against
+    persistent faults (§VI). *)
+
+type t
+
+val create : threshold:int -> t
+
+val threshold : t -> int
+
+val bump_rule : t -> int -> unit
+(** Increase a rule's suspicion level by one. *)
+
+val level : t -> int -> int
+
+val exceeds_threshold : t -> int -> bool
+(** [level > threshold], the paper's flag condition. *)
+
+val flag : t -> switch:int -> time_s:float -> round:int -> unit
+(** Record a switch as faulty (first detection wins). *)
+
+val is_flagged : t -> int -> bool
+
+val detections : t -> (int * float * int) list
+(** [(switch, time_s, round)] sorted by detection time. *)
+
+val rule_levels : t -> (int * int) list
+(** All non-zero [(rule, level)] pairs, for inspection and ranking
+    ("a network administrator can make better decisions in choosing
+    which switch to manually inspect first"). *)

@@ -1,0 +1,1 @@
+lib/dataplane/emulator.ml: Clock Fault Hashtbl Hspace List Openflow Option

@@ -1,0 +1,1 @@
+lib/dataplane/emulator.mli: Clock Fault Hspace Openflow

@@ -1,0 +1,1 @@
+lib/dataplane/fault.ml: Format Hspace Sdn_util

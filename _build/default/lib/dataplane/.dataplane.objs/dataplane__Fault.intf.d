@@ -1,0 +1,1 @@
+lib/dataplane/fault.mli: Format Hspace

@@ -1,0 +1,13 @@
+type t = { mutable now : int }
+
+let create () = { now = 0 }
+
+let now_us t = t.now
+
+let advance_us t d =
+  if d < 0 then invalid_arg "Clock.advance_us: negative";
+  t.now <- t.now + d
+
+let reset t = t.now <- 0
+
+let now_seconds t = float_of_int t.now /. 1e6

@@ -1,0 +1,19 @@
+(** Virtual clock for the discrete-event emulation, in microseconds.
+
+    All delays in the evaluation (probe serialization at 250 KB/s,
+    per-hop latency, per-round controller overhead) advance this clock;
+    intermittent faults read it to decide whether they are active. *)
+
+type t
+
+val create : unit -> t
+(** Starts at 0. *)
+
+val now_us : t -> int
+
+val advance_us : t -> int -> unit
+(** Raises [Invalid_argument] on negative increments. *)
+
+val reset : t -> unit
+
+val now_seconds : t -> float

@@ -1,0 +1,164 @@
+module Header = Hspace.Header
+module FE = Openflow.Flow_entry
+module Network = Openflow.Network
+module Topology = Openflow.Topology
+
+type lost_reason =
+  | No_match of int
+  | Dropped_by_fault of int
+  | Dead_port of int
+  | Ttl_exceeded
+
+type outcome =
+  | Returned of { probe : int; at_switch : int; header : Header.t }
+  | Delivered of { at_switch : int; header : Header.t }
+  | Lost of lost_reason
+
+type hop = { switch : int; entry : int; header_out : Header.t }
+
+type result = { outcome : outcome; trace : hop list }
+
+type trap_key = { t_switch : int; t_rule : int; t_header : string }
+
+type t = {
+  net : Network.t;
+  faults : (int, Fault.t) Hashtbl.t;
+  traps : (trap_key, int) Hashtbl.t; (* -> probe id *)
+  clk : Clock.t;
+  counters : (int, int) Hashtbl.t; (* entry -> packets processed *)
+}
+
+let ttl = 64
+
+let create net =
+  {
+    net;
+    faults = Hashtbl.create 64;
+    traps = Hashtbl.create 64;
+    clk = Clock.create ();
+    counters = Hashtbl.create 256;
+  }
+
+let network t = t.net
+
+let clock t = t.clk
+
+let set_fault t ~entry fault =
+  (* Validate the entry exists so misconfigured experiments fail fast. *)
+  ignore (Network.entry t.net entry);
+  Hashtbl.replace t.faults entry fault
+
+let clear_fault t ~entry = Hashtbl.remove t.faults entry
+
+let clear_all_faults t = Hashtbl.reset t.faults
+
+let fault_of t ~entry = Hashtbl.find_opt t.faults entry
+
+let faulty_entries t =
+  Hashtbl.fold (fun e _ acc -> e :: acc) t.faults [] |> List.sort compare
+
+let faulty_switches t =
+  faulty_entries t
+  |> List.map (fun e -> (Network.entry t.net e).FE.switch)
+  |> List.sort_uniq compare
+
+let trap_key ~switch ~rule ~header =
+  { t_switch = switch; t_rule = rule; t_header = Header.to_string header }
+
+let install_trap t ~probe ~switch ~rule ~header =
+  Hashtbl.replace t.traps (trap_key ~switch ~rule ~header) probe
+
+let remove_probe_traps t ~probe =
+  let keys =
+    Hashtbl.fold (fun k p acc -> if p = probe then k :: acc else acc) t.traps []
+  in
+  List.iter (Hashtbl.remove t.traps) keys
+
+let clear_traps t = Hashtbl.reset t.traps
+
+let flow_count t ~entry = Option.value ~default:0 (Hashtbl.find_opt t.counters entry)
+
+let flow_counts t =
+  Hashtbl.fold (fun e c acc -> (e, c) :: acc) t.counters [] |> List.sort compare
+
+let reset_flow_counts t = Hashtbl.reset t.counters
+
+let bump_counter t entry =
+  Hashtbl.replace t.counters entry (1 + Option.value ~default:0 (Hashtbl.find_opt t.counters entry))
+
+(* Process a packet at one switch, chasing goto-table chains, and decide
+   where it goes next. *)
+type step =
+  | Forward of int * Header.t (* next switch, header *)
+  | Teleport of int * Header.t (* detour tunnel to a switch *)
+  | Final of outcome
+
+let inject t ~at header =
+  let now_us = Clock.now_us t.clk in
+  let trace = ref [] in
+  let record switch entry header_out = trace := { switch; entry; header_out } :: !trace in
+  let rec at_switch sw table header budget =
+    if budget <= 0 then Final (Lost Ttl_exceeded)
+    else
+      match Openflow.Flow_table.lookup (Network.table t.net ~switch:sw ~table) header with
+      | None -> Final (Lost (No_match sw))
+      | Some e -> process sw e header budget
+  and process sw (e : FE.t) header budget =
+    bump_counter t e.id;
+    let fault =
+      match Hashtbl.find_opt t.faults e.id with
+      | Some f when Fault.is_active f ~now_us ~header -> Some f
+      | _ -> None
+    in
+    (* A fault that replaces the forwarding action (drop / misdirect /
+       detour) also bypasses the §VI goto-table redirect, so its probe
+       never reaches the test entry — observable as a loss. A rewrite
+       fault leaves the action (and hence the redirect) intact but the
+       exact-match test entry misses the mangled header. *)
+    let header', action =
+      match fault with
+      | None -> (FE.apply e header, `Action (e.action, true))
+      | Some { Fault.effect = Fault.Drop_packet; _ } -> (header, `Fault_drop)
+      | Some { Fault.effect = Fault.Misdirect port; _ } ->
+          (FE.apply e header, `Action (FE.Output port, false))
+      | Some { Fault.effect = Fault.Rewrite set; _ } ->
+          (Header.apply_set_field ~set header, `Action (e.action, true))
+      | Some { Fault.effect = Fault.Detour peer; _ } -> (FE.apply e header, `Detour peer)
+    in
+    (match action with `Fault_drop -> () | _ -> record sw e.id header');
+    match action with
+    | `Fault_drop -> Final (Lost (Dropped_by_fault sw))
+    | `Detour peer -> Teleport (peer, header')
+    | `Action (act, redirect_intact) -> (
+        let trap =
+          if redirect_intact then
+            Hashtbl.find_opt t.traps (trap_key ~switch:sw ~rule:e.id ~header:header')
+          else None
+        in
+        match trap with
+        | Some probe -> Final (Returned { probe; at_switch = sw; header = header' })
+        | None -> (
+            match act with
+            | FE.Drop -> Final (Delivered { at_switch = sw; header = header' })
+            | FE.Goto_table tb -> goto sw tb header' budget
+            | FE.Output port -> (
+                match Topology.peer (Network.topology t.net) ~sw ~port with
+                | None -> Final (Lost (Dead_port sw))
+                | Some (next_sw, _) -> Forward (next_sw, header'))))
+  and goto sw tb header budget =
+    match
+      Openflow.Flow_table.lookup (Network.table t.net ~switch:sw ~table:tb) header
+    with
+    | None -> Final (Lost (No_match sw))
+    | Some e -> process sw e header budget
+  and drive sw header budget =
+    if budget <= 0 then Final (Lost Ttl_exceeded)
+    else
+      match at_switch sw 0 header budget with
+      | Forward (next, h) -> drive next h (budget - 1)
+      | Teleport (peer, h) -> drive peer h (budget - 1)
+      | Final o -> Final o
+  in
+  let final = drive at header ttl in
+  let outcome = match final with Final o -> o | _ -> assert false in
+  { outcome; trace = List.rev !trace }

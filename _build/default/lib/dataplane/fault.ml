@@ -1,0 +1,50 @@
+type effect =
+  | Drop_packet
+  | Misdirect of int
+  | Rewrite of Hspace.Cube.t
+  | Detour of int
+
+type activation =
+  | Always
+  | Intermittent of { period_us : int; duty_us : int; phase_us : int }
+  | Random_bursts of { window_us : int; active_ratio : float; seed : int }
+  | Targeting of Hspace.Cube.t
+
+type t = { effect : effect; activation : activation }
+
+let make ?(activation = Always) effect = { effect; activation }
+
+let is_active t ~now_us ~header =
+  match t.activation with
+  | Always -> true
+  | Intermittent { period_us; duty_us; phase_us } ->
+      if period_us <= 0 then invalid_arg "Fault: non-positive period";
+      let x = (now_us - phase_us) mod period_us in
+      let x = if x < 0 then x + period_us else x in
+      x < duty_us
+  | Random_bursts { window_us; active_ratio; seed } ->
+      if window_us <= 0 then invalid_arg "Fault: non-positive window";
+      let window = now_us / window_us in
+      (* One splitmix64 draw keyed on (seed, window): stable per window. *)
+      let rng = Sdn_util.Prng.create ((seed * 1_000_003) + window) in
+      Sdn_util.Prng.float rng 1.0 < active_ratio
+  | Targeting cube -> Hspace.Header.matches header cube
+
+let is_detour t = match t.effect with Detour _ -> true | _ -> false
+
+let pp_effect fmt = function
+  | Drop_packet -> Format.pp_print_string fmt "drop"
+  | Misdirect p -> Format.fprintf fmt "misdirect:%d" p
+  | Rewrite c -> Format.fprintf fmt "rewrite:%a" Hspace.Cube.pp c
+  | Detour sw -> Format.fprintf fmt "detour->sw%d" sw
+
+let pp fmt t =
+  let pp_activation fmt = function
+    | Always -> Format.pp_print_string fmt "always"
+    | Intermittent { period_us; duty_us; _ } ->
+        Format.fprintf fmt "intermittent(%d/%dus)" duty_us period_us
+    | Random_bursts { window_us; active_ratio; _ } ->
+        Format.fprintf fmt "bursts(%dus@%.2f)" window_us active_ratio
+    | Targeting c -> Format.fprintf fmt "targeting(%a)" Hspace.Cube.pp c
+  in
+  Format.fprintf fmt "%a [%a]" pp_effect t.effect pp_activation t.activation

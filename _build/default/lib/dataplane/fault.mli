@@ -1,0 +1,51 @@
+(** Switch failure model (§III-B).
+
+    A fault attaches to one flow entry and fires when the entry
+    processes a packet while the fault is {e active}. Effects mirror the
+    paper's taxonomy:
+
+    - [Drop_packet] — the packet disappears;
+    - [Misdirect port] — forwarded out the wrong port;
+    - [Rewrite set] — the header is overwritten with the given set
+      field instead of the entry's own ("modify");
+    - [Detour peer] — colluding detour: the packet is tunnelled
+      directly to switch [peer] (off the tested path) where normal
+      forwarding resumes; if [peer] lies further along the tested path
+      the deviation is invisible end-to-end.
+
+    Activations select {e when} the effect fires:
+
+    - [Always] — a persistent fault;
+    - [Intermittent] — active while
+      [(now − phase) mod period < duty] (the paper's time-selective
+      fault, lasting less than a detection round per occurrence);
+    - [Targeting cube] — active only for headers inside [cube], a
+      strict subset of the entry's match ("targeting fault"). *)
+
+type effect =
+  | Drop_packet
+  | Misdirect of int
+  | Rewrite of Hspace.Cube.t
+  | Detour of int
+
+type activation =
+  | Always
+  | Intermittent of { period_us : int; duty_us : int; phase_us : int }
+  | Random_bursts of { window_us : int; active_ratio : float; seed : int }
+      (** time is split into [window_us] windows; each window is active
+          with probability [active_ratio], decided by a hash of the
+          window index and [seed] — pseudo-random burst activity that
+          cannot phase-lock with the probing cadence, yet is
+          reproducible from the seed *)
+  | Targeting of Hspace.Cube.t
+
+type t = { effect : effect; activation : activation }
+
+val make : ?activation:activation -> effect -> t
+(** [activation] defaults to [Always]. *)
+
+val is_active : t -> now_us:int -> header:Hspace.Header.t -> bool
+
+val is_detour : t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/experiments/exp_ablation.ml: Dataplane Exp_common Hspace List Metrics Mlpc Openflow Printf Rulegraph Sdn_util Sdnprobe Topogen Workloads

@@ -1,0 +1,1 @@
+lib/experiments/exp_common.ml: Dataplane Printf Sdn_util Workloads

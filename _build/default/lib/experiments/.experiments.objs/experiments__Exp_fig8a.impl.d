@@ -1,0 +1,1 @@
+lib/experiments/exp_fig8a.ml: Exp_common List Metrics Openflow Schemes Sdn_util Workloads

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig8b.ml: Exp_common List Metrics Openflow Schemes Sdnprobe Workloads

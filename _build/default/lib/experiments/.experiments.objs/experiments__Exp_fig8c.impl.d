@@ -1,0 +1,1 @@
+lib/experiments/exp_fig8c.ml: Exp_common List Metrics Openflow Printf Schemes Sdnprobe Workloads

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig9.ml: Exp_common List Metrics Printf Schemes Sdn_util Sdnprobe Workloads

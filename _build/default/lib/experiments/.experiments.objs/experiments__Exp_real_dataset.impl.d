@@ -1,0 +1,1 @@
+lib/experiments/exp_real_dataset.ml: Exp_common List Mlpc Openflow Printf Rulegraph Sat Sdn_util String Topogen Unix

@@ -1,0 +1,1 @@
+lib/experiments/exp_table1.ml: Array Dataplane Exp_common Hashtbl Hspace List Metrics Openflow Option Schemes Sdn_util Sdnprobe Workloads

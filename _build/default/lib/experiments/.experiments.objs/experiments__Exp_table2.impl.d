@@ -1,0 +1,1 @@
+lib/experiments/exp_table2.ml: Exp_common Hspace List Metrics Mlpc Openflow Printf Rulegraph Sdn_util Sdngraph Topogen Unix

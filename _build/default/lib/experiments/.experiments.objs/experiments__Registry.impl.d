@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Exp_ablation Exp_common Exp_fig8a Exp_fig8b Exp_fig8c Exp_fig9 Exp_real_dataset Exp_table1 Exp_table2 List Printf String

@@ -1,0 +1,1 @@
+lib/experiments/schemes.ml: Baselines List Sdn_util Sdnprobe

@@ -1,0 +1,1 @@
+lib/experiments/schemes.mli: Dataplane Openflow Sdnprobe

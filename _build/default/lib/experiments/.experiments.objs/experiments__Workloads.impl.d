@@ -1,0 +1,1 @@
+lib/experiments/workloads.ml: Array Dataplane Fun Hspace Lazy List Openflow Printf Rulegraph Sdn_util Sdngraph Topogen

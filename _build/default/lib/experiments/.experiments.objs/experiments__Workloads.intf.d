@@ -1,0 +1,1 @@
+lib/experiments/workloads.mli: Dataplane Openflow Sdn_util

@@ -1,0 +1,30 @@
+(* Shared helpers for the experiment drivers. *)
+
+type scale = Quick | Full
+
+let runs_of_scale = function Quick -> 3 | Full -> 10
+
+let suite_count = function Quick -> 6 | Full -> 10
+
+let banner title =
+  Printf.printf "\n== %s ==\n%!" title
+
+let note fmt = Printf.ksprintf (fun s -> Printf.printf "%s\n%!" s) fmt
+
+(* A fresh emulator with a fault set drawn from [fault_seed]; identical
+   fault sets across schemes come from reusing the seed. *)
+let emulator_with_faults ~fault_seed ~kind ~fraction network =
+  let emulator = Dataplane.Emulator.create network in
+  let truth =
+    Workloads.inject (Sdn_util.Prng.create fault_seed) ~kind ~fraction emulator
+  in
+  (emulator, truth)
+
+(* Switch-granular variant for the accuracy sweeps (Figure 9). *)
+let emulator_with_switch_faults ~fault_seed ~kind ~switch_fraction network =
+  let emulator = Dataplane.Emulator.create network in
+  let truth =
+    Workloads.inject_switches (Sdn_util.Prng.create fault_seed) ~kind ~switch_fraction
+      emulator
+  in
+  (emulator, truth)

@@ -1,0 +1,30 @@
+type scale = Exp_common.scale = Quick | Full
+
+let table :
+    (string * string * (scale:Exp_common.scale -> unit)) list =
+  [
+    ("real-dataset", "§VIII-A campus dataset: packet count + SAT timing", Exp_real_dataset.run);
+    ("fig8a", "Fig. 8(a): number of generated test packets", Exp_fig8a.run);
+    ("fig8b", "Fig. 8(b): delay to localize one faulty switch", Exp_fig8b.run);
+    ("fig8c", "Fig. 8(c): delay to localize all faulty switches", Exp_fig8c.run);
+    ("fig9a", "Fig. 9(a): FPR under basic failures", Exp_fig9.run_a);
+    ("fig9b", "Fig. 9(b): FNR under colluding detours", Exp_fig9.run_b);
+    ("fig9c", "Fig. 9(c): FNR vs detection delay at 50% detours", Exp_fig9.run_c);
+    ("table1", "Table I: detection accuracy matrix", Exp_table1.run);
+    ("table2", "Table II: generation at scale", Exp_table2.run);
+    ("ablations", "design-choice ablations", Exp_ablation.run);
+  ]
+
+let experiments = List.map (fun (n, d, _) -> (n, d)) table
+
+let run ~scale name =
+  match List.find_opt (fun (n, _, _) -> n = name) table with
+  | Some (_, _, f) ->
+      f ~scale;
+      Ok ()
+  | None ->
+      Error
+        (Printf.sprintf "unknown experiment %S; valid: %s" name
+           (String.concat ", " (List.map fst experiments)))
+
+let run_all ~scale = List.iter (fun (_, _, f) -> f ~scale) table

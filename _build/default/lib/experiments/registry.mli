@@ -1,0 +1,12 @@
+(** Name-indexed access to every experiment, shared by the benchmark
+    executable and the CLI. *)
+
+type scale = Exp_common.scale = Quick | Full
+
+val experiments : (string * string) list
+(** [(name, description)] in presentation order. *)
+
+val run : scale:scale -> string -> (unit, string) result
+(** Run one experiment by name; [Error] lists valid names. *)
+
+val run_all : scale:scale -> unit

@@ -1,0 +1,30 @@
+module Prng = Sdn_util.Prng
+
+type t = Sdnprobe | Randomized_sdnprobe | Atpg | Per_rule
+
+let all = [ Sdnprobe; Randomized_sdnprobe; Atpg; Per_rule ]
+
+let name = function
+  | Sdnprobe -> "sdnprobe"
+  | Randomized_sdnprobe -> "rand-sdnprobe"
+  | Atpg -> "atpg"
+  | Per_rule -> "per-rule"
+
+let plan_size t ~seed net =
+  match t with
+  | Sdnprobe -> Sdnprobe.Plan.size (Sdnprobe.Plan.generate net)
+  | Randomized_sdnprobe ->
+      Sdnprobe.Plan.size
+        (Sdnprobe.Plan.generate ~mode:(Sdnprobe.Plan.Randomized (Prng.create seed)) net)
+  | Atpg -> List.length (Baselines.Atpg.generate net).Baselines.Atpg.probes
+  | Per_rule -> List.length (fst (Baselines.Per_rule.generate net))
+
+let run t ~seed ?stop ~config emulator =
+  match t with
+  | Sdnprobe -> Sdnprobe.Runner.detect ?stop ~config emulator
+  | Randomized_sdnprobe ->
+      Sdnprobe.Runner.detect ?stop
+        ~mode:(Sdnprobe.Plan.Randomized (Prng.create seed))
+        ~config emulator
+  | Atpg -> Baselines.Atpg.run ?stop ~config emulator
+  | Per_rule -> Baselines.Per_rule.run ?stop ~config emulator

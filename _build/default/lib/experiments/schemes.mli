@@ -1,0 +1,22 @@
+(** Uniform driver for the four compared schemes (§VIII-B). *)
+
+type t = Sdnprobe | Randomized_sdnprobe | Atpg | Per_rule
+
+val all : t list
+(** In the paper's presentation order. *)
+
+val name : t -> string
+
+val plan_size : t -> seed:int -> Openflow.Network.t -> int
+(** Number of test packets the scheme generates (Fig. 8a), without
+    running detection. *)
+
+val run :
+  t ->
+  seed:int ->
+  ?stop:Sdnprobe.Runner.stop ->
+  config:Sdnprobe.Config.t ->
+  Dataplane.Emulator.t ->
+  Sdnprobe.Report.t
+(** Full detection run. The emulator's clock keeps advancing; reset it
+    between schemes for comparable timings. *)

@@ -1,0 +1,171 @@
+module Prng = Sdn_util.Prng
+module Network = Openflow.Network
+module Topology = Openflow.Topology
+module FE = Openflow.Flow_entry
+module Emu = Dataplane.Emulator
+module Fault = Dataplane.Fault
+module RG = Rulegraph.Rule_graph
+module Digraph = Sdngraph.Digraph
+
+type sized_net = {
+  label : string;
+  n_switches : int;
+  n_links : int;
+  network : Network.t;
+}
+
+let build ~seed ~n_switches ~flows ~k =
+  let rng = Prng.create seed in
+  let topo = Topogen.Topo_gen.rocketfuel_like rng ~n_switches () in
+  let spec =
+    {
+      Topogen.Rule_gen.default_spec with
+      Topogen.Rule_gen.k_paths = k;
+      flows_per_destination = flows;
+    }
+  in
+  let network = Topogen.Rule_gen.install ~spec rng topo in
+  {
+    label = Printf.sprintf "n%d" n_switches;
+    n_switches;
+    n_links = Topology.n_links topo;
+    network;
+  }
+
+let suite ?(count = 8) ~seed () =
+  List.init count (fun i ->
+      let n_switches = 10 + (4 * i) in
+      build ~seed:(seed + i) ~n_switches ~flows:6 ~k:3)
+
+let large ~seed = build ~seed ~n_switches:36 ~flows:6 ~k:3
+
+let population net = List.init (Network.n_switches net) Fun.id
+
+type fault_kind = Basic | Drop_only | Detour
+
+(* Forwarding entries eligible for faults (skip the delivery rules so
+   every fault has observable forwarding behaviour). *)
+let eligible net =
+  List.filter
+    (fun (e : FE.t) -> match e.action with FE.Output _ -> true | _ -> false)
+    (Network.all_entries net)
+
+let random_basic_effect rng net (e : FE.t) =
+  match Prng.int rng 3 with
+  | 0 -> Fault.Drop_packet
+  | 1 ->
+      (* Misdirect to another (possibly dead) port of this switch. *)
+      let ports = Topology.ports_of (Network.topology net) e.switch in
+      let current = match e.action with FE.Output p -> p | _ -> -1 in
+      let others = List.filter (fun p -> p <> current) ports in
+      if others = [] then Fault.Drop_packet
+      else Fault.Misdirect (Prng.choose_list rng others)
+  | _ ->
+      (* Rewrite four random header bits. *)
+      let len = Network.header_len net in
+      let set = ref (Hspace.Cube.wildcard len) in
+      for _ = 1 to 4 do
+        let bit = Prng.int rng len in
+        set :=
+          Hspace.Cube.set !set bit (if Prng.bool rng then Hspace.Cube.One else Hspace.Cube.Zero)
+      done;
+      Fault.Rewrite !set
+
+(* A colluding peer for a stealthy detour: the tunnel must rejoin the
+   packets' natural trajectory (§III-B: the packet "deviates from the
+   testing path but eventually returns to the intended path"), i.e. the
+   peer is the switch every packet of this entry visits two hops
+   downstream. Entries whose traffic fans out at hop two have no fully
+   stealthy peer and return [None]. *)
+let detour_peer _rng rg (e : FE.t) =
+  let v = try Some (RG.vertex_of_entry rg e.id) with Not_found -> None in
+  match v with
+  | None -> None
+  | Some v ->
+      let g = RG.base_graph rg in
+      let level1 = Digraph.succ g v in
+      let level2 = List.concat_map (Digraph.succ g) level1 in
+      let skip_switches =
+        List.sort_uniq compare (List.map (fun u -> (RG.vertex_entry rg u).FE.switch) level1)
+      in
+      let landing_switches =
+        List.sort_uniq compare (List.map (fun u -> (RG.vertex_entry rg u).FE.switch) level2)
+      in
+      (match landing_switches with
+      | [ w ] when w <> e.switch && not (List.mem w skip_switches) -> Some w
+      | _ -> None)
+
+(* Switch-granular injection: a fraction of the switches are faulty
+   (the abstract's "50% of switches being faulty"), each on a sample of
+   its own rules. Keeps FPR meaningful at high fractions. *)
+let inject_switches rng ~kind ~switch_fraction ?(rules_per_switch = 0.3) emulator =
+  let net = Emu.network emulator in
+  let n = Network.n_switches net in
+  let n_faulty = max 1 (int_of_float (switch_fraction *. float_of_int n)) in
+  let switches = Prng.sample_without_replacement rng n_faulty n in
+  let rg = lazy (RG.build ~closure:false net) in
+  let faulted =
+    List.filter_map
+      (fun sw ->
+        let rules =
+          List.filter (fun (e : FE.t) -> e.switch = sw) (eligible net)
+        in
+        let arr = Array.of_list rules in
+        Prng.shuffle rng arr;
+        let k =
+          max 1 (int_of_float (rules_per_switch *. float_of_int (Array.length arr)))
+        in
+        let injected = ref false in
+        Array.iteri
+          (fun i (e : FE.t) ->
+            match kind with
+            | Drop_only when i < k ->
+                Emu.set_fault emulator ~entry:e.id (Fault.make Fault.Drop_packet);
+                injected := true
+            | Basic when i < k ->
+                Emu.set_fault emulator ~entry:e.id
+                  (Fault.make (random_basic_effect rng net e));
+                injected := true
+            | Detour when not !injected -> (
+                (* One stealthy tunnel per colluding switch: a switch
+                   with several detoured rules would betray itself
+                   through whichever tunnel happens to be visible. *)
+                match detour_peer rng (Lazy.force rg) e with
+                | Some peer ->
+                    Emu.set_fault emulator ~entry:e.id (Fault.make (Fault.Detour peer));
+                    injected := true
+                | None -> ())
+            | Drop_only | Basic | Detour -> ())
+          arr;
+        if !injected then Some sw else None)
+      switches
+  in
+  List.sort_uniq compare faulted
+
+let inject rng ~kind ~fraction emulator =
+  let net = Emu.network emulator in
+  let pool = Array.of_list (eligible net) in
+  Prng.shuffle rng pool;
+  let n_faulty = max 1 (int_of_float (fraction *. float_of_int (Array.length pool))) in
+  let chosen = Array.to_list (Array.sub pool 0 (min n_faulty (Array.length pool))) in
+  let rg = lazy (RG.build ~closure:false net) in
+  let faulted =
+    List.filter_map
+      (fun (e : FE.t) ->
+        match kind with
+        | Drop_only ->
+            Emu.set_fault emulator ~entry:e.id (Fault.make Fault.Drop_packet);
+            Some e.switch
+        | Basic ->
+            Emu.set_fault emulator ~entry:e.id
+              (Fault.make (random_basic_effect rng net e));
+            Some e.switch
+        | Detour -> (
+            match detour_peer rng (Lazy.force rg) e with
+            | Some peer ->
+                Emu.set_fault emulator ~entry:e.id (Fault.make (Fault.Detour peer));
+                Some e.switch
+            | None -> None))
+      chosen
+  in
+  List.sort_uniq compare faulted

@@ -1,0 +1,57 @@
+(** Shared evaluation workloads: the topology suite of §VIII-B and the
+    attack/fault injection used across Figures 8 and 9.
+
+    Everything is derived deterministically from integer seeds so each
+    experiment is reproducible run to run. *)
+
+type sized_net = {
+  label : string;
+  n_switches : int;
+  n_links : int;
+  network : Openflow.Network.t;
+}
+
+val suite : ?count:int -> seed:int -> unit -> sized_net list
+(** Growing Rocketfuel-like topologies with engineered-flow policies
+    (§VIII-B evaluates "100 topologies with varying number of flow
+    entries"; [count] defaults to 8 for bench runtime — raise it for a
+    paper-scale sweep). *)
+
+val large : seed:int -> sized_net
+(** The "large-scale topology" of Fig. 8(c)/9. *)
+
+type fault_kind =
+  | Basic  (** random mix of drop / misdirect / modify *)
+  | Drop_only
+  | Detour  (** colluding path detour (§III-B) *)
+
+val inject :
+  Sdn_util.Prng.t ->
+  kind:fault_kind ->
+  fraction:float ->
+  Dataplane.Emulator.t ->
+  int list
+(** Mark [fraction] of the forwarding entries faulty; returns the
+    ground-truth faulty switches (sorted, deduplicated).
+
+    [Basic] draws uniformly among dropping the packet, misdirecting it
+    to a random other port of the switch, and rewriting four random
+    header bits. [Detour] picks for each compromised entry a colluding
+    switch 2–3 hops downstream in the rule graph, so the deviation
+    rejoins the packet's natural trajectory (the stealthy case); the
+    detouring switch is the ground truth. *)
+
+val inject_switches :
+  Sdn_util.Prng.t ->
+  kind:fault_kind ->
+  switch_fraction:float ->
+  ?rules_per_switch:float ->
+  Dataplane.Emulator.t ->
+  int list
+(** Switch-granular injection for the accuracy sweeps (the abstract's
+    "50% of switches being faulty"): [switch_fraction] of the switches
+    become faulty, each on [rules_per_switch] (default 0.3) of its own
+    forwarding entries. Returns the ground truth. *)
+
+val population : Openflow.Network.t -> int list
+(** All switch ids. *)

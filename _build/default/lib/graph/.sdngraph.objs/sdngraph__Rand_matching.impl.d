@@ -1,0 +1,1 @@
+lib/graph/rand_matching.ml: Array Hopcroft_karp List Sdn_util

@@ -1,0 +1,1 @@
+lib/graph/rand_matching.mli: Hopcroft_karp Sdn_util

@@ -1,0 +1,1 @@
+lib/graph/yen.ml: Array Digraph Hashtbl Heap List Shortest_path

@@ -1,0 +1,59 @@
+type 'a entry = { key : float; value : 'a }
+
+type 'a t = { mutable data : 'a entry array; mutable size : int }
+
+let create () = { data = [||]; size = 0 }
+
+let is_empty h = h.size = 0
+
+let size h = h.size
+
+let swap h i j =
+  let tmp = h.data.(i) in
+  h.data.(i) <- h.data.(j);
+  h.data.(j) <- tmp
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.data.(i).key < h.data.(parent).key then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.size && h.data.(l).key < h.data.(!smallest).key then smallest := l;
+  if r < h.size && h.data.(r).key < h.data.(!smallest).key then smallest := r;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let push h key value =
+  let entry = { key; value } in
+  if h.size >= Array.length h.data then begin
+    let ncap = max 8 (2 * Array.length h.data) in
+    let data = Array.make ncap entry in
+    Array.blit h.data 0 data 0 h.size;
+    h.data <- data
+  end;
+  h.data.(h.size) <- entry;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let pop_min h =
+  if h.size = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.data.(0) <- h.data.(h.size);
+      sift_down h 0
+    end;
+    Some (top.key, top.value)
+  end
+
+let peek_min h = if h.size = 0 then None else Some (h.data.(0).key, h.data.(0).value)

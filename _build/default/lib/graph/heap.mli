@@ -1,0 +1,17 @@
+(** Mutable binary min-heap keyed by floats, used by Dijkstra and Yen. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val size : 'a t -> int
+
+val push : 'a t -> float -> 'a -> unit
+(** Insert a value with the given key. *)
+
+val pop_min : 'a t -> (float * 'a) option
+(** Remove and return the entry with the smallest key. *)
+
+val peek_min : 'a t -> (float * 'a) option

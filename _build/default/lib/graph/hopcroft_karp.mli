@@ -1,0 +1,19 @@
+(** Hopcroft–Karp maximum bipartite matching in O(E √V).
+
+    The bipartite graph has [nl] left vertices and [nr] right vertices;
+    [adj.(u)] lists the right neighbours of left vertex [u]. This is the
+    unmodified algorithm; the MLPC solver layers the paper's
+    legal-augmenting-path restriction on top (see {!Mlpc.Legal_matching}). *)
+
+type matching = {
+  match_l : int array;  (** left vertex -> matched right vertex or -1 *)
+  match_r : int array;  (** right vertex -> matched left vertex or -1 *)
+  size : int;
+}
+
+val run : nl:int -> nr:int -> int list array -> matching
+(** Maximum matching. [adj] must have length [nl] and neighbour indices
+    in [\[0, nr)]. *)
+
+val greedy : nl:int -> nr:int -> int list array -> matching
+(** Simple greedy maximal matching (used as a baseline and for seeding). *)

@@ -1,0 +1,20 @@
+let run_filtered rng ~nl ~nr adj ~accept =
+  let match_l = Array.make nl (-1) and match_r = Array.make nr (-1) in
+  let m : Hopcroft_karp.matching = { match_l; match_r; size = 0 } in
+  let edges =
+    Array.of_list
+      (List.concat (List.init nl (fun u -> List.map (fun v -> (u, v)) adj.(u))))
+  in
+  Sdn_util.Prng.shuffle rng edges;
+  let size = ref 0 in
+  Array.iter
+    (fun (u, v) ->
+      if match_l.(u) = -1 && match_r.(v) = -1 && accept m u v then begin
+        match_l.(u) <- v;
+        match_r.(v) <- u;
+        incr size
+      end)
+    edges;
+  { m with size = !size }
+
+let run rng ~nl ~nr adj = run_filtered rng ~nl ~nr adj ~accept:(fun _ _ _ -> true)

@@ -1,0 +1,27 @@
+(** Randomized greedy matching (Dyer & Frieze 1991).
+
+    Repeatedly pick a uniformly-random remaining edge, add it to the
+    matching, and delete both endpoints. The result is a maximal (not
+    necessarily maximum) matching whose distribution over runs is what
+    Randomized SDNProbe exploits: every legal path cover is produced
+    with positive probability, so colluding switches cannot rely on
+    always sharing a tested path (§V-C). *)
+
+val run :
+  Sdn_util.Prng.t ->
+  nl:int ->
+  nr:int ->
+  int list array ->
+  Hopcroft_karp.matching
+(** Maximal matching of the bipartite graph, random edge order. *)
+
+val run_filtered :
+  Sdn_util.Prng.t ->
+  nl:int ->
+  nr:int ->
+  int list array ->
+  accept:(Hopcroft_karp.matching -> int -> int -> bool) ->
+  Hopcroft_karp.matching
+(** Like {!run}, but each candidate edge [(u, v)] is added only when
+    [accept current u v] holds — the hook the MLPC solver uses to keep
+    the growing path cover legal. *)

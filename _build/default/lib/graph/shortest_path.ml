@@ -1,0 +1,46 @@
+type tree = { dist : float array; parent : int array }
+
+let dijkstra ?blocked_vertices ?(blocked_edges = []) g src =
+  let n = Digraph.n_vertices g in
+  let dist = Array.make n infinity in
+  let parent = Array.make n (-1) in
+  let settled = Array.make n false in
+  let blocked v =
+    match blocked_vertices with Some b -> b.(v) | None -> false
+  in
+  let edge_blocked u v = List.mem (u, v) blocked_edges in
+  let heap = Heap.create () in
+  dist.(src) <- 0.;
+  Heap.push heap 0. src;
+  let rec loop () =
+    match Heap.pop_min heap with
+    | None -> ()
+    | Some (d, u) ->
+        if not settled.(u) && d <= dist.(u) then begin
+          settled.(u) <- true;
+          List.iter
+            (fun (v, w) ->
+              if (not (blocked v)) && (not (edge_blocked u v)) && not settled.(v)
+              then begin
+                let nd = dist.(u) +. w in
+                if nd < dist.(v) then begin
+                  dist.(v) <- nd;
+                  parent.(v) <- u;
+                  Heap.push heap nd v
+                end
+              end)
+            (Digraph.succ_weighted g u)
+        end;
+        loop ()
+  in
+  loop ();
+  { dist; parent }
+
+let path_to tree target =
+  if tree.dist.(target) = infinity then None
+  else begin
+    let rec build v acc = if tree.parent.(v) = -1 then v :: acc else build tree.parent.(v) (v :: acc) in
+    Some (build target [])
+  end
+
+let shortest_path g src dst = path_to (dijkstra g src) dst

@@ -1,0 +1,24 @@
+(** Single-source shortest paths (Dijkstra). Edge weights must be
+    non-negative. *)
+
+type tree = {
+  dist : float array;  (** infinity when unreachable *)
+  parent : int array;  (** -1 for the source and unreachable vertices *)
+}
+
+val dijkstra :
+  ?blocked_vertices:bool array ->
+  ?blocked_edges:(int * int) list ->
+  Digraph.t ->
+  int ->
+  tree
+(** Shortest-path tree from a source. [blocked_vertices.(v)] removes [v]
+    (the source must not be blocked); [blocked_edges] removes specific
+    edges — both used by Yen's algorithm for spur computations. *)
+
+val path_to : tree -> int -> int list option
+(** Reconstruct the source-to-target vertex sequence; [None] when
+    unreachable. *)
+
+val shortest_path : Digraph.t -> int -> int -> int list option
+(** Convenience: vertex sequence of a shortest path. *)

@@ -1,0 +1,68 @@
+let path_weight g path =
+  let rec loop = function
+    | [] | [ _ ] -> 0.
+    | u :: (v :: _ as rest) -> (
+        match Digraph.weight g u v with
+        | Some w -> w +. loop rest
+        | None -> invalid_arg "Yen.path_weight: missing edge")
+  in
+  loop path
+
+let k_shortest g ~src ~dst ~k =
+  if k <= 0 then []
+  else
+    match Shortest_path.shortest_path g src dst with
+    | None -> []
+    | Some first ->
+        let accepted = ref [ first ] in
+        let n = Digraph.n_vertices g in
+        (* Candidate pool keyed by weight; paths may repeat, dedup on pop. *)
+        let candidates = Heap.create () in
+        let seen_candidate = Hashtbl.create 16 in
+        let rec take n l =
+          match (n, l) with
+          | 0, _ | _, [] -> []
+          | n, x :: rest -> x :: take (n - 1) rest
+        in
+        let continue = ref (List.length !accepted < k) in
+        while !continue do
+          let prev = List.hd !accepted in
+          let prev_len = List.length prev in
+          (* Spur from every vertex of the previous path except the last. *)
+          for i = 0 to prev_len - 2 do
+            let root = take (i + 1) prev in
+            let spur = List.nth prev i in
+            (* Remove edges used by accepted paths sharing this root. *)
+            let blocked_edges =
+              List.filter_map
+                (fun p ->
+                  if List.length p > i + 1 && take (i + 1) p = root then
+                    Some (List.nth p i, List.nth p (i + 1))
+                  else None)
+                !accepted
+            in
+            (* Remove root vertices except the spur node. *)
+            let blocked_vertices = Array.make n false in
+            List.iteri (fun j v -> if j < i then blocked_vertices.(v) <- true) root;
+            let tree =
+              Shortest_path.dijkstra ~blocked_vertices ~blocked_edges g spur
+            in
+            match Shortest_path.path_to tree dst with
+            | None -> ()
+            | Some spur_path ->
+                let total = root @ List.tl spur_path in
+                if not (Hashtbl.mem seen_candidate total)
+                   && not (List.mem total !accepted)
+                then begin
+                  Hashtbl.add seen_candidate total ();
+                  Heap.push candidates (path_weight g total) total
+                end
+          done;
+          (match Heap.pop_min candidates with
+          | None -> continue := false
+          | Some (_, best) ->
+              Hashtbl.remove seen_candidate best;
+              accepted := best :: !accepted;
+              if List.length !accepted >= k then continue := false)
+        done;
+        List.rev !accepted

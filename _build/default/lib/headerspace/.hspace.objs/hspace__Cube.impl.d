@@ -1,0 +1,1 @@
+lib/headerspace/cube.ml: Array Format Hashtbl Int64 List Printf Sdn_util Stdlib String

@@ -1,0 +1,1 @@
+lib/headerspace/cube.mli: Format Sdn_util

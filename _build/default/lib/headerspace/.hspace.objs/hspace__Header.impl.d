@@ -1,0 +1,1 @@
+lib/headerspace/header.ml: Cube

@@ -1,0 +1,1 @@
+lib/headerspace/header.mli: Cube Format Sdn_util

@@ -1,0 +1,1 @@
+lib/headerspace/hs.ml: Cube Format List Sdn_util

@@ -1,0 +1,1 @@
+lib/headerspace/hs.mli: Cube Format Sdn_util

@@ -1,0 +1,240 @@
+(* A cube is two packed bit arrays over int chunks:
+   - [mask]: bit k set  <=>  position k is fixed (not a wildcard)
+   - [value]: the fixed bit's value; invariant: value land (lnot mask) = 0
+   Bit k of the cube lives in chunk [k / chunk_bits], bit [k mod chunk_bits]. *)
+
+type bit = Zero | One | Any
+
+let chunk_bits = 62
+
+type t = { len : int; mask : int array; value : int array }
+
+let nchunks len = (len + chunk_bits - 1) / chunk_bits
+
+(* Mask selecting the valid bits of the last chunk. *)
+let tail_mask len =
+  let r = len mod chunk_bits in
+  if r = 0 then -1 lsr 1 (* all 62 bits *) else (1 lsl r) - 1
+
+let length c = c.len
+
+let wildcard len =
+  if len <= 0 then invalid_arg "Cube.wildcard: non-positive length";
+  { len; mask = Array.make (nchunks len) 0; value = Array.make (nchunks len) 0 }
+
+let pos k = (k / chunk_bits, 1 lsl (k mod chunk_bits))
+
+let get c k =
+  if k < 0 || k >= c.len then invalid_arg "Cube.get: index out of range";
+  let i, b = pos k in
+  if c.mask.(i) land b = 0 then Any
+  else if c.value.(i) land b = 0 then Zero
+  else One
+
+let set c k bit =
+  if k < 0 || k >= c.len then invalid_arg "Cube.set: index out of range";
+  let i, b = pos k in
+  let mask = Array.copy c.mask and value = Array.copy c.value in
+  (match bit with
+  | Any ->
+      mask.(i) <- mask.(i) land lnot b;
+      value.(i) <- value.(i) land lnot b
+  | Zero ->
+      mask.(i) <- mask.(i) lor b;
+      value.(i) <- value.(i) land lnot b
+  | One ->
+      mask.(i) <- mask.(i) lor b;
+      value.(i) <- value.(i) lor b);
+  { c with mask; value }
+
+let of_bits bits =
+  let len = Array.length bits in
+  if len = 0 then invalid_arg "Cube.of_bits: empty";
+  let mask = Array.make (nchunks len) 0 and value = Array.make (nchunks len) 0 in
+  Array.iteri
+    (fun k b ->
+      let i, bm = pos k in
+      match b with
+      | Any -> ()
+      | Zero -> mask.(i) <- mask.(i) lor bm
+      | One ->
+          mask.(i) <- mask.(i) lor bm;
+          value.(i) <- value.(i) lor bm)
+    bits;
+  { len; mask; value }
+
+let of_string s =
+  let len = String.length s in
+  if len = 0 then invalid_arg "Cube.of_string: empty";
+  of_bits
+    (Array.init len (fun k ->
+         match s.[k] with
+         | '0' -> Zero
+         | '1' -> One
+         | 'x' | 'X' | '*' -> Any
+         | c -> invalid_arg (Printf.sprintf "Cube.of_string: bad char %c" c)))
+
+let to_string c =
+  String.init c.len (fun k ->
+      match get c k with Zero -> '0' | One -> '1' | Any -> 'x')
+
+let pp fmt c = Format.pp_print_string fmt (to_string c)
+
+let equal a b =
+  a.len = b.len && a.mask = b.mask && a.value = b.value
+
+let compare a b =
+  let c = Stdlib.compare a.len b.len in
+  if c <> 0 then c
+  else
+    let c = Stdlib.compare a.mask b.mask in
+    if c <> 0 then c else Stdlib.compare a.value b.value
+
+let hash c = Hashtbl.hash (c.len, c.mask, c.value)
+
+let popcount x =
+  let rec loop x acc = if x = 0 then acc else loop (x land (x - 1)) (acc + 1) in
+  loop x 0
+
+let fixed_count c = Array.fold_left (fun acc m -> acc + popcount m) 0 c.mask
+
+let wildcard_count c = c.len - fixed_count c
+
+let is_concrete c = wildcard_count c = 0
+
+let size c = 2. ** float_of_int (wildcard_count c)
+
+let check_lengths a b name =
+  if a.len <> b.len then invalid_arg (name ^ ": length mismatch")
+
+let inter a b =
+  check_lengths a b "Cube.inter";
+  let n = Array.length a.mask in
+  (* Conflict: bit fixed in both with differing values. *)
+  let rec conflict i =
+    if i >= n then false
+    else
+      let both = a.mask.(i) land b.mask.(i) in
+      if (a.value.(i) lxor b.value.(i)) land both <> 0 then true
+      else conflict (i + 1)
+  in
+  if conflict 0 then None
+  else
+    let mask = Array.init n (fun i -> a.mask.(i) lor b.mask.(i)) in
+    let value = Array.init n (fun i -> a.value.(i) lor b.value.(i)) in
+    Some { len = a.len; mask; value }
+
+let disjoint a b = inter a b = None
+
+let subset a b =
+  check_lengths a b "Cube.subset";
+  (* a ⊆ b iff every fixed bit of b is fixed in a with the same value. *)
+  let n = Array.length a.mask in
+  let rec loop i =
+    if i >= n then true
+    else if b.mask.(i) land lnot a.mask.(i) <> 0 then false
+    else if (a.value.(i) lxor b.value.(i)) land b.mask.(i) <> 0 then false
+    else loop (i + 1)
+  in
+  loop 0
+
+(* a - b: standard HSA cube difference. For each bit where b is fixed,
+   emit (a ∩ {bit k = complement of b[k]}) restricted to positions where a
+   is compatible; bits processed left to right, constraining earlier bits
+   to b's value to keep the result disjoint. Empty pieces are dropped. *)
+let diff a b =
+  check_lengths a b "Cube.diff";
+  match inter a b with
+  | None -> [ a ]
+  | Some _ ->
+      if subset a b then []
+      else
+        let acc = ref [] in
+        let prefix = ref a in
+        (try
+           for k = 0 to a.len - 1 do
+             match get b k with
+             | Any -> ()
+             | fixed ->
+                 let flipped = match fixed with Zero -> One | One -> Zero | Any -> assert false in
+                 (match get !prefix k with
+                 | Any ->
+                     acc := set !prefix k flipped :: !acc;
+                     prefix := set !prefix k fixed
+                 | pk when pk = fixed -> ()
+                 | _ ->
+                     (* a already contradicts b at k: a ∩ b = ∅, handled above;
+                        but the running prefix can contradict mid-way only if
+                        a did, so this is unreachable. *)
+                     assert false)
+           done
+         with Exit -> ());
+        List.rev !acc
+
+let apply_set_field ~set c =
+  check_lengths set c "Cube.apply_set_field";
+  let n = Array.length c.mask in
+  let mask = Array.init n (fun i -> c.mask.(i) lor set.mask.(i)) in
+  let value =
+    Array.init n (fun i ->
+        (c.value.(i) land lnot set.mask.(i)) lor set.value.(i))
+  in
+  { len = c.len; mask; value }
+
+let inverse_set_field ~set c =
+  check_lengths set c "Cube.inverse_set_field";
+  let n = Array.length c.mask in
+  (* Conflict: a bit fixed by [set] that the target fixes differently. *)
+  let rec conflict i =
+    if i >= n then false
+    else
+      let both = set.mask.(i) land c.mask.(i) in
+      if (set.value.(i) lxor c.value.(i)) land both <> 0 then true
+      else conflict (i + 1)
+  in
+  if conflict 0 then None
+  else
+    let mask = Array.init n (fun i -> c.mask.(i) land lnot set.mask.(i)) in
+    let value = Array.init n (fun i -> c.value.(i) land lnot set.mask.(i)) in
+    Some { len = c.len; mask; value }
+
+let sample rng c =
+  let n = Array.length c.mask in
+  let mask = Array.make n 0 and value = Array.make n 0 in
+  for i = 0 to n - 1 do
+    let valid = if i = n - 1 then tail_mask c.len else -1 lsr 1 in
+    let rand = Int64.to_int (Int64.shift_right_logical (Sdn_util.Prng.bits64 rng) 2) in
+    mask.(i) <- valid;
+    value.(i) <- (c.value.(i) lor (rand land lnot c.mask.(i))) land valid
+  done;
+  { len = c.len; mask; value }
+
+let first_member c =
+  let n = Array.length c.mask in
+  let mask = Array.init n (fun i -> if i = n - 1 then tail_mask c.len else -1 lsr 1) in
+  { len = c.len; mask; value = Array.copy c.value }
+
+let nth_member c k =
+  if k < 0 then invalid_arg "Cube.nth_member: negative index";
+  (* Wildcard positions, last first, receive k's bits LSB first. *)
+  let result = ref (first_member c) in
+  let k = ref k in
+  for pos = c.len - 1 downto 0 do
+    if get c pos = Any && !k <> 0 then begin
+      if !k land 1 = 1 then result := set !result pos One;
+      k := !k lsr 1
+    end
+  done;
+  !result
+
+let member ~header c =
+  if not (is_concrete header) then invalid_arg "Cube.member: header not concrete";
+  subset header c
+
+let random rng ?(wildcard_prob = 0.3) len =
+  if len <= 0 then invalid_arg "Cube.random: non-positive length";
+  of_bits
+    (Array.init len (fun _ ->
+         if Sdn_util.Prng.float rng 1.0 < wildcard_prob then Any
+         else if Sdn_util.Prng.bool rng then One
+         else Zero))

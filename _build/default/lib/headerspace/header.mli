@@ -1,0 +1,36 @@
+(** Concrete packet headers.
+
+    A header is a fully-fixed {!Cube} (no wildcard positions). This thin
+    module enforces concreteness at construction so the data-plane
+    emulator never processes a partially-specified packet. *)
+
+type t = private Cube.t
+(** Concrete header; coercible to [Cube.t] with [(h :> Cube.t)]. *)
+
+val of_cube : Cube.t -> t
+(** Raises [Invalid_argument] if the cube has wildcards. *)
+
+val of_string : string -> t
+(** Parse a fully-specified bit string ("010011..."). *)
+
+val to_string : t -> string
+
+val length : t -> int
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val get : t -> int -> bool
+(** Bit value at a position. *)
+
+val matches : t -> Cube.t -> bool
+(** [matches h m] iff [h] lies in the cube [m]. *)
+
+val apply_set_field : set:Cube.t -> t -> t
+(** Rewrite fixed positions of [set] into the header. *)
+
+val sample : Sdn_util.Prng.t -> Cube.t -> t
+(** Random concrete member of a cube. *)
+
+val pp : Format.formatter -> t -> unit

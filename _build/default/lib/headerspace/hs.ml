@@ -1,0 +1,117 @@
+type t = { len : int; cubes : Cube.t list }
+
+(* Drop cubes subsumed by another cube in the list. Quadratic, but cube
+   lists stay small in practice (match fields and their complements). *)
+let reduce cubes =
+  let rec loop kept = function
+    | [] -> List.rev kept
+    | c :: rest ->
+        let subsumed l = List.exists (fun d -> Cube.subset c d) l in
+        if subsumed kept || subsumed rest then loop kept rest
+        else loop (c :: kept) rest
+  in
+  loop [] cubes
+
+let empty len = { len; cubes = [] }
+
+let full len = { len; cubes = [ Cube.wildcard len ] }
+
+let of_cube c = { len = Cube.length c; cubes = [ c ] }
+
+let of_cubes len cubes =
+  List.iter
+    (fun c ->
+      if Cube.length c <> len then invalid_arg "Hs.of_cubes: length mismatch")
+    cubes;
+  { len; cubes = reduce cubes }
+
+let cubes t = t.cubes
+
+let length t = t.len
+
+let cube_count t = List.length t.cubes
+
+let is_empty t = t.cubes = []
+
+let mem header t = List.exists (fun c -> Cube.member ~header c) t.cubes
+
+let check a b name = if a.len <> b.len then invalid_arg (name ^ ": length mismatch")
+
+let union a b =
+  check a b "Hs.union";
+  { len = a.len; cubes = reduce (a.cubes @ b.cubes) }
+
+let inter_cube t c =
+  { len = t.len; cubes = reduce (List.filter_map (fun d -> Cube.inter d c) t.cubes) }
+
+let inter a b =
+  check a b "Hs.inter";
+  let pieces =
+    List.concat_map
+      (fun ca -> List.filter_map (fun cb -> Cube.inter ca cb) b.cubes)
+      a.cubes
+  in
+  { len = a.len; cubes = reduce pieces }
+
+let diff_cube t c =
+  { len = t.len; cubes = reduce (List.concat_map (fun d -> Cube.diff d c) t.cubes) }
+
+let diff a b =
+  check a b "Hs.diff";
+  List.fold_left diff_cube a b.cubes
+
+let apply_set_field ~set t =
+  { len = t.len; cubes = reduce (List.map (Cube.apply_set_field ~set) t.cubes) }
+
+let inverse_set_field ~set t =
+  { len = t.len;
+    cubes = reduce (List.filter_map (Cube.inverse_set_field ~set) t.cubes) }
+
+let is_subset a b =
+  check a b "Hs.is_subset";
+  is_empty (diff a b)
+
+let equal_sets a b = is_subset a b && is_subset b a
+
+(* Disjoint decomposition: subtract earlier cubes from later ones so
+   sizes add up exactly. *)
+let disjoint_cubes t =
+  let rec loop seen acc = function
+    | [] -> acc
+    | c :: rest ->
+        let pieces =
+          List.fold_left (fun ps s -> List.concat_map (fun p -> Cube.diff p s) ps) [ c ] seen
+        in
+        loop (c :: seen) (List.rev_append pieces acc) rest
+  in
+  loop [] [] t.cubes
+
+let size t = List.fold_left (fun acc c -> acc +. Cube.size c) 0. (disjoint_cubes t)
+
+let sample rng t =
+  match disjoint_cubes t with
+  | [] -> None
+  | pieces ->
+      let total = List.fold_left (fun acc c -> acc +. Cube.size c) 0. pieces in
+      let x = Sdn_util.Prng.float rng total in
+      let rec pick acc = function
+        | [] -> assert false
+        | [ c ] -> c
+        | c :: rest ->
+            let acc = acc +. Cube.size c in
+            if x < acc then c else pick acc rest
+      in
+      Some (Cube.sample rng (pick 0. pieces))
+
+let first_member t =
+  match t.cubes with [] -> None | c :: _ -> Some (Cube.first_member c)
+
+let pp fmt t =
+  match t.cubes with
+  | [] -> Format.fprintf fmt "{}"
+  | cs ->
+      Format.fprintf fmt "{%a}"
+        (Format.pp_print_list
+           ~pp_sep:(fun f () -> Format.pp_print_string f " u ")
+           Cube.pp)
+        cs

@@ -1,0 +1,72 @@
+(** Header-space sets: finite unions of ternary {!Cube}s.
+
+    This is the workhorse set type of the reproduction. A value denotes
+    the union of its cubes; the representation is kept small by dropping
+    cubes subsumed by others but is not canonical (two different cube
+    lists may denote the same set — use {!is_subset} both ways or
+    {!equal_sets} for semantic comparison).
+
+    All operations require cubes of matching bit-length. *)
+
+type t
+
+val empty : int -> t
+(** The empty space over headers of the given bit-length. *)
+
+val full : int -> t
+(** The full space [{x}^len]. *)
+
+val of_cube : Cube.t -> t
+
+val of_cubes : int -> Cube.t list -> t
+(** [of_cubes len cubes]; all cubes must have length [len]. *)
+
+val cubes : t -> Cube.t list
+(** The (subsumption-reduced) cube list. *)
+
+val length : t -> int
+(** Header bit-length of the space. *)
+
+val cube_count : t -> int
+
+val is_empty : t -> bool
+
+val mem : Cube.t -> t -> bool
+(** [mem header hs]: membership of a {e concrete} header. *)
+
+val union : t -> t -> t
+
+val inter : t -> t -> t
+
+val diff : t -> t -> t
+
+val inter_cube : t -> Cube.t -> t
+
+val diff_cube : t -> Cube.t -> t
+
+val apply_set_field : set:Cube.t -> t -> t
+(** Image of the space under the paper's transfer function [T(·, set)]. *)
+
+val inverse_set_field : set:Cube.t -> t -> t
+(** Preimage of the space under [T(·, set)]: headers whose rewrite lands
+    in the space. *)
+
+val is_subset : t -> t -> bool
+(** [is_subset a b] iff the set denoted by [a] is contained in [b]'s. *)
+
+val equal_sets : t -> t -> bool
+(** Semantic equality. *)
+
+val size : t -> float
+(** Number of concrete headers (inclusion–exclusion-free upper bound is
+    avoided: computed exactly by disjoint decomposition). *)
+
+val sample : Sdn_util.Prng.t -> t -> Cube.t option
+(** Uniformly-random concrete header of the set ([None] when empty).
+    Cubes are weighted by their size so sampling is uniform over
+    headers, not over cubes. *)
+
+val first_member : t -> Cube.t option
+(** Deterministic concrete member ([None] when empty). *)
+
+val pp : Format.formatter -> t -> unit

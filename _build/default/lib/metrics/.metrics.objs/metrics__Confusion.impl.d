@@ -1,0 +1,1 @@
+lib/metrics/confusion.ml: Format List

@@ -1,0 +1,35 @@
+type t = {
+  true_positives : int;
+  false_positives : int;
+  false_negatives : int;
+  true_negatives : int;
+}
+
+let compute ~ground_truth ~flagged ~population =
+  let truth = List.sort_uniq compare ground_truth in
+  let pred = List.sort_uniq compare flagged in
+  let pop = List.sort_uniq compare population in
+  let mem x l = List.mem x l in
+  List.fold_left
+    (fun acc sw ->
+      match (mem sw truth, mem sw pred) with
+      | true, true -> { acc with true_positives = acc.true_positives + 1 }
+      | false, true -> { acc with false_positives = acc.false_positives + 1 }
+      | true, false -> { acc with false_negatives = acc.false_negatives + 1 }
+      | false, false -> { acc with true_negatives = acc.true_negatives + 1 })
+    { true_positives = 0; false_positives = 0; false_negatives = 0; true_negatives = 0 }
+    pop
+
+let ratio num den = if den = 0 then 0. else float_of_int num /. float_of_int den
+
+let fpr t = ratio t.false_positives (t.false_positives + t.true_negatives)
+
+let fnr t = ratio t.false_negatives (t.false_negatives + t.true_positives)
+
+let precision t = ratio t.true_positives (t.true_positives + t.false_positives)
+
+let recall t = ratio t.true_positives (t.true_positives + t.false_negatives)
+
+let pp fmt t =
+  Format.fprintf fmt "tp=%d fp=%d fn=%d tn=%d (fpr=%.3f fnr=%.3f)" t.true_positives
+    t.false_positives t.false_negatives t.true_negatives (fpr t) (fnr t)

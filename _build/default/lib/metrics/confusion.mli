@@ -1,0 +1,28 @@
+(** Detection-quality metrics: the evaluation's FPR and FNR.
+
+    Ground truth and predictions are switch-id lists. Following §VIII:
+    FPR is the fraction of good switches incorrectly flagged, FNR the
+    fraction of faulty switches that evade detection. *)
+
+type t = {
+  true_positives : int;
+  false_positives : int;
+  false_negatives : int;
+  true_negatives : int;
+}
+
+val compute : ground_truth:int list -> flagged:int list -> population:int list -> t
+(** [population] is the full switch universe; duplicates in inputs are
+    ignored. *)
+
+val fpr : t -> float
+(** [fp / (fp + tn)]; 0 when no negatives exist. *)
+
+val fnr : t -> float
+(** [fn / (fn + tp)]; 0 when no positives exist. *)
+
+val precision : t -> float
+
+val recall : t -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,20 @@
+(** Minimal fixed-width text tables for the experiment reports. *)
+
+type t
+
+val create : string list -> t
+(** Column headers. *)
+
+val add_row : t -> string list -> unit
+(** Must match the header arity. *)
+
+val render : t -> string
+(** Render with a header separator, columns padded to content width. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline. *)
+
+val cell_f : float -> string
+(** Format a float with 2 decimals. *)
+
+val cell_i : int -> string

@@ -1,0 +1,1 @@
+lib/mlpc/cover.ml: Array Format Fun Hspace List Openflow Rulegraph

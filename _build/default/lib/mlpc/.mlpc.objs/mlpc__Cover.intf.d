@@ -1,0 +1,1 @@
+lib/mlpc/cover.mli: Format Hspace Rulegraph

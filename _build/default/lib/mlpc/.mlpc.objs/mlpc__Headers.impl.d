@@ -1,0 +1,1 @@
+lib/mlpc/headers.ml: Cover Hspace List Option Sat Sdn_util Traffic

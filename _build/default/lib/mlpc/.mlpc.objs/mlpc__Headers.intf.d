@@ -1,0 +1,1 @@
+lib/mlpc/headers.mli: Cover Hspace Sdn_util Traffic

@@ -1,0 +1,1 @@
+lib/mlpc/legal_matching.ml: Array Cover Hashtbl Hspace List Rulegraph Sdn_util Sdngraph

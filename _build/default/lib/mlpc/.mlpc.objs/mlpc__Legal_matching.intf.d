@@ -1,0 +1,1 @@
+lib/mlpc/legal_matching.mli: Cover Rulegraph Sdn_util

@@ -1,0 +1,1 @@
+lib/mlpc/traffic.ml: Array Hspace List Openflow Sdn_util

@@ -1,0 +1,1 @@
+lib/mlpc/traffic.mli: Hspace Openflow Sdn_util

@@ -1,0 +1,93 @@
+module RG = Rulegraph.Rule_graph
+module Hs = Hspace.Hs
+
+type path = { vertices : int list; rules : int list; start_space : Hs.t }
+
+type t = { paths : path list; untestable : int list }
+
+let size t = List.length t.paths
+
+(* A probe is injected at its first rule's switch and processed from
+   table 0; a chain that starts mid-pipeline (table > 0) is therefore
+   extended backwards through the same switch's earlier tables (the
+   solvers only build injectable chains, so the plan exists except for
+   pipeline-dead rules, which the caller reports as untestable). *)
+let make_path rg vertices =
+  match RG.injection_plan rg (RG.expand_path rg vertices) with
+  | Some (rules, start_space) -> Some { vertices; rules; start_space }
+  | None -> None
+
+let of_successors rg ~succ =
+  let n = RG.n_vertices rg in
+  let has_pred = Array.make n false in
+  Array.iter (fun v -> if v >= 0 then has_pred.(v) <- true) succ;
+  let untestable =
+    List.filter (fun v -> Hs.is_empty (RG.input rg v)) (List.init n Fun.id)
+  in
+  let dead = Array.make n false in
+  List.iter (fun v -> dead.(v) <- true) untestable;
+  let chains = ref [] in
+  for head = 0 to n - 1 do
+    if (not has_pred.(head)) && not dead.(head) then begin
+      let rec follow v acc =
+        let acc = v :: acc in
+        if succ.(v) >= 0 then follow succ.(v) acc else List.rev acc
+      in
+      chains := follow head [] :: !chains
+    end
+  done;
+  (* Chains the injection analysis rejects consist of pipeline-dead
+     rules (no header can reach them through their own switch's earlier
+     tables): report them as untestable rather than covered. *)
+  let paths, dead_chains =
+    List.fold_left
+      (fun (paths, dead) chain ->
+        match make_path rg chain with
+        | Some p -> (p :: paths, dead)
+        | None -> (paths, chain @ dead))
+      ([], []) !chains
+  in
+  { paths; untestable = List.sort_uniq compare (untestable @ dead_chains) }
+
+let covered_vertices t =
+  List.sort_uniq compare (List.concat_map (fun p -> p.rules) t.paths)
+
+let is_cover rg t =
+  let n = RG.n_vertices rg in
+  let covered = Array.make n false in
+  List.iter (fun p -> List.iter (fun v -> covered.(v) <- true) p.rules) t.paths;
+  List.iter (fun v -> covered.(v) <- true) t.untestable;
+  let rec check v = v >= n || (covered.(v) && check (v + 1)) in
+  check 0
+
+let all_legal rg t =
+  List.iter
+    (fun p ->
+      (* The recorded start space must agree with a fresh computation. *)
+      assert (Hs.equal_sets p.start_space (RG.start_space rg p.rules)))
+    t.paths;
+  List.for_all (fun p -> not (Hs.is_empty (RG.forward_space rg p.rules))) t.paths
+
+let mean_path_length t =
+  match t.paths with
+  | [] -> 0.
+  | ps ->
+      float_of_int (List.fold_left (fun acc p -> acc + List.length p.rules) 0 ps)
+      /. float_of_int (List.length ps)
+
+let max_path_length t =
+  List.fold_left (fun acc p -> max acc (List.length p.rules)) 0 t.paths
+
+let pp rg fmt t =
+  let entry v = (RG.vertex_entry rg v).Openflow.Flow_entry.id in
+  Format.fprintf fmt "@[<v>cover: %d paths%a@]" (size t)
+    (fun fmt () ->
+      List.iter
+        (fun p ->
+          Format.fprintf fmt "@,  [%a]"
+            (Format.pp_print_list
+               ~pp_sep:(fun f () -> Format.pp_print_string f " -> ")
+               Format.pp_print_int)
+            (List.map entry p.rules))
+        t.paths)
+    ()

@@ -1,0 +1,48 @@
+(** Legal path covers of a rule graph (Definition 2).
+
+    A cover is a set of legal paths such that every {e testable} vertex
+    (one with a non-empty input space) lies on at least one path.
+    Vertices with an empty input space are fully shadowed by
+    higher-priority rules — no packet can ever exercise them — and are
+    reported separately as [untestable] rather than covered. *)
+
+type path = {
+  vertices : int list;
+      (** the path in (closure-)rule-graph vertices, as matched *)
+  rules : int list;
+      (** the expansion into base-graph vertices: the actual rule
+          sequence a packet traverses (closure edges replaced by their
+          witness interiors) *)
+  start_space : Hspace.Hs.t;
+      (** headers injectable in front of the first rule that traverse
+          the whole expansion; non-empty for a legal path *)
+}
+
+type t = {
+  paths : path list;
+  untestable : int list;  (** vertices with empty input space *)
+}
+
+val size : t -> int
+(** Number of paths = number of test packets. *)
+
+val of_successors : Rulegraph.Rule_graph.t -> succ:int array -> t
+(** Decode a path cover from a successor function (the standard
+    matching-to-path-cover correspondence: [succ.(u) = v] links [u]
+    before [v]; [-1] ends a chain). Untestable vertices are filtered
+    out of the chains they'd form alone. *)
+
+val is_cover : Rulegraph.Rule_graph.t -> t -> bool
+(** Every testable vertex appears in some path's [rules]. *)
+
+val all_legal : Rulegraph.Rule_graph.t -> t -> bool
+(** Every path's expansion has a non-empty forward space. *)
+
+val covered_vertices : t -> int list
+(** Sorted, de-duplicated vertices covered via expansions. *)
+
+val mean_path_length : t -> float
+
+val max_path_length : t -> int
+
+val pp : Rulegraph.Rule_graph.t -> Format.formatter -> t -> unit

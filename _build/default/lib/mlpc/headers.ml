@@ -1,0 +1,66 @@
+module Hs = Hspace.Hs
+module Cube = Hspace.Cube
+module Header = Hspace.Header
+
+type policy =
+  | Deterministic
+  | Sat_unique
+  | Random of Sdn_util.Prng.t
+  | Traffic_weighted of Traffic.t * Sdn_util.Prng.t
+
+let sat_pick ~distinct_from hs =
+  (* Try each cube of the space until the SAT query finds a header that
+     differs from all previously chosen ones. *)
+  let rec loop = function
+    | [] -> None
+    | cube :: rest -> (
+        match
+          Sat.Header_encoding.find_header ~distinct_from ~inside:[ cube ]
+            (Cube.length cube)
+        with
+        | Some h -> Some h
+        | None -> loop rest)
+  in
+  loop (Hs.cubes hs)
+
+let random_pick rng ~distinct_from hs =
+  (* Rejection sampling for distinctness; falls back to a duplicate when
+     the space is smaller than the number of paths sharing it. *)
+  let taken h = List.exists (Header.equal h) distinct_from in
+  let rec loop attempts =
+    match Hs.sample rng hs with
+    | None -> None
+    | Some c ->
+        let h = Header.of_cube c in
+        if (not (taken h)) && attempts < 64 then Some h
+        else if taken h && attempts < 64 then loop (attempts + 1)
+        else Some h
+  in
+  loop 0
+
+let header_for_path ?(distinct_from = []) policy (p : Cover.path) =
+  match policy with
+  | Deterministic -> Option.map Header.of_cube (Hs.first_member p.Cover.start_space)
+  | Sat_unique -> (
+      match sat_pick ~distinct_from p.Cover.start_space with
+      | Some h -> Some h
+      | None ->
+          (* Space exhausted by distinctness constraints: fall back to a
+             (duplicate) deterministic member. *)
+          Option.map Header.of_cube (Hs.first_member p.Cover.start_space))
+  | Random rng -> random_pick rng ~distinct_from p.Cover.start_space
+  | Traffic_weighted (traffic, rng) -> (
+      match Traffic.sample_in traffic rng p.Cover.start_space with
+      | Some h -> Some h
+      | None -> random_pick rng ~distinct_from p.Cover.start_space)
+
+let assign policy (cover : Cover.t) =
+  let _, chosen =
+    List.fold_left
+      (fun (seen, acc) p ->
+        match header_for_path ~distinct_from:seen policy p with
+        | Some h -> (h :: seen, (p, h) :: acc)
+        | None -> (seen, acc))
+      ([], []) cover.Cover.paths
+  in
+  List.rev chosen

@@ -1,0 +1,38 @@
+(** Test-packet header assignment (§V-B step 3, §V-C, §VI).
+
+    Each cover path gets one concrete header from its start space. Three
+    policies:
+
+    - [Deterministic]: the canonical first member of the space —
+      SDNProbe's static choice (its predictability is exactly what
+      targeting faults exploit, reproduced in the evaluation);
+    - [Sat_unique]: like the paper's MiniSat-based §VI selection —
+      headers are pairwise distinct across paths, so the exact-match
+      test flow entries can only fire on test packets;
+    - [Random]: Randomized SDNProbe's per-round uniform draw from the
+      start space (still pairwise distinct, by rejection). *)
+
+type policy =
+  | Deterministic
+  | Sat_unique
+  | Random of Sdn_util.Prng.t
+  | Traffic_weighted of Traffic.t * Sdn_util.Prng.t
+      (** §V-C's sFlow option: draw from the observed traffic inside the
+          path's header space, so probes blend in with real flows
+          (raising the odds of tripping targeting faults aimed at live
+          traffic); falls back to a uniform draw on paths without
+          observed traffic. *)
+
+val assign : policy -> Cover.t -> (Cover.path * Hspace.Header.t) list
+(** One header per path. Paths whose start space is empty are skipped
+    (cannot happen for covers produced by the solvers — their paths are
+    legal). With [Sat_unique] and [Random], headers are pairwise
+    distinct whenever the spaces admit it; if a space is exhausted the
+    path reuses a duplicate header rather than being dropped. *)
+
+val header_for_path :
+  ?distinct_from:Hspace.Header.t list ->
+  policy ->
+  Cover.path ->
+  Hspace.Header.t option
+(** Header for a single path. *)

@@ -1,0 +1,47 @@
+module Header = Hspace.Header
+module Hs = Hspace.Hs
+module Cube = Hspace.Cube
+module FE = Openflow.Flow_entry
+
+type t = { samples : (Header.t * int) array; total : int }
+
+let of_samples samples =
+  let samples = Array.of_list (List.filter (fun (_, c) -> c > 0) samples) in
+  { samples; total = Array.fold_left (fun a (_, c) -> a + c) 0 samples }
+
+let synthesize rng net ~flows =
+  let entries =
+    Array.of_list
+      (List.filter
+         (fun (e : FE.t) -> match e.action with FE.Output _ -> true | _ -> false)
+         (Openflow.Network.all_entries net))
+  in
+  if Array.length entries = 0 then of_samples []
+  else
+    of_samples
+      (List.init flows (fun i ->
+           let e = Sdn_util.Prng.choose rng entries in
+           let header = Header.of_cube (Cube.sample rng e.FE.match_) in
+           (* Zipf-like weights: flow rank r carries ~ N/r packets. *)
+           (header, max 1 (10_000 / (i + 1)))))
+
+let n_flows t = Array.length t.samples
+
+let total_packets t = t.total
+
+let sample_in t rng hs =
+  let matching =
+    Array.to_list t.samples
+    |> List.filter (fun ((h : Header.t), _) -> Hs.mem (h :> Cube.t) hs)
+  in
+  match matching with
+  | [] -> None
+  | _ ->
+      let total = List.fold_left (fun a (_, c) -> a + c) 0 matching in
+      let x = Sdn_util.Prng.int rng total in
+      let rec pick acc = function
+        | [] -> assert false
+        | [ (h, _) ] -> h
+        | (h, c) :: rest -> if x < acc + c then h else pick (acc + c) rest
+      in
+      Some (pick 0 matching)

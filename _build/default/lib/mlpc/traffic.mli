@@ -1,0 +1,31 @@
+(** Traffic profiles for header sampling (§V-C).
+
+    The paper samples probe headers "either uniformly at random or based
+    on the past traffic distribution (e.g., sFlow)": for each period the
+    controller collects the observed headers [h^t(ℓ)] per path and picks
+    a test packet inside [HS(ℓ) ∩ h^t(ℓ)]. A profile here is a weighted
+    multiset of concrete headers, as an sFlow collector would export;
+    {!synthesize} builds a synthetic profile (Zipf-weighted random
+    flows) for evaluation, standing in for the unavailable campus sFlow
+    feed. *)
+
+type t
+
+val of_samples : (Hspace.Header.t * int) list -> t
+(** Build from observed [(header, packet_count)] samples; non-positive
+    counts are dropped. *)
+
+val synthesize :
+  Sdn_util.Prng.t -> Openflow.Network.t -> flows:int -> t
+(** A synthetic sFlow export: [flows] random headers drawn from the
+    match spaces of random forwarding entries, with Zipf-like weights
+    (a few elephants, many mice). *)
+
+val n_flows : t -> int
+
+val total_packets : t -> int
+
+val sample_in : t -> Sdn_util.Prng.t -> Hspace.Hs.t -> Hspace.Header.t option
+(** Draw an observed header lying in the given space,
+    packet-count-weighted; [None] when the profile has no traffic
+    there (the caller falls back to uniform sampling). *)

@@ -1,0 +1,1 @@
+lib/ofwire/byte_io.mli:

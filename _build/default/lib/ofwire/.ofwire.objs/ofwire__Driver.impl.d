@@ -1,0 +1,1 @@
+lib/ofwire/driver.ml: Array Byte_io Bytes Format Hspace Int32 Int64 List Message Openflow Option Sdnprobe

@@ -1,0 +1,1 @@
+lib/ofwire/driver.mli: Hspace Message Openflow Sdnprobe

@@ -1,0 +1,1 @@
+lib/ofwire/message.ml: Array Byte_io Bytes Format Hspace Int32 Int64 List Printf

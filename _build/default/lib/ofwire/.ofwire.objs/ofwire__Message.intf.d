@@ -1,0 +1,1 @@
+lib/ofwire/message.mli: Format Hspace

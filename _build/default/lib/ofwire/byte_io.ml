@@ -1,0 +1,105 @@
+exception Truncated
+
+module Writer = struct
+  type t = { mutable buf : Bytes.t; mutable len : int }
+
+  let create () = { buf = Bytes.make 64 '\000'; len = 0 }
+
+  let length t = t.len
+
+  let ensure t extra =
+    let needed = t.len + extra in
+    if needed > Bytes.length t.buf then begin
+      let cap = max needed (2 * Bytes.length t.buf) in
+      let b = Bytes.make cap '\000' in
+      Bytes.blit t.buf 0 b 0 t.len;
+      t.buf <- b
+    end
+
+  let u8 t v =
+    ensure t 1;
+    Bytes.set_uint8 t.buf t.len (v land 0xff);
+    t.len <- t.len + 1
+
+  let u16 t v =
+    ensure t 2;
+    Bytes.set_uint16_be t.buf t.len (v land 0xffff);
+    t.len <- t.len + 2
+
+  let u32 t v =
+    ensure t 4;
+    Bytes.set_int32_be t.buf t.len v;
+    t.len <- t.len + 4
+
+  let u32i t v = u32 t (Int32.of_int v)
+
+  let u64 t v =
+    ensure t 8;
+    Bytes.set_int64_be t.buf t.len v;
+    t.len <- t.len + 8
+
+  let raw t b =
+    ensure t (Bytes.length b);
+    Bytes.blit b 0 t.buf t.len (Bytes.length b);
+    t.len <- t.len + Bytes.length b
+
+  let pad t n =
+    ensure t n;
+    Bytes.fill t.buf t.len n '\000';
+    t.len <- t.len + n
+
+  let patch_u16 t ~pos v =
+    if pos + 2 > t.len then invalid_arg "Writer.patch_u16";
+    Bytes.set_uint16_be t.buf pos (v land 0xffff)
+
+  let contents t = Bytes.sub t.buf 0 t.len
+end
+
+module Reader = struct
+  type t = { buf : Bytes.t; limit : int; mutable cursor : int }
+
+  let of_bytes ?(pos = 0) ?len buf =
+    let limit = match len with Some l -> pos + l | None -> Bytes.length buf in
+    if pos < 0 || limit > Bytes.length buf then invalid_arg "Reader.of_bytes";
+    { buf; limit; cursor = pos }
+
+  let pos t = t.cursor
+
+  let remaining t = t.limit - t.cursor
+
+  let need t n = if t.cursor + n > t.limit then raise Truncated
+
+  let u8 t =
+    need t 1;
+    let v = Bytes.get_uint8 t.buf t.cursor in
+    t.cursor <- t.cursor + 1;
+    v
+
+  let u16 t =
+    need t 2;
+    let v = Bytes.get_uint16_be t.buf t.cursor in
+    t.cursor <- t.cursor + 2;
+    v
+
+  let u32 t =
+    need t 4;
+    let v = Bytes.get_int32_be t.buf t.cursor in
+    t.cursor <- t.cursor + 4;
+    v
+
+  let u64 t =
+    need t 8;
+    let v = Bytes.get_int64_be t.buf t.cursor in
+    t.cursor <- t.cursor + 8;
+    v
+
+  let raw t n =
+    need t n;
+    let v = Bytes.sub t.buf t.cursor n in
+    t.cursor <- t.cursor + n;
+    v
+
+  let skip t n =
+    need t n;
+    t.cursor <- t.cursor + n
+end

@@ -1,0 +1,60 @@
+(** Big-endian binary readers and writers for the OpenFlow codec.
+
+    OpenFlow is a network-byte-order protocol; both ends of the codec
+    share these cursor-based primitives. Writers grow an internal
+    buffer; readers raise {!Truncated} on over-reads so the message
+    layer can surface framing errors cleanly. *)
+
+exception Truncated
+(** Raised by readers when the buffer ends mid-field. *)
+
+module Writer : sig
+  type t
+
+  val create : unit -> t
+
+  val length : t -> int
+
+  val u8 : t -> int -> unit
+
+  val u16 : t -> int -> unit
+
+  val u32 : t -> int32 -> unit
+
+  val u32i : t -> int -> unit
+  (** [u32] from a non-negative int. *)
+
+  val u64 : t -> int64 -> unit
+
+  val raw : t -> bytes -> unit
+
+  val pad : t -> int -> unit
+  (** Append zero bytes. *)
+
+  val patch_u16 : t -> pos:int -> int -> unit
+  (** Overwrite two bytes already written (for length fields). *)
+
+  val contents : t -> bytes
+end
+
+module Reader : sig
+  type t
+
+  val of_bytes : ?pos:int -> ?len:int -> bytes -> t
+
+  val pos : t -> int
+
+  val remaining : t -> int
+
+  val u8 : t -> int
+
+  val u16 : t -> int
+
+  val u32 : t -> int32
+
+  val u64 : t -> int64
+
+  val raw : t -> int -> bytes
+
+  val skip : t -> int -> unit
+end

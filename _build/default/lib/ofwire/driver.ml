@@ -1,0 +1,149 @@
+module Cube = Hspace.Cube
+module Header = Hspace.Header
+module FE = Openflow.Flow_entry
+module Network = Openflow.Network
+module Topology = Openflow.Topology
+module Probe = Sdnprobe.Probe
+
+let ofpp_table = 0xfffffff9 (* OFPP_TABLE: submit to the flow tables *)
+
+let instructions_of_entry (e : FE.t) =
+  let set_fields =
+    if FE.is_identity_set e then [] else [ Message.Set_field e.set_field ]
+  in
+  match e.action with
+  | FE.Output port -> [ Message.Apply_actions (set_fields @ [ Message.Output port ]) ]
+  | FE.Drop ->
+      (* Dropping = empty action set; keep set-fields for observability. *)
+      if set_fields = [] then [] else [ Message.Apply_actions set_fields ]
+  | FE.Goto_table tb ->
+      if set_fields = [] then [ Message.Goto_table tb ]
+      else [ Message.Apply_actions set_fields; Message.Goto_table tb ]
+
+let flow_mod_of_entry (e : FE.t) =
+  {
+    Message.cookie = Int64.of_int e.id;
+    table_id = e.table;
+    command = `Add;
+    priority = e.priority;
+    match_ = e.match_;
+    instructions = instructions_of_entry e;
+  }
+
+let policy_streams net =
+  List.init (Network.n_switches net) (fun sw ->
+      let w = Byte_io.Writer.create () in
+      let xid = ref 0l in
+      let emit msg =
+        xid := Int32.add !xid 1l;
+        Byte_io.Writer.raw w (Message.encode ~xid:!xid msg)
+      in
+      emit Message.Hello;
+      List.iter
+        (fun e -> emit (Message.Flow_mod (flow_mod_of_entry e)))
+        (Network.switch_entries net sw);
+      emit Message.Barrier_request;
+      (sw, Byte_io.Writer.contents w))
+
+(* Rebuild an entry from a decoded flow mod. *)
+let entry_of_flow_mod net ~switch (fm : Message.flow_mod) =
+  let set_field, action =
+    let rec interpret set_field action = function
+      | [] -> (set_field, action)
+      | Message.Goto_table tb :: rest -> interpret set_field (Some (FE.Goto_table tb)) rest
+      | Message.Apply_actions actions :: rest ->
+          let set_field, action =
+            List.fold_left
+              (fun (sf, act) a ->
+                match a with
+                | Message.Set_field c -> (Some c, act)
+                | Message.Output p -> (sf, Some (FE.Output p)))
+              (set_field, action) actions
+          in
+          interpret set_field action rest
+    in
+    interpret None None fm.Message.instructions
+  in
+  let action = Option.value ~default:FE.Drop action in
+  ignore
+    (Network.add_entry net ~switch ~table:fm.Message.table_id
+       ~priority:fm.Message.priority ~match_:fm.Message.match_ ?set_field action)
+
+let apply_policy ~header_len topo streams =
+  let net = Network.create ~header_len ~tables_per_switch:4 topo in
+  let rec apply_stream switch = function
+    | [] -> Ok ()
+    | (_, msg) :: rest -> (
+        match msg with
+        | Message.Flow_mod fm when fm.Message.command = `Add ->
+            entry_of_flow_mod net ~switch fm;
+            apply_stream switch rest
+        | Message.Flow_mod _ | Message.Hello | Message.Barrier_request
+        | Message.Echo_request _ | Message.Echo_reply _ | Message.Features_request ->
+            apply_stream switch rest
+        | other ->
+            Error
+              (Message.Malformed
+                 (Format.asprintf "unexpected message on switch channel: %a" Message.pp
+                    other)))
+  in
+  let rec loop = function
+    | [] -> Ok net
+    | (switch, bytes) :: rest -> (
+        match Message.decode_all ~header_len bytes with
+        | Error e -> Error e
+        | Ok msgs -> (
+            match apply_stream switch msgs with
+            | Ok () -> loop rest
+            | Error e -> Error e))
+  in
+  loop streams
+
+(* Probe payload: u32 probe id + header bits packed MSB-first. *)
+let pack_header (h : Header.t) =
+  let len = Header.length h in
+  let bytes = Bytes.make ((len + 7) / 8) '\000' in
+  for k = 0 to len - 1 do
+    if Header.get h k then begin
+      let b = Bytes.get_uint8 bytes (k / 8) in
+      Bytes.set_uint8 bytes (k / 8) (b lor (0x80 lsr (k mod 8)))
+    end
+  done;
+  bytes
+
+let unpack_header ~header_len bytes =
+  if Bytes.length bytes < (header_len + 7) / 8 then None
+  else
+    Some
+      (Header.of_cube
+         (Cube.of_bits
+            (Array.init header_len (fun k ->
+                 if Bytes.get_uint8 bytes (k / 8) land (0x80 lsr (k mod 8)) <> 0 then
+                   Cube.One
+                 else Cube.Zero))))
+
+let probe_payload (p : Probe.t) =
+  let w = Byte_io.Writer.create () in
+  Byte_io.Writer.u32i w p.Probe.id;
+  Byte_io.Writer.raw w (pack_header p.Probe.header);
+  Byte_io.Writer.contents w
+
+let parse_probe_payload ~header_len payload =
+  if Bytes.length payload < 4 then None
+  else
+    let r = Byte_io.Reader.of_bytes payload in
+    let id = Int32.to_int (Byte_io.Reader.u32 r) in
+    let rest = Byte_io.Reader.raw r (Byte_io.Reader.remaining r) in
+    Option.map (fun h -> (id, h)) (unpack_header ~header_len rest)
+
+let packet_out_of_probe p =
+  Message.Packet_out
+    { Message.actions = [ Message.Output ofpp_table ]; payload = probe_payload p }
+
+let packet_in_of_return ~probe ~header ~table_id ~cookie =
+  let w = Byte_io.Writer.create () in
+  Byte_io.Writer.u32i w probe;
+  Byte_io.Writer.raw w (pack_header header);
+  Message.Packet_in
+    { Message.reason = 1 (* OFPR_ACTION *); table_id; cookie;
+      payload = Byte_io.Writer.contents w }

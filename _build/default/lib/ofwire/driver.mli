@@ -1,0 +1,40 @@
+(** Bridging the controller model and the wire: what a deployment of
+    this library would actually send to switches.
+
+    [policy_streams] serializes a network's entire policy as one
+    OpenFlow byte stream per switch (HELLO, FLOW_MODs, BARRIER), and
+    [apply_policy] replays such streams into a fresh {!Openflow.Network}
+    — the switch side of the channel. Probes become PACKET_OUTs whose
+    payload carries the probe id and packed header; returned packets
+    come back as PACKET_INs. The integration test drives a policy
+    through encode → decode and checks the reconstructed network
+    forwards identically. *)
+
+val policy_streams : Openflow.Network.t -> (int * bytes) list
+(** Per-switch OpenFlow streams installing the full policy. Entry ids
+    ride in the flow-mod cookie. *)
+
+val apply_policy :
+  header_len:int ->
+  Openflow.Topology.t ->
+  (int * bytes) list ->
+  (Openflow.Network.t, Message.error) result
+(** Replay per-switch streams into a fresh network over the given
+    topology. Unsupported or malformed messages abort with the decoder
+    error. *)
+
+val probe_payload : Sdnprobe.Probe.t -> bytes
+(** PACKET_OUT payload: probe id (u32) followed by the header bits
+    packed MSB-first. *)
+
+val parse_probe_payload : header_len:int -> bytes -> (int * Hspace.Header.t) option
+(** Inverse of {!probe_payload}. *)
+
+val packet_out_of_probe : Sdnprobe.Probe.t -> Message.t
+(** The injection message: PACKET_OUT with an OFPP_TABLE output action
+    ("process through the flow tables"), carrying the probe payload.
+    The injection switch is identified by the channel it is sent on. *)
+
+val packet_in_of_return :
+  probe:int -> header:Hspace.Header.t -> table_id:int -> cookie:int64 -> Message.t
+(** The §VI return: what the test flow entry sends to the controller. *)

@@ -1,0 +1,409 @@
+module Cube = Hspace.Cube
+module W = Byte_io.Writer
+module R = Byte_io.Reader
+
+type action = Output of int | Set_field of Cube.t
+
+type instruction = Apply_actions of action list | Goto_table of int
+
+type flow_mod = {
+  cookie : int64;
+  table_id : int;
+  command : [ `Add | `Delete ];
+  priority : int;
+  match_ : Cube.t;
+  instructions : instruction list;
+}
+
+type packet_out = { actions : action list; payload : bytes }
+
+type packet_in = { reason : int; table_id : int; cookie : int64; payload : bytes }
+
+type features_reply = { datapath_id : int64; n_buffers : int32; n_tables : int }
+
+type t =
+  | Hello
+  | Echo_request of bytes
+  | Echo_reply of bytes
+  | Features_request
+  | Features_reply of features_reply
+  | Flow_mod of flow_mod
+  | Packet_out of packet_out
+  | Packet_in of packet_in
+  | Barrier_request
+  | Barrier_reply
+  | Error_msg of { err_type : int; err_code : int; data : bytes }
+
+type error = Truncated | Bad_version of int | Unsupported of int | Malformed of string
+
+let version = 0x04
+
+(* ofp_type values (OF1.3 §A.1). *)
+let t_hello = 0
+let t_error = 1
+let t_echo_request = 2
+let t_echo_reply = 3
+let t_features_request = 5
+let t_features_reply = 6
+let t_packet_in = 10
+let t_packet_out = 13
+let t_flow_mod = 14
+let t_barrier_request = 20
+let t_barrier_reply = 21
+
+(* OXM constants. *)
+let oxm_class_basic = 0x8000
+let oxm_field_metadata = 2
+
+let no_buffer = 0xffffffffl
+let port_controller = 0xfffffffdl
+let port_any = 0xffffffffl
+let group_any = 0xffffffffl
+
+(* ------------------------------------------------------------------ *)
+(* Cube <-> masked 64-bit metadata *)
+
+let cube_to_metadata cube =
+  let len = Cube.length cube in
+  if len > 64 then invalid_arg "Ofwire: headers beyond 64 bits not encodable";
+  let value = ref 0L and mask = ref 0L in
+  for k = 0 to len - 1 do
+    let bit = Int64.shift_left 1L (63 - k) in
+    match Cube.get cube k with
+    | Cube.Any -> ()
+    | Cube.Zero -> mask := Int64.logor !mask bit
+    | Cube.One ->
+        mask := Int64.logor !mask bit;
+        value := Int64.logor !value bit
+  done;
+  (!value, !mask)
+
+let cube_of_metadata ~header_len value mask =
+  Cube.of_bits
+    (Array.init header_len (fun k ->
+         let bit = Int64.shift_left 1L (63 - k) in
+         if Int64.logand mask bit = 0L then Cube.Any
+         else if Int64.logand value bit = 0L then Cube.Zero
+         else Cube.One))
+
+(* ------------------------------------------------------------------ *)
+(* Encoding *)
+
+let pad_to8 w = W.pad w ((8 - (W.length w mod 8)) mod 8)
+
+(* OXM TLV: header u32 = class(16) | field(7) hasmask(1) | payload len(8). *)
+let write_oxm_metadata w cube =
+  let value, mask = cube_to_metadata cube in
+  let header =
+    (oxm_class_basic lsl 16) lor (oxm_field_metadata lsl 9) lor (1 lsl 8) lor 16
+  in
+  W.u32i w header;
+  W.u64 w value;
+  W.u64 w mask
+
+(* ofp_match: type=1 (OXM), length over type+length+fields, pad to 8. *)
+let write_match w cube =
+  let start = W.length w in
+  W.u16 w 1;
+  W.u16 w 0 (* patched *);
+  write_oxm_metadata w cube;
+  W.patch_u16 w ~pos:(start + 2) (W.length w - start);
+  pad_to8 w
+
+let write_action w = function
+  | Output port ->
+      W.u16 w 0 (* OFPAT_OUTPUT *);
+      W.u16 w 16;
+      W.u32i w port;
+      W.u16 w 0xffff (* max_len: no buffer *);
+      W.pad w 6
+  | Set_field cube ->
+      let start = W.length w in
+      W.u16 w 25 (* OFPAT_SET_FIELD *);
+      W.u16 w 0 (* patched *);
+      write_oxm_metadata w cube;
+      pad_to8 w;
+      W.patch_u16 w ~pos:(start + 2) (W.length w - start)
+
+let write_instruction w = function
+  | Goto_table table ->
+      W.u16 w 1 (* OFPIT_GOTO_TABLE *);
+      W.u16 w 8;
+      W.u8 w table;
+      W.pad w 3
+  | Apply_actions actions ->
+      let start = W.length w in
+      W.u16 w 4 (* OFPIT_APPLY_ACTIONS *);
+      W.u16 w 0 (* patched *);
+      W.pad w 4;
+      List.iter (write_action w) actions;
+      W.patch_u16 w ~pos:(start + 2) (W.length w - start)
+
+let type_of = function
+  | Hello -> t_hello
+  | Echo_request _ -> t_echo_request
+  | Echo_reply _ -> t_echo_reply
+  | Features_request -> t_features_request
+  | Features_reply _ -> t_features_reply
+  | Flow_mod _ -> t_flow_mod
+  | Packet_out _ -> t_packet_out
+  | Packet_in _ -> t_packet_in
+  | Barrier_request -> t_barrier_request
+  | Barrier_reply -> t_barrier_reply
+  | Error_msg _ -> t_error
+
+let encode ~xid msg =
+  let w = W.create () in
+  W.u8 w version;
+  W.u8 w (type_of msg);
+  W.u16 w 0 (* length, patched at the end *);
+  W.u32 w xid;
+  (match msg with
+  | Hello | Features_request | Barrier_request | Barrier_reply -> ()
+  | Echo_request payload | Echo_reply payload -> W.raw w payload
+  | Error_msg { err_type; err_code; data } ->
+      W.u16 w err_type;
+      W.u16 w err_code;
+      W.raw w data
+  | Features_reply { datapath_id; n_buffers; n_tables } ->
+      W.u64 w datapath_id;
+      W.u32 w n_buffers;
+      W.u8 w n_tables;
+      W.u8 w 0 (* auxiliary_id *);
+      W.pad w 2;
+      W.u32i w 0x1 (* capabilities: FLOW_STATS *);
+      W.u32i w 0 (* reserved *)
+  | Flow_mod fm ->
+      W.u64 w fm.cookie;
+      W.u64 w 0xffffffffffffffffL (* cookie_mask *);
+      W.u8 w fm.table_id;
+      W.u8 w (match fm.command with `Add -> 0 | `Delete -> 3);
+      W.u16 w 0 (* idle_timeout *);
+      W.u16 w 0 (* hard_timeout *);
+      W.u16 w fm.priority;
+      W.u32 w no_buffer;
+      W.u32 w port_any;
+      W.u32 w group_any;
+      W.u16 w 0 (* flags *);
+      W.pad w 2;
+      write_match w fm.match_;
+      List.iter (write_instruction w) fm.instructions
+  | Packet_out { actions; payload } ->
+      W.u32 w no_buffer;
+      W.u32 w port_controller;
+      let len_pos = W.length w in
+      W.u16 w 0 (* actions_len, patched *);
+      W.pad w 6;
+      let actions_start = W.length w in
+      List.iter (write_action w) actions;
+      W.patch_u16 w ~pos:len_pos (W.length w - actions_start);
+      W.raw w payload
+  | Packet_in { reason; table_id; cookie; payload } ->
+      W.u32 w no_buffer;
+      W.u16 w (Bytes.length payload);
+      W.u8 w reason;
+      W.u8 w table_id;
+      W.u64 w cookie;
+      (* Empty OXM match (type=1, len=4, pad to 8). *)
+      W.u16 w 1;
+      W.u16 w 4;
+      W.pad w 4;
+      W.pad w 2;
+      W.raw w payload);
+  let b = W.contents w in
+  Bytes.set_uint16_be b 2 (Bytes.length b);
+  b
+
+(* ------------------------------------------------------------------ *)
+(* Decoding *)
+
+exception Fail of error
+
+let read_oxm_metadata r =
+  let header = Int32.to_int (R.u32 r) land 0xffffffff in
+  let clazz = (header lsr 16) land 0xffff in
+  let field = (header lsr 9) land 0x7f in
+  let hasmask = (header lsr 8) land 1 = 1 in
+  let len = header land 0xff in
+  if clazz <> oxm_class_basic || field <> oxm_field_metadata then
+    raise (Fail (Malformed "unsupported OXM field"));
+  if len <> if hasmask then 16 else 8 then raise (Fail (Malformed "bad OXM length"));
+  let value = R.u64 r in
+  let mask = if hasmask then R.u64 r else 0xffffffffffffffffL in
+  (value, mask)
+
+let read_match ~header_len r =
+  let start = R.pos r in
+  let typ = R.u16 r in
+  let len = R.u16 r in
+  if typ <> 1 then raise (Fail (Malformed "non-OXM match"));
+  let cube =
+    if len <= 4 then Cube.wildcard header_len
+    else
+      let value, mask = read_oxm_metadata r in
+      cube_of_metadata ~header_len value mask
+  in
+  (* Consume padding to the 8-byte boundary. *)
+  let consumed = R.pos r - start in
+  let padded = ((len + 7) / 8 * 8) in
+  R.skip r (padded - consumed);
+  cube
+
+let read_action ~header_len r =
+  let typ = R.u16 r in
+  let len = R.u16 r in
+  match typ with
+  | 0 ->
+      (* Reserved ports (OFPP_TABLE & co.) live above 2^31: read
+         unsigned. *)
+      let port = Int32.to_int (R.u32 r) land 0xffffffff in
+      let _max_len = R.u16 r in
+      R.skip r 6;
+      Output port
+  | 25 ->
+      let before = R.pos r in
+      let value, mask = read_oxm_metadata r in
+      let consumed = 4 + (R.pos r - before) in
+      R.skip r (len - consumed);
+      Set_field (cube_of_metadata ~header_len value mask)
+  | t -> raise (Fail (Malformed (Printf.sprintf "unsupported action %d" t)))
+
+let read_actions ~header_len r limit =
+  let stop = R.pos r + limit in
+  let rec loop acc =
+    if R.pos r >= stop then List.rev acc else loop (read_action ~header_len r :: acc)
+  in
+  loop []
+
+let read_instruction ~header_len r =
+  let typ = R.u16 r in
+  let len = R.u16 r in
+  match typ with
+  | 1 ->
+      let table = R.u8 r in
+      R.skip r 3;
+      Goto_table table
+  | 4 ->
+      R.skip r 4;
+      Apply_actions (read_actions ~header_len r (len - 8))
+  | t -> raise (Fail (Malformed (Printf.sprintf "unsupported instruction %d" t)))
+
+let read_instructions ~header_len r =
+  let rec loop acc =
+    if R.remaining r = 0 then List.rev acc
+    else loop (read_instruction ~header_len r :: acc)
+  in
+  loop []
+
+let decode_body ~header_len typ r =
+  match typ with
+  | t when t = t_hello ->
+      R.skip r (R.remaining r) (* ignore hello elements *);
+      Hello
+  | t when t = t_echo_request -> Echo_request (R.raw r (R.remaining r))
+  | t when t = t_echo_reply -> Echo_reply (R.raw r (R.remaining r))
+  | t when t = t_features_request -> Features_request
+  | t when t = t_features_reply ->
+      let datapath_id = R.u64 r in
+      let n_buffers = R.u32 r in
+      let n_tables = R.u8 r in
+      R.skip r 3;
+      R.skip r 8;
+      Features_reply { datapath_id; n_buffers; n_tables }
+  | t when t = t_barrier_request -> Barrier_request
+  | t when t = t_barrier_reply -> Barrier_reply
+  | t when t = t_error ->
+      let err_type = R.u16 r in
+      let err_code = R.u16 r in
+      Error_msg { err_type; err_code; data = R.raw r (R.remaining r) }
+  | t when t = t_flow_mod ->
+      let cookie = R.u64 r in
+      let _cookie_mask = R.u64 r in
+      let table_id = R.u8 r in
+      let command =
+        match R.u8 r with
+        | 0 -> `Add
+        | 3 -> `Delete
+        | c -> raise (Fail (Malformed (Printf.sprintf "unsupported flow-mod command %d" c)))
+      in
+      let _idle = R.u16 r in
+      let _hard = R.u16 r in
+      let priority = R.u16 r in
+      let _buffer = R.u32 r in
+      let _out_port = R.u32 r in
+      let _out_group = R.u32 r in
+      let _flags = R.u16 r in
+      R.skip r 2;
+      let match_ = read_match ~header_len r in
+      let instructions = read_instructions ~header_len r in
+      Flow_mod { cookie; table_id; command; priority; match_; instructions }
+  | t when t = t_packet_out ->
+      let _buffer = R.u32 r in
+      let _in_port = R.u32 r in
+      let actions_len = R.u16 r in
+      R.skip r 6;
+      let actions = read_actions ~header_len r actions_len in
+      Packet_out { actions; payload = R.raw r (R.remaining r) }
+  | t when t = t_packet_in ->
+      let _buffer = R.u32 r in
+      let total_len = R.u16 r in
+      let reason = R.u8 r in
+      let table_id = R.u8 r in
+      let cookie = R.u64 r in
+      let _match = read_match ~header_len r in
+      R.skip r 2;
+      let payload = R.raw r (R.remaining r) in
+      if Bytes.length payload <> total_len then
+        raise (Fail (Malformed "packet-in length mismatch"));
+      Packet_in { reason; table_id; cookie; payload }
+  | t -> raise (Fail (Unsupported t))
+
+let decode ?(header_len = 32) ?(pos = 0) buf =
+  try
+    if Bytes.length buf - pos < 8 then Error Truncated
+    else begin
+      let r = R.of_bytes ~pos buf in
+      let v = R.u8 r in
+      if v <> version then Error (Bad_version v)
+      else begin
+        let typ = R.u8 r in
+        let len = R.u16 r in
+        let xid = R.u32 r in
+        if len < 8 then Error (Malformed "length below header size")
+        else if Bytes.length buf - pos < len then Error Truncated
+        else begin
+          let body = R.of_bytes ~pos:(pos + 8) ~len:(len - 8) buf in
+          let msg = decode_body ~header_len typ body in
+          Ok ((xid, msg), len)
+        end
+      end
+    end
+  with
+  | Fail e -> Error e
+  | Byte_io.Truncated -> Error Truncated
+
+let decode_all ?(header_len = 32) buf =
+  let rec loop pos acc =
+    if pos >= Bytes.length buf then Ok (List.rev acc)
+    else
+      match decode ~header_len ~pos buf with
+      | Ok ((xid, msg), consumed) -> loop (pos + consumed) ((xid, msg) :: acc)
+      | Error e -> Error e
+  in
+  loop 0 []
+
+let pp fmt = function
+  | Hello -> Format.pp_print_string fmt "HELLO"
+  | Echo_request _ -> Format.pp_print_string fmt "ECHO_REQUEST"
+  | Echo_reply _ -> Format.pp_print_string fmt "ECHO_REPLY"
+  | Features_request -> Format.pp_print_string fmt "FEATURES_REQUEST"
+  | Features_reply f -> Format.fprintf fmt "FEATURES_REPLY(dpid=%Ld)" f.datapath_id
+  | Flow_mod fm ->
+      Format.fprintf fmt "FLOW_MOD(%s t%d p%d %a)"
+        (match fm.command with `Add -> "add" | `Delete -> "del")
+        fm.table_id fm.priority Cube.pp fm.match_
+  | Packet_out po -> Format.fprintf fmt "PACKET_OUT(%d bytes)" (Bytes.length po.payload)
+  | Packet_in pi -> Format.fprintf fmt "PACKET_IN(%d bytes)" (Bytes.length pi.payload)
+  | Barrier_request -> Format.pp_print_string fmt "BARRIER_REQUEST"
+  | Barrier_reply -> Format.pp_print_string fmt "BARRIER_REPLY"
+  | Error_msg e -> Format.fprintf fmt "ERROR(%d/%d)" e.err_type e.err_code

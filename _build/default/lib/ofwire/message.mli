@@ -1,0 +1,89 @@
+(** OpenFlow 1.3 wire codec for the message subset SDNProbe uses.
+
+    The paper's implementation is a Ryu application speaking OpenFlow
+    1.3 (§VIII); this codec provides the binary message layer a
+    deployable release needs: framing, HELLO / ECHO liveness, switch
+    feature discovery, FLOW_MOD for installing rules and §VI test flow
+    entries, PACKET_OUT for probe injection and PACKET_IN for probe
+    returns, plus BARRIER to order installations before probing.
+
+    Encoding notes:
+    - The reproduction's [L]-bit headers ride in the OXM
+      [OFPXMT_OFB_METADATA] field (64-bit, maskable): cube bit 0 maps
+      to the metadata MSB, wildcards clear mask bits. Headers longer
+      than 64 bits are rejected.
+    - Set-fields use OXM with a mask, mirroring the model's partial
+      rewrites (a documented extension: stock OF1.3 set-field is
+      maskless).
+    - Decoding requires the header bit-length to rebuild cubes; pass
+      [~header_len] (default 32). *)
+
+type action =
+  | Output of int  (** OFPAT_OUTPUT *)
+  | Set_field of Hspace.Cube.t  (** OFPAT_SET_FIELD (masked metadata) *)
+
+type instruction =
+  | Apply_actions of action list  (** OFPIT_APPLY_ACTIONS *)
+  | Goto_table of int  (** OFPIT_GOTO_TABLE *)
+
+type flow_mod = {
+  cookie : int64;
+  table_id : int;
+  command : [ `Add | `Delete ];
+  priority : int;
+  match_ : Hspace.Cube.t;
+  instructions : instruction list;
+}
+
+type packet_out = {
+  actions : action list;
+  payload : bytes;
+}
+
+type packet_in = {
+  reason : int;  (** OFPR_ACTION for §VI returns *)
+  table_id : int;
+  cookie : int64;
+  payload : bytes;
+}
+
+type features_reply = {
+  datapath_id : int64;
+  n_buffers : int32;
+  n_tables : int;
+}
+
+type t =
+  | Hello
+  | Echo_request of bytes
+  | Echo_reply of bytes
+  | Features_request
+  | Features_reply of features_reply
+  | Flow_mod of flow_mod
+  | Packet_out of packet_out
+  | Packet_in of packet_in
+  | Barrier_request
+  | Barrier_reply
+  | Error_msg of { err_type : int; err_code : int; data : bytes }
+
+type error =
+  | Truncated  (** fewer bytes than the length field promises *)
+  | Bad_version of int
+  | Unsupported of int  (** message type outside the subset *)
+  | Malformed of string
+
+val version : int
+(** 0x04. *)
+
+val encode : xid:int32 -> t -> bytes
+(** Serialize one message, length field filled in. Raises
+    [Invalid_argument] for headers over 64 bits. *)
+
+val decode : ?header_len:int -> ?pos:int -> bytes -> ((int32 * t) * int, error) result
+(** Decode one message starting at [pos]; on success returns
+    [((xid, message), bytes_consumed)]. *)
+
+val decode_all : ?header_len:int -> bytes -> ((int32 * t) list, error) result
+(** Split and decode a back-to-back message stream. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/openflow/network.ml: Array Flow_entry Flow_table Format Hashtbl Hspace List Option Topology

@@ -1,0 +1,1 @@
+lib/openflow/network.mli: Flow_entry Flow_table Format Hspace Topology

@@ -1,0 +1,1 @@
+lib/openflow/serial.ml: Buffer Flow_entry Hspace List Network Option Printf String Topology

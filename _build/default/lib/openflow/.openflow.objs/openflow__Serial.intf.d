@@ -1,0 +1,1 @@
+lib/openflow/serial.mli: Network

@@ -1,0 +1,1 @@
+lib/openflow/topology.ml: Hashtbl List Option Sdngraph

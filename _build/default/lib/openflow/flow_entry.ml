@@ -1,0 +1,42 @@
+module Cube = Hspace.Cube
+module Header = Hspace.Header
+
+type action = Output of int | Drop | Goto_table of int
+
+type t = {
+  id : int;
+  switch : int;
+  table : int;
+  priority : int;
+  match_ : Cube.t;
+  set_field : Cube.t;
+  action : action;
+}
+
+let make ~id ~switch ~table ~priority ~match_ ?set_field action =
+  let set_field =
+    match set_field with Some s -> s | None -> Cube.wildcard (Cube.length match_)
+  in
+  if Cube.length set_field <> Cube.length match_ then
+    invalid_arg "Flow_entry.make: set field length mismatch";
+  { id; switch; table; priority; match_; set_field; action }
+
+let header_length t = Cube.length t.match_
+
+let is_identity_set t = Cube.wildcard_count t.set_field = Cube.length t.set_field
+
+let matches t header = Header.matches header t.match_
+
+let apply t header = Header.apply_set_field ~set:t.set_field header
+
+let overlaps a b =
+  a.switch = b.switch && a.table = b.table && not (Cube.disjoint a.match_ b.match_)
+
+let pp_action fmt = function
+  | Output port -> Format.fprintf fmt "output:%d" port
+  | Drop -> Format.pp_print_string fmt "drop"
+  | Goto_table t -> Format.fprintf fmt "goto:%d" t
+
+let pp fmt t =
+  Format.fprintf fmt "[#%d sw%d t%d p%d match=%a set=%a %a]" t.id t.switch
+    t.table t.priority Cube.pp t.match_ Cube.pp t.set_field pp_action t.action

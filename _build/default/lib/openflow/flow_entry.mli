@@ -1,0 +1,52 @@
+(** OpenFlow flow entries ("rules").
+
+    An entry lives in one flow table of one switch and carries the four
+    fields the paper's rule-graph vertices are labelled with: match
+    field, set field, output action and priority (§V-A). The set field
+    is a ternary cube whose fixed bits overwrite the packet header —
+    the all-wildcard default leaves the packet unchanged. *)
+
+type action =
+  | Output of int  (** forward out of a switch port *)
+  | Drop
+  | Goto_table of int  (** continue matching in a later table *)
+
+type t = {
+  id : int;  (** globally unique across the network *)
+  switch : int;  (** owning switch *)
+  table : int;  (** flow-table index within the switch *)
+  priority : int;  (** higher wins among matching entries of a table *)
+  match_ : Hspace.Cube.t;
+  set_field : Hspace.Cube.t;
+  action : action;
+}
+
+val make :
+  id:int ->
+  switch:int ->
+  table:int ->
+  priority:int ->
+  match_:Hspace.Cube.t ->
+  ?set_field:Hspace.Cube.t ->
+  action ->
+  t
+(** [set_field] defaults to the identity (all wildcards). Raises
+    [Invalid_argument] if match and set fields have different lengths. *)
+
+val header_length : t -> int
+
+val is_identity_set : t -> bool
+
+val matches : t -> Hspace.Header.t -> bool
+
+val apply : t -> Hspace.Header.t -> Hspace.Header.t
+(** Rewrite a header through the entry's set field. *)
+
+val overlaps : t -> t -> bool
+(** [overlaps a b]: same switch and table, and intersecting match
+    fields. Combined with priority this is the paper's [>_o] relation:
+    [b >_o a] iff [overlaps a b && b.priority > a.priority]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val pp_action : Format.formatter -> action -> unit

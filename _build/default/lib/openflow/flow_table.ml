@@ -1,0 +1,39 @@
+module Hs = Hspace.Hs
+
+type t = Flow_entry.t list (* sorted by priority desc, id asc *)
+
+let order (a : Flow_entry.t) (b : Flow_entry.t) =
+  match compare b.priority a.priority with 0 -> compare a.id b.id | c -> c
+
+let empty = []
+
+let of_entries es = List.sort order es
+
+let entries t = t
+
+let size = List.length
+
+let add t e = List.merge order [ e ] t
+
+let remove t id = List.filter (fun (e : Flow_entry.t) -> e.id <> id) t
+
+let lookup t header = List.find_opt (fun e -> Flow_entry.matches e header) t
+
+let precedes (a : Flow_entry.t) (b : Flow_entry.t) = order a b < 0
+
+let higher_priority_overlaps t (r : Flow_entry.t) =
+  List.filter
+    (fun (q : Flow_entry.t) ->
+      q.id <> r.id && precedes q r
+      && not (Hspace.Cube.disjoint q.match_ r.match_))
+    t
+
+let input_space t (r : Flow_entry.t) =
+  let len = Flow_entry.header_length r in
+  List.fold_left
+    (fun acc (q : Flow_entry.t) -> Hs.diff_cube acc q.match_)
+    (Hs.of_cubes len [ r.match_ ])
+    (higher_priority_overlaps t r)
+
+let output_space t (r : Flow_entry.t) =
+  Hs.apply_set_field ~set:r.set_field (input_space t r)

@@ -1,0 +1,36 @@
+(** A single OpenFlow flow table: a priority-ordered set of entries.
+
+    Lookup returns the highest-priority matching entry; ties are broken
+    by lower entry id (OpenFlow leaves equal-priority overlap undefined —
+    fixing a deterministic order keeps the emulator and the analytic
+    rule graph consistent). *)
+
+type t
+
+val empty : t
+
+val of_entries : Flow_entry.t list -> t
+(** Entries are sorted by (priority desc, id asc). *)
+
+val entries : t -> Flow_entry.t list
+(** In lookup order. *)
+
+val size : t -> int
+
+val add : t -> Flow_entry.t -> t
+
+val remove : t -> int -> t
+(** Remove by entry id (no-op when absent). *)
+
+val lookup : t -> Hspace.Header.t -> Flow_entry.t option
+(** First match in lookup order. *)
+
+val higher_priority_overlaps : t -> Flow_entry.t -> Flow_entry.t list
+(** The paper's overlapping rules [q >_o r]: entries of this table with
+    strictly higher lookup precedence whose match intersects [r]'s. *)
+
+val input_space : t -> Flow_entry.t -> Hspace.Hs.t
+(** [r.in = r.m − ∪ { q.m | q >_o r }] (§V-A). *)
+
+val output_space : t -> Flow_entry.t -> Hspace.Hs.t
+(** [r.out = T(r.in, r.s)]. *)

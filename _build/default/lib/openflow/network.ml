@@ -1,0 +1,99 @@
+type t = {
+  header_len : int;
+  topology : Topology.t;
+  tables : Flow_table.t array array; (* switch -> table index -> table *)
+  entries : (int, Flow_entry.t) Hashtbl.t;
+  mutable next_id : int;
+}
+
+let create ~header_len ?(tables_per_switch = 1) topology =
+  if header_len <= 0 then invalid_arg "Network.create: header_len";
+  if tables_per_switch <= 0 then invalid_arg "Network.create: tables_per_switch";
+  {
+    header_len;
+    topology;
+    tables =
+      Array.init (Topology.n_switches topology) (fun _ ->
+          Array.make tables_per_switch Flow_table.empty);
+    entries = Hashtbl.create 256;
+    next_id = 0;
+  }
+
+let header_len t = t.header_len
+
+let topology t = t.topology
+
+let n_switches t = Topology.n_switches t.topology
+
+let n_tables t = if n_switches t = 0 then 0 else Array.length t.tables.(0)
+
+let check_switch t s =
+  if s < 0 || s >= n_switches t then invalid_arg "Network: switch out of range"
+
+let check_table t tb =
+  if tb < 0 || tb >= n_tables t then invalid_arg "Network: table out of range"
+
+let add_entry t ~switch ?(table = 0) ~priority ~match_ ?set_field action =
+  check_switch t switch;
+  check_table t table;
+  if Hspace.Cube.length match_ <> t.header_len then
+    invalid_arg "Network.add_entry: match length";
+  (match action with
+  | Flow_entry.Output port ->
+      if Topology.peer t.topology ~sw:switch ~port = None then
+        invalid_arg "Network.add_entry: output port has no link"
+  | Flow_entry.Goto_table tb ->
+      if tb <= table || tb >= n_tables t then
+        invalid_arg "Network.add_entry: goto must target a later table"
+  | Flow_entry.Drop -> ());
+  let id = t.next_id in
+  t.next_id <- t.next_id + 1;
+  let e = Flow_entry.make ~id ~switch ~table ~priority ~match_ ?set_field action in
+  t.tables.(switch).(table) <- Flow_table.add t.tables.(switch).(table) e;
+  Hashtbl.add t.entries id e;
+  e
+
+let remove_entry t id =
+  match Hashtbl.find_opt t.entries id with
+  | None -> ()
+  | Some e ->
+      t.tables.(e.switch).(e.table) <- Flow_table.remove t.tables.(e.switch).(e.table) id;
+      Hashtbl.remove t.entries id
+
+let entry t id =
+  match Hashtbl.find_opt t.entries id with Some e -> e | None -> raise Not_found
+
+let find_entry t id = Hashtbl.find_opt t.entries id
+
+let all_entries t =
+  Hashtbl.fold (fun _ e acc -> e :: acc) t.entries []
+  |> List.sort (fun (a : Flow_entry.t) b -> compare a.id b.id)
+
+let n_entries t = Hashtbl.length t.entries
+
+let table t ~switch ~table:tb =
+  check_switch t switch;
+  check_table t tb;
+  t.tables.(switch).(tb)
+
+let switch_entries t sw =
+  check_switch t sw;
+  Array.to_list t.tables.(sw) |> List.concat_map Flow_table.entries
+
+let input_space t (r : Flow_entry.t) =
+  Flow_table.input_space t.tables.(r.switch).(r.table) r
+
+let output_space t (r : Flow_entry.t) =
+  Flow_table.output_space t.tables.(r.switch).(r.table) r
+
+let next_switch t (r : Flow_entry.t) =
+  match r.action with
+  | Flow_entry.Output port ->
+      Option.map fst (Topology.peer t.topology ~sw:r.switch ~port)
+  | Flow_entry.Drop | Flow_entry.Goto_table _ -> None
+
+let pp_summary fmt t =
+  Format.fprintf fmt "network: %d switches, %d links, %d entries, %d-bit headers"
+    (n_switches t)
+    (Topology.n_links t.topology)
+    (n_entries t) t.header_len

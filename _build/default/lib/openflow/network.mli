@@ -1,0 +1,60 @@
+(** The controller's view of the whole network: topology plus every
+    switch's flow tables.
+
+    This is the input to test-packet generation (§V) and the ground
+    truth the emulator deviates from when faults are injected. Entry ids
+    are allocated by the network and unique across switches. *)
+
+type t
+
+val create : header_len:int -> ?tables_per_switch:int -> Topology.t -> t
+(** [tables_per_switch] defaults to 1. *)
+
+val header_len : t -> int
+
+val topology : t -> Topology.t
+
+val n_switches : t -> int
+
+val n_tables : t -> int
+
+val add_entry :
+  t ->
+  switch:int ->
+  ?table:int ->
+  priority:int ->
+  match_:Hspace.Cube.t ->
+  ?set_field:Hspace.Cube.t ->
+  Flow_entry.action ->
+  Flow_entry.t
+(** Install a new entry (fresh id) and return it. Raises
+    [Invalid_argument] for out-of-range switch/table, a match length
+    different from [header_len], an [Output] port with no attached link,
+    or a [Goto_table] that does not go to a strictly later table. *)
+
+val remove_entry : t -> int -> unit
+
+val entry : t -> int -> Flow_entry.t
+(** Raises [Not_found]. *)
+
+val find_entry : t -> int -> Flow_entry.t option
+
+val all_entries : t -> Flow_entry.t list
+(** Ascending by id. *)
+
+val n_entries : t -> int
+
+val table : t -> switch:int -> table:int -> Flow_table.t
+
+val switch_entries : t -> int -> Flow_entry.t list
+
+val input_space : t -> Flow_entry.t -> Hspace.Hs.t
+(** [r.in] within the entry's own table (§V-A). *)
+
+val output_space : t -> Flow_entry.t -> Hspace.Hs.t
+
+val next_switch : t -> Flow_entry.t -> int option
+(** The switch reached by the entry's [Output] port, if the action is an
+    output onto a live link. *)
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,118 @@
+module Cube = Hspace.Cube
+
+let action_to_string = function
+  | Flow_entry.Output p -> Printf.sprintf "output:%d" p
+  | Flow_entry.Drop -> "drop"
+  | Flow_entry.Goto_table t -> Printf.sprintf "goto:%d" t
+
+let to_string net =
+  let buf = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "sdnprobe-policy 1";
+  line "header_len %d" (Network.header_len net);
+  line "switches %d" (Network.n_switches net);
+  line "tables %d" (Network.n_tables net);
+  List.iter
+    (fun (l : Topology.link) ->
+      line "link %d %d %d %d" l.Topology.sw_a l.Topology.port_a l.Topology.sw_b
+        l.Topology.port_b)
+    (Topology.links (Network.topology net));
+  List.iter
+    (fun (e : Flow_entry.t) ->
+      let set =
+        if Flow_entry.is_identity_set e then ""
+        else Printf.sprintf " set=%s" (Cube.to_string e.set_field)
+      in
+      line "entry switch=%d table=%d priority=%d match=%s action=%s%s" e.switch
+        e.table e.priority (Cube.to_string e.match_) (action_to_string e.action) set)
+    (Network.all_entries net);
+  Buffer.contents buf
+
+exception Parse of string
+
+let parse_action s =
+  match String.split_on_char ':' s with
+  | [ "drop" ] -> Flow_entry.Drop
+  | [ "output"; p ] -> Flow_entry.Output (int_of_string p)
+  | [ "goto"; t ] -> Flow_entry.Goto_table (int_of_string t)
+  | _ -> raise (Parse (Printf.sprintf "bad action %S" s))
+
+let parse_kv s =
+  match String.index_opt s '=' with
+  | Some i -> (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+  | None -> raise (Parse (Printf.sprintf "expected key=value, got %S" s))
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let header_len = ref 0 and switches = ref 0 and tables = ref 1 in
+  let links = ref [] and entries = ref [] in
+  let magic_seen = ref false in
+  try
+    List.iteri
+      (fun lineno raw ->
+        let lineno = lineno + 1 in
+        let fail fmt =
+          Printf.ksprintf (fun s -> raise (Parse (Printf.sprintf "line %d: %s" lineno s))) fmt
+        in
+        let s = String.trim raw in
+        if s = "" || s.[0] = '#' then ()
+        else
+          match String.split_on_char ' ' s |> List.filter (fun w -> w <> "") with
+          | [ "sdnprobe-policy"; "1" ] -> magic_seen := true
+          | [ "sdnprobe-policy"; v ] -> fail "unsupported version %s" v
+          | [ "header_len"; v ] -> header_len := int_of_string v
+          | [ "switches"; v ] -> switches := int_of_string v
+          | [ "tables"; v ] -> tables := int_of_string v
+          | "link" :: rest -> (
+              match List.map int_of_string rest with
+              | [ a; pa; b; pb ] -> links := (a, pa, b, pb) :: !links
+              | _ -> fail "link needs 4 integers")
+          | "entry" :: kvs ->
+              let assoc = List.map parse_kv kvs in
+              let get k =
+                match List.assoc_opt k assoc with
+                | Some v -> v
+                | None -> fail "entry missing %s" k
+              in
+              let set_field =
+                Option.map Cube.of_string (List.assoc_opt "set" assoc)
+              in
+              entries :=
+                ( int_of_string (get "switch"),
+                  int_of_string (get "table"),
+                  int_of_string (get "priority"),
+                  Cube.of_string (get "match"),
+                  set_field,
+                  parse_action (get "action") )
+                :: !entries
+          | w :: _ -> fail "unknown directive %S" w
+          | [] -> ())
+      lines;
+    if not !magic_seen then raise (Parse "missing sdnprobe-policy header");
+    if !header_len <= 0 then raise (Parse "missing or invalid header_len");
+    let topo = Topology.create ~n_switches:!switches in
+    List.iter
+      (fun (a, pa, b, pb) -> Topology.add_link topo ~sw_a:a ~port_a:pa ~sw_b:b ~port_b:pb)
+      (List.rev !links);
+    let net = Network.create ~header_len:!header_len ~tables_per_switch:!tables topo in
+    List.iter
+      (fun (switch, table, priority, match_, set_field, action) ->
+        ignore (Network.add_entry net ~switch ~table ~priority ~match_ ?set_field action))
+      (List.rev !entries);
+    Ok net
+  with
+  | Parse msg -> Error msg
+  | Invalid_argument msg -> Error msg
+  | Failure msg -> Error msg
+
+let save net ~path =
+  let oc = open_out path in
+  output_string oc (to_string net);
+  close_out oc
+
+let load ~path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  of_string text

@@ -1,0 +1,62 @@
+type link = { sw_a : int; port_a : int; sw_b : int; port_b : int }
+
+type t = {
+  n : int;
+  mutable links : link list; (* reverse insertion order *)
+  peers : (int * int, int * int) Hashtbl.t; (* (sw, port) -> (sw, port) *)
+}
+
+let create ~n_switches =
+  if n_switches < 0 then invalid_arg "Topology.create";
+  { n = n_switches; links = []; peers = Hashtbl.create 64 }
+
+let n_switches t = t.n
+
+let check_sw t s = if s < 0 || s >= t.n then invalid_arg "Topology: switch out of range"
+
+let add_link t ~sw_a ~port_a ~sw_b ~port_b =
+  check_sw t sw_a;
+  check_sw t sw_b;
+  if sw_a = sw_b then invalid_arg "Topology.add_link: self-link";
+  if port_a <= 0 || port_b <= 0 then invalid_arg "Topology.add_link: ports start at 1";
+  if Hashtbl.mem t.peers (sw_a, port_a) then
+    invalid_arg "Topology.add_link: port in use on side a";
+  if Hashtbl.mem t.peers (sw_b, port_b) then
+    invalid_arg "Topology.add_link: port in use on side b";
+  Hashtbl.add t.peers (sw_a, port_a) (sw_b, port_b);
+  Hashtbl.add t.peers (sw_b, port_b) (sw_a, port_a);
+  t.links <- { sw_a; port_a; sw_b; port_b } :: t.links
+
+let links t = List.rev t.links
+
+let n_links t = List.length t.links
+
+let peer t ~sw ~port = Hashtbl.find_opt t.peers (sw, port)
+
+let ports_of t sw =
+  check_sw t sw;
+  Hashtbl.fold (fun (s, p) _ acc -> if s = sw then p :: acc else acc) t.peers []
+  |> List.sort compare
+
+let neighbors t sw =
+  List.filter_map (fun p -> Option.map fst (peer t ~sw ~port:p)) (ports_of t sw)
+  |> List.sort_uniq compare
+
+let port_towards t ~src ~dst =
+  List.find_opt
+    (fun p -> match peer t ~sw:src ~port:p with Some (s, _) -> s = dst | None -> false)
+    (ports_of t src)
+
+let to_digraph t =
+  let g = Sdngraph.Digraph.create t.n in
+  List.iter
+    (fun l ->
+      Sdngraph.Digraph.add_edge g l.sw_a l.sw_b;
+      Sdngraph.Digraph.add_edge g l.sw_b l.sw_a)
+    t.links;
+  g
+
+let fresh_port t sw =
+  let used = ports_of t sw in
+  let rec loop p = if List.mem p used then loop (p + 1) else p in
+  loop 1

@@ -1,0 +1,42 @@
+(** Physical switch topology: bidirectional links between switch ports.
+
+    A link connects port [pa] of switch [a] to port [pb] of switch [b];
+    the emulator and the rule-graph builder resolve "output to port p of
+    switch s" through {!peer}. Port numbers start at 1 and are unique
+    per switch side of a link. *)
+
+type link = { sw_a : int; port_a : int; sw_b : int; port_b : int }
+
+type t
+
+val create : n_switches:int -> t
+
+val n_switches : t -> int
+
+val add_link : t -> sw_a:int -> port_a:int -> sw_b:int -> port_b:int -> unit
+(** Raises [Invalid_argument] on out-of-range switches, self-links, or a
+    port already in use on either side. *)
+
+val links : t -> link list
+
+val n_links : t -> int
+
+val peer : t -> sw:int -> port:int -> (int * int) option
+(** [peer t ~sw ~port] is the [(switch, port)] on the other end of the
+    link attached to [port] of [sw], if any. *)
+
+val ports_of : t -> int -> int list
+(** Ports of a switch that are attached to links, ascending. *)
+
+val neighbors : t -> int -> int list
+(** Adjacent switches (each listed once), ascending. *)
+
+val port_towards : t -> src:int -> dst:int -> int option
+(** A port of [src] whose link reaches [dst] directly, if adjacent. *)
+
+val to_digraph : t -> Sdngraph.Digraph.t
+(** Switch-level digraph with an edge in both directions per link,
+    weight 1. *)
+
+val fresh_port : t -> int -> int
+(** Smallest port number of the switch not yet attached to a link. *)

@@ -1,0 +1,1 @@
+lib/rulegraph/rule_graph.ml: Array Fun Hashtbl Hspace List Openflow Option Queue Sdngraph

@@ -1,0 +1,1 @@
+lib/rulegraph/rule_graph.mli: Hspace Openflow Sdngraph

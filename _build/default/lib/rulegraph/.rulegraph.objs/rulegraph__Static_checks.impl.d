@@ -1,0 +1,1 @@
+lib/rulegraph/static_checks.ml: Array Format Hashtbl Hspace List Openflow Sdngraph

@@ -1,0 +1,1 @@
+lib/rulegraph/static_checks.mli: Format Hspace Openflow

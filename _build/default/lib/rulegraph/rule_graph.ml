@@ -1,0 +1,404 @@
+module Hs = Hspace.Hs
+module Flow_entry = Openflow.Flow_entry
+module Network = Openflow.Network
+module Digraph = Sdngraph.Digraph
+
+exception Cyclic_policy of int list
+
+type t = {
+  network : Network.t;
+  vertices : Flow_entry.t array;
+  index_of : (int, int) Hashtbl.t; (* entry id -> vertex *)
+  inputs : Hs.t array;
+  outputs : Hs.t array;
+  base : Digraph.t;
+  full : Digraph.t; (* base + closure edges *)
+  witness : (int * int, int list list) Hashtbl.t;
+  mutable pruned : int; (* closure expansions cut by the subsumption check *)
+}
+
+let network t = t.network
+
+let n_vertices t = Array.length t.vertices
+
+let vertex_entry t v = t.vertices.(v)
+
+let vertex_of_entry t id =
+  match Hashtbl.find_opt t.index_of id with Some v -> v | None -> raise Not_found
+
+let input t v = t.inputs.(v)
+
+let output t v = t.outputs.(v)
+
+let base_graph t = t.base
+
+let graph t = t.full
+
+let is_closure_edge t u v = Hashtbl.mem t.witness (u, v)
+
+let witnesses t u v =
+  match Hashtbl.find_opt t.witness (u, v) with Some w -> w | None -> []
+
+(* Step 1: pairwise edges. An edge (r_i, r_j) exists iff r_j sits where
+   r_i's action sends the packet and r_i.out ∩ r_j.in ≠ ∅. *)
+let build_base net vertices index_of inputs outputs =
+  let n = Array.length vertices in
+  let g = Digraph.create n in
+  let entries_at ~switch ~table =
+    Openflow.Flow_table.entries (Network.table net ~switch ~table)
+  in
+  for i = 0 to n - 1 do
+    let r = vertices.(i) in
+    let candidates =
+      match r.Flow_entry.action with
+      | Flow_entry.Drop -> []
+      | Flow_entry.Output _ -> (
+          match Network.next_switch net r with
+          | None -> []
+          | Some sw -> entries_at ~switch:sw ~table:0)
+      | Flow_entry.Goto_table tb -> entries_at ~switch:r.Flow_entry.switch ~table:tb
+    in
+    List.iter
+      (fun (q : Flow_entry.t) ->
+        let j = Hashtbl.find index_of q.id in
+        if not (Hs.is_empty (Hs.inter outputs.(i) inputs.(j))) then
+          Digraph.add_edge g i j)
+      candidates
+  done;
+  g
+
+(* Propagate a header space through one more rule (Definition 1). *)
+let step inputs vertices hs j =
+  let r = vertices.(j) in
+  Hs.apply_set_field ~set:r.Flow_entry.set_field (Hs.inter hs inputs.(j))
+
+(* Legal closure exploration from one source vertex: each distinct
+   legally-reached vertex yields a closure edge with the interior of the
+   discovering path as witness. Per-node subsumption pruning keeps the
+   exploration polynomial in practice: a new header space at a node is
+   dropped when contained in one already explored. *)
+let closure_from t g u ~max_witnesses =
+  let seen : (int, Hs.t list) Hashtbl.t = Hashtbl.create 16 in
+  let q = Queue.create () in
+  (* State: (current vertex, header space after it, interior so far). *)
+  Queue.add (u, t.outputs.(u), []) q;
+  while not (Queue.is_empty q) do
+    let v, hs, interior = Queue.pop q in
+    List.iter
+      (fun w ->
+        let hs' = step t.inputs t.vertices hs w in
+        if not (Hs.is_empty hs') then begin
+          let dominated =
+            match Hashtbl.find_opt seen w with
+            | Some prev -> List.exists (fun p -> Hs.is_subset hs' p) prev
+            | None -> false
+          in
+          if dominated then t.pruned <- t.pruned + 1
+          else begin
+            Hashtbl.replace seen w
+              (hs' :: (Option.value ~default:[] (Hashtbl.find_opt seen w)));
+            if interior <> [] && not (Digraph.mem_edge t.base u w) then begin
+              let key = (u, w) in
+              let ws = Option.value ~default:[] (Hashtbl.find_opt t.witness key) in
+              if List.length ws < max_witnesses then begin
+                Hashtbl.replace t.witness key (ws @ [ List.rev interior ]);
+                Digraph.add_edge g u w
+              end
+            end;
+            Queue.add (w, hs', w :: interior) q
+          end
+        end)
+      (Digraph.succ t.base v)
+  done
+
+(* Step 2 over every vertex. *)
+let build_closure t ~max_witnesses =
+  let g = Digraph.copy t.base in
+  for u = 0 to n_vertices t - 1 do
+    closure_from t g u ~max_witnesses
+  done;
+  g
+
+let build ?(closure = true) ?(max_witnesses = 3) net =
+  let vertices = Array.of_list (Network.all_entries net) in
+  let index_of = Hashtbl.create (Array.length vertices) in
+  Array.iteri (fun i (e : Flow_entry.t) -> Hashtbl.add index_of e.id i) vertices;
+  let inputs = Array.map (Network.input_space net) vertices in
+  let outputs = Array.map (Network.output_space net) vertices in
+  let base = build_base net vertices index_of inputs outputs in
+  (match Digraph.find_cycle base with
+  | Some cycle -> raise (Cyclic_policy (List.map (fun v -> vertices.(v).Flow_entry.id) cycle))
+  | None -> ());
+  let t =
+    {
+      network = net;
+      vertices;
+      index_of;
+      inputs;
+      outputs;
+      base;
+      full = base;
+      witness = Hashtbl.create 64;
+      pruned = 0;
+    }
+  in
+  if closure then { t with full = build_closure t ~max_witnesses } else t
+
+(* Incremental rebuild after flow-table churn. See the interface for
+   the reuse strategy; correctness rests on three observations:
+   - input/output spaces depend only on an entry's own table;
+   - a base edge depends only on its endpoints' spaces (and the fixed
+     topology);
+   - the per-source closure search from [u] can only change if [u] can
+     reach an affected vertex — in the old graph (an old path may have
+     died) or the new one (a new path may have appeared). *)
+let update ?(max_witnesses = 3) old ~changed_tables =
+  let net = old.network in
+  let vertices = Array.of_list (Network.all_entries net) in
+  let n = Array.length vertices in
+  let index_of = Hashtbl.create n in
+  Array.iteri (fun i (e : Flow_entry.t) -> Hashtbl.add index_of e.id i) vertices;
+  let affected (e : Flow_entry.t) =
+    List.exists (fun (sw, tb) -> sw = e.switch && tb = e.table) changed_tables
+  in
+  let old_index (e : Flow_entry.t) =
+    match Hashtbl.find_opt old.index_of e.id with
+    | Some ov when not (affected e) -> Some ov
+    | _ -> None
+  in
+  let inputs =
+    Array.map
+      (fun e ->
+        match old_index e with
+        | Some ov -> old.inputs.(ov)
+        | None -> Network.input_space net e)
+      vertices
+  in
+  let outputs =
+    Array.map
+      (fun e ->
+        match old_index e with
+        | Some ov -> old.outputs.(ov)
+        | None -> Network.output_space net e)
+      vertices
+  in
+  (* Base edges: copy edges between unaffected endpoints; recompute the
+     rest. Candidate predecessors of an affected vertex live on switches
+     linked into its switch (or earlier tables of the same switch). *)
+  let base = Digraph.create n in
+  Digraph.iter_edges
+    (fun ou ov ->
+      let eu = old.vertices.(ou) and ev = old.vertices.(ov) in
+      if not (affected eu || affected ev) then
+        match (Hashtbl.find_opt index_of eu.id, Hashtbl.find_opt index_of ev.id) with
+        | Some i, Some j -> Digraph.add_edge base i j
+        | _ -> ())
+    old.base;
+  let entries_at ~switch ~table =
+    Openflow.Flow_table.entries (Network.table net ~switch ~table)
+  in
+  let try_edge i j =
+    if not (Hs.is_empty (Hs.inter outputs.(i) inputs.(j))) then Digraph.add_edge base i j
+  in
+  let candidates_from i =
+    let r = vertices.(i) in
+    match r.Flow_entry.action with
+    | Flow_entry.Drop -> []
+    | Flow_entry.Output _ -> (
+        match Network.next_switch net r with
+        | None -> []
+        | Some sw -> entries_at ~switch:sw ~table:0)
+    | Flow_entry.Goto_table tb -> entries_at ~switch:r.Flow_entry.switch ~table:tb
+  in
+  (* Does executing [p] hand the packet to rule [q]'s flow table? *)
+  let leads_to (p : Flow_entry.t) (q : Flow_entry.t) =
+    match p.action with
+    | Flow_entry.Drop -> false
+    | Flow_entry.Output _ ->
+        q.table = 0 && Network.next_switch net p = Some q.switch
+    | Flow_entry.Goto_table tb -> p.switch = q.switch && tb = q.table
+  in
+  Array.iteri
+    (fun i (e : Flow_entry.t) ->
+      if affected e then begin
+        (* Outgoing edges of the affected vertex. *)
+        List.iter
+          (fun (q : Flow_entry.t) -> try_edge i (Hashtbl.find index_of q.id))
+          (candidates_from i);
+        (* Incoming edges: rules on switches linked into ours, plus
+           earlier tables of the same switch (goto sources). *)
+        let topo = Network.topology net in
+        let feeders =
+          List.concat_map
+            (fun sw ->
+              List.concat_map
+                (fun tb -> entries_at ~switch:sw ~table:tb)
+                (List.init (Network.n_tables net) Fun.id))
+            (Openflow.Topology.neighbors topo e.switch)
+          @ List.concat_map
+              (fun tb -> entries_at ~switch:e.switch ~table:tb)
+              (List.init e.table Fun.id)
+        in
+        List.iter
+          (fun (p : Flow_entry.t) ->
+            if leads_to p e then try_edge (Hashtbl.find index_of p.id) i)
+          feeders
+      end)
+    vertices;
+  (match Digraph.find_cycle base with
+  | Some cycle ->
+      raise (Cyclic_policy (List.map (fun v -> vertices.(v).Flow_entry.id) cycle))
+  | None -> ());
+  (* Closure: sources that could reach an affected vertex (old or new
+     graph) are re-explored; everything else keeps its closure edges and
+     witnesses. *)
+  let affected_new = ref [] in
+  Array.iteri (fun i e -> if affected e then affected_new := i :: !affected_new) vertices;
+  let affected_new = !affected_new in
+  let ancestors g seeds =
+    let tr = Digraph.transpose g in
+    let mark = Array.make (Digraph.n_vertices g) false in
+    let q = Queue.create () in
+    List.iter
+      (fun s ->
+        if not mark.(s) then begin
+          mark.(s) <- true;
+          Queue.add s q
+        end)
+      seeds;
+    while not (Queue.is_empty q) do
+      let v = Queue.pop q in
+      List.iter
+        (fun p ->
+          if not mark.(p) then begin
+            mark.(p) <- true;
+            Queue.add p q
+          end)
+        (Digraph.succ tr v)
+    done;
+    mark
+  in
+  let dirty_new = ancestors base affected_new in
+  let affected_old =
+    Array.to_list old.vertices
+    |> List.mapi (fun ov e -> (ov, e))
+    |> List.filter_map (fun (ov, (e : Flow_entry.t)) ->
+           if affected e || not (Hashtbl.mem index_of e.id) then Some ov else None)
+  in
+  let dirty_old = ancestors old.base affected_old in
+  let dirty i =
+    dirty_new.(i)
+    ||
+    match Hashtbl.find_opt old.index_of vertices.(i).Flow_entry.id with
+    | Some ov -> dirty_old.(ov)
+    | None -> true
+  in
+  let t =
+    {
+      network = net;
+      vertices;
+      index_of;
+      inputs;
+      outputs;
+      base;
+      full = base;
+      witness = Hashtbl.create 64;
+      pruned = old.pruned;
+    }
+  in
+  let full = Digraph.copy base in
+  (* Copy surviving closure edges of clean sources. *)
+  Hashtbl.iter
+    (fun (ou, ow) witnesses ->
+      let eu = old.vertices.(ou) and ew = old.vertices.(ow) in
+      match (Hashtbl.find_opt index_of eu.id, Hashtbl.find_opt index_of ew.id) with
+      | Some i, Some j when not (dirty i) ->
+          let mapped =
+            List.filter_map
+              (fun interior ->
+                let mapped =
+                  List.filter_map
+                    (fun ov ->
+                      Hashtbl.find_opt index_of old.vertices.(ov).Flow_entry.id)
+                    interior
+                in
+                if List.length mapped = List.length interior then Some mapped else None)
+              witnesses
+          in
+          if mapped <> [] then begin
+            Hashtbl.replace t.witness (i, j) mapped;
+            Digraph.add_edge full i j
+          end
+      | _ -> ())
+    old.witness;
+  for u = 0 to n - 1 do
+    if dirty u then closure_from t full u ~max_witnesses
+  done;
+  { t with full }
+
+let expand_pair t u v =
+  if Digraph.mem_edge t.base u v then [ v ]
+  else
+    match witnesses t u v with
+    | interior :: _ -> interior @ [ v ]
+    | [] -> invalid_arg "Rule_graph.expand_path: pair is not an edge"
+
+let expand_path t = function
+  | [] -> []
+  | first :: _ as path ->
+      let rec loop = function
+        | [] | [ _ ] -> []
+        | u :: (v :: _ as rest) -> expand_pair t u v @ loop rest
+      in
+      first :: loop path
+
+let forward_space t path =
+  let len = Network.header_len t.network in
+  match path with
+  | [] -> Hs.empty len
+  | _ -> List.fold_left (fun hs v -> step t.inputs t.vertices hs v) (Hs.full len) path
+
+let start_space t path =
+  let len = Network.header_len t.network in
+  match path with
+  | [] -> Hs.empty len
+  | _ ->
+      List.fold_right
+        (fun v after ->
+          let r = t.vertices.(v) in
+          Hs.inter t.inputs.(v)
+            (Hs.inverse_set_field ~set:r.Flow_entry.set_field after))
+        path (Hs.full len)
+
+let is_legal t path = not (Hs.is_empty (forward_space t (expand_path t path)))
+
+let rec injection_plan t rules =
+  match rules with
+  | [] -> None
+  | head :: _ ->
+      let e = t.vertices.(head) in
+      if e.Flow_entry.table = 0 then
+        let hs = start_space t rules in
+        if Hs.is_empty hs then None else Some (rules, hs)
+      else
+        (* Reach the head through its own switch's earlier tables. *)
+        List.find_map
+          (fun p ->
+            let pe = t.vertices.(p) in
+            if
+              pe.Flow_entry.switch = e.Flow_entry.switch
+              && pe.Flow_entry.table < e.Flow_entry.table
+              && not (Hs.is_empty (start_space t (p :: rules)))
+            then injection_plan t (p :: rules)
+            else None)
+          (Digraph.pred t.base head)
+
+let is_injectable t path = injection_plan t (expand_path t path) <> None
+
+let stats t =
+  [
+    ("vertices", n_vertices t);
+    ("base_edges", Digraph.n_edges t.base);
+    ("closure_edges", Digraph.n_edges t.full - Digraph.n_edges t.base);
+    ("pruned", t.pruned);
+  ]

@@ -1,0 +1,34 @@
+(** Static policy verification in the style of HSA / NetPlumber.
+
+    The paper {e assumes} loop-free routing policies and notes that
+    loops "can be efficiently detected using static analysis [24, 25]"
+    (§V-A); probe generation also silently skips fully-shadowed rules.
+    This module is that companion checker: it analyzes a network's
+    policy without sending a single packet and reports
+
+    - {b forwarding loops} — a cycle of flow entries some header can
+      traverse (these invalidate SDNProbe's DAG precondition);
+    - {b blackholes} — header spaces a rule forwards to a neighbour
+      that has no matching entry for them (traffic silently dies);
+    - {b shadowed rules} — entries fully covered by higher-priority
+      rules in their table (dead configuration, untestable by any
+      probe).
+
+    Checking is polynomial: one rule-graph construction plus a pairwise
+    leak computation per link. *)
+
+type issue =
+  | Forwarding_loop of int list
+      (** entry ids forming a cycle, in order *)
+  | Blackhole of { rule : int; next_switch : int; space : Hspace.Hs.t }
+      (** [rule] forwards [space] to [next_switch], where no entry
+          matches it *)
+  | Shadowed_rule of int  (** entry with an empty input space *)
+
+val check : Openflow.Network.t -> issue list
+(** All issues, loops first. A policy with no issues satisfies
+    SDNProbe's preconditions and every rule is exercisable. *)
+
+val is_clean : Openflow.Network.t -> bool
+
+val pp_issue : Openflow.Network.t -> Format.formatter -> issue -> unit

@@ -1,0 +1,1 @@
+lib/sat/header_encoding.ml: Array Hspace List Solver

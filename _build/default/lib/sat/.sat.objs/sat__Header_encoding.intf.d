@@ -1,0 +1,1 @@
+lib/sat/header_encoding.mli: Hspace Solver

@@ -1,0 +1,48 @@
+module Cube = Hspace.Cube
+module Header = Hspace.Header
+
+(* Variable for bit k (0-based) is k+1; positive literal = bit is 1. *)
+let lit_of_bit k value = if value then k + 1 else -(k + 1)
+
+let fixed_bits cube =
+  let rec loop k acc =
+    if k >= Cube.length cube then List.rev acc
+    else
+      match Cube.get cube k with
+      | Cube.Any -> loop (k + 1) acc
+      | Cube.Zero -> loop (k + 1) ((k, false) :: acc)
+      | Cube.One -> loop (k + 1) ((k, true) :: acc)
+  in
+  loop 0 []
+
+let encode_in_cube solver cube =
+  List.iter
+    (fun (k, v) -> Solver.add_clause solver [ lit_of_bit k v ])
+    (fixed_bits cube)
+
+let encode_not_in_cube solver cube =
+  (* ¬(b_{k1}=v1 ∧ ... ∧ b_{kn}=vn)  ≡  (b_{k1}≠v1 ∨ ... ∨ b_{kn}≠vn) *)
+  Solver.add_clause solver
+    (List.map (fun (k, v) -> lit_of_bit k (not v)) (fixed_bits cube))
+
+let encode_differs_from solver (header : Header.t) =
+  encode_not_in_cube solver (header :> Cube.t)
+
+let model_to_header model len =
+  Header.of_cube
+    (Cube.of_bits
+       (Array.init len (fun k ->
+            if k + 1 < Array.length model && model.(k + 1) then Cube.One
+            else Cube.Zero)))
+
+let find_header ?(avoid = []) ?(distinct_from = []) ~inside len =
+  let solver = Solver.create ~nvars:len () in
+  List.iter (encode_in_cube solver) inside;
+  List.iter (encode_not_in_cube solver) avoid;
+  List.iter (encode_differs_from solver) distinct_from;
+  match Solver.solve solver with
+  | Solver.Unsat -> None
+  | Solver.Sat model -> Some (model_to_header model len)
+
+let find_rule_input ~match_ ~overlaps =
+  find_header ~avoid:overlaps ~inside:[ match_ ] (Cube.length match_)

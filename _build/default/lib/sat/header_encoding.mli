@@ -1,0 +1,44 @@
+(** SAT encodings of header-selection queries.
+
+    The paper uses MiniSat for two queries:
+
+    - §V-A: find a concrete header inside a rule's input space
+      [r.in = r.m − ∪ overlapping q.m] (computing the input is
+      NP-complete in general, but concrete witnesses are easy for SAT);
+    - §VI: find a {e unique} test header for a tested path — inside the
+      path's header space, outside the match of every other flow entry
+      on the on-path switches, and different from all previously chosen
+      test headers.
+
+    One Boolean variable per header bit (variable [k+1] is bit [k]). *)
+
+val encode_in_cube : Solver.t -> Hspace.Cube.t -> unit
+(** Constrain the header to lie inside the cube: one unit clause per
+    fixed bit. *)
+
+val encode_not_in_cube : Solver.t -> Hspace.Cube.t -> unit
+(** Constrain the header to lie outside the cube: one clause negating
+    the conjunction of its fixed bits. A fully-wildcard cube makes the
+    instance unsatisfiable (the empty clause). *)
+
+val encode_differs_from : Solver.t -> Hspace.Header.t -> unit
+(** Constrain the header to differ from a concrete header in at least
+    one bit position (a blocking clause). *)
+
+val find_header :
+  ?avoid:Hspace.Cube.t list ->
+  ?distinct_from:Hspace.Header.t list ->
+  inside:Hspace.Cube.t list ->
+  int ->
+  Hspace.Header.t option
+(** [find_header ~avoid ~distinct_from ~inside len] solves for a
+    concrete [len]-bit header that lies inside {e every} cube of
+    [inside], outside every cube of [avoid], and differs from every
+    header in [distinct_from]. [None] when unsatisfiable. *)
+
+val find_rule_input : match_:Hspace.Cube.t -> overlaps:Hspace.Cube.t list -> Hspace.Header.t option
+(** The paper's §V-A query: a header matching [match_] but none of the
+    higher-priority [overlaps]. *)
+
+val model_to_header : bool array -> int -> Hspace.Header.t
+(** Decode a solver model into a header of the given bit-length. *)

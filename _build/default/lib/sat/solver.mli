@@ -1,0 +1,49 @@
+(** A conflict-driven clause-learning (CDCL) SAT solver.
+
+    A from-scratch replacement for MiniSat, which the paper uses to pick
+    probe headers inside a rule's input space and to find unique test
+    headers (§V-B step 3, §VI). The solver implements the standard
+    MiniSat architecture: two-literal watching for unit propagation,
+    first-UIP conflict analysis with clause learning and backjumping,
+    VSIDS-style branching activity with exponential decay, phase saving,
+    and Luby-sequence restarts.
+
+    Variables are 1-based as in DIMACS; a literal is a non-zero integer
+    whose sign gives the polarity ([-3] is the negation of variable 3).
+
+    The solver is incremental: clauses may be added between [solve]
+    calls, and [solve] accepts per-call assumptions. *)
+
+type t
+
+type result =
+  | Sat of bool array
+      (** Model indexed by variable (entry 0 unused; entry [v] is the
+          value of variable [v]). *)
+  | Unsat
+
+val create : ?nvars:int -> unit -> t
+(** Fresh solver. [nvars] pre-allocates variables; more are created on
+    demand by {!add_clause}. *)
+
+val nvars : t -> int
+
+val nclauses : t -> int
+(** Problem clauses (excludes learnt clauses). *)
+
+val new_var : t -> int
+(** Allocate and return the next variable. *)
+
+val add_clause : t -> int list -> unit
+(** Add a clause (list of literals). Adding the empty clause, or a
+    clause that is falsified at level 0, makes the instance permanently
+    Unsat. Variables referenced beyond [nvars] are allocated
+    automatically. *)
+
+val solve : ?assumptions:int list -> t -> result
+(** Decide satisfiability under the optional assumptions. The returned
+    model covers all allocated variables. The solver state remains
+    usable afterwards (add more clauses, solve again). *)
+
+val stats : t -> (string * int) list
+(** Counters: conflicts, decisions, propagations, restarts, learnt. *)

@@ -1,0 +1,1 @@
+lib/topogen/campus.ml: Array Hspace List Openflow Sdn_util

@@ -1,0 +1,1 @@
+lib/topogen/campus.mli: Openflow Sdn_util

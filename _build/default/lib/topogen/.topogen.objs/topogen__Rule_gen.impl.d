@@ -1,0 +1,1 @@
+lib/topogen/rule_gen.ml: Array Fun Hspace List Openflow Option Rulegraph Sdn_util Sdngraph

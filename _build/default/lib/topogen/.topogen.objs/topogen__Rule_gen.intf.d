@@ -1,0 +1,1 @@
+lib/topogen/rule_gen.mli: Hspace Openflow Sdn_util

@@ -1,0 +1,1 @@
+lib/topogen/topo_gen.ml: Openflow Sdn_util

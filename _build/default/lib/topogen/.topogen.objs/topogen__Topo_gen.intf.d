@@ -1,0 +1,1 @@
+lib/topogen/topo_gen.mli: Openflow Sdn_util

@@ -1,0 +1,145 @@
+module Topology = Openflow.Topology
+module Network = Openflow.Network
+module FE = Openflow.Flow_entry
+module FT = Openflow.Flow_table
+module Cube = Hspace.Cube
+module Prng = Sdn_util.Prng
+
+type stats = {
+  table_sizes : (int * int) list;
+  max_overlap : int;
+  total_rules : int;
+}
+
+let header_len = 32
+let family_bits = 10
+let specific_extra_bits = 7
+
+(* Cube for a family block (/family_bits) or a specific inside it
+   (/family_bits + specific_extra_bits). *)
+let family_cube fam =
+  Cube.of_bits
+    (Array.init header_len (fun k ->
+         if k < family_bits then
+           if fam land (1 lsl (family_bits - 1 - k)) <> 0 then Cube.One else Cube.Zero
+         else Cube.Any))
+
+let specific_cube fam ext =
+  Cube.of_bits
+    (Array.init header_len (fun k ->
+         if k < family_bits then
+           if fam land (1 lsl (family_bits - 1 - k)) <> 0 then Cube.One else Cube.Zero
+         else if k < family_bits + specific_extra_bits then
+           if ext land (1 lsl (family_bits + specific_extra_bits - 1 - k)) <> 0 then
+             Cube.One
+           else Cube.Zero
+         else Cube.Any))
+
+(* Split a table budget into aggregate+specific family sizes:
+   first family carries [max_overlap] specifics; the rest draw small
+   counts until the budget is met exactly. *)
+let family_sizes rng ~budget ~max_overlap =
+  let sizes = ref [ max_overlap ] in
+  let used = ref (max_overlap + 1) in
+  while !used < budget do
+    let remaining = budget - !used in
+    if remaining = 1 then begin
+      (* A lone aggregate closes the budget. *)
+      sizes := 0 :: !sizes;
+      used := !used + 1
+    end
+    else begin
+      let s = min (remaining - 1) (1 + Prng.int rng 8) in
+      sizes := s :: !sizes;
+      used := !used + s + 1
+    end
+  done;
+  List.rev !sizes
+
+(* A table structure: per family, the specific extensions it carries. *)
+let make_structure rng ~budget ~max_overlap =
+  let sizes = family_sizes rng ~budget ~max_overlap in
+  List.mapi
+    (fun fam specifics ->
+      (fam, Prng.sample_without_replacement rng specifics (1 lsl specific_extra_bits)))
+    sizes
+
+(* Consecutive backbone routers carry largely the same routes, so core
+   B's table extends core A's structure with [extra] additional
+   specifics — this is what lets one test packet exercise a rule in
+   each table (the paper's ~600 packets for 550 + 579 entries). *)
+let extend_structure rng structure ~extra =
+  let arr = Array.of_list (List.map (fun (f, es) -> (f, ref es)) structure) in
+  let added = ref 0 in
+  let attempts = ref 0 in
+  while !added < extra && !attempts < extra * 100 do
+    incr attempts;
+    let f, exts = arr.(Prng.int rng (Array.length arr)) in
+    ignore f;
+    if List.length !exts < (1 lsl specific_extra_bits) - 1 then begin
+      let ext = ref (Prng.int rng (1 lsl specific_extra_bits)) in
+      while List.mem !ext !exts do
+        ext := Prng.int rng (1 lsl specific_extra_bits)
+      done;
+      exts := !ext :: !exts;
+      incr added
+    end
+  done;
+  List.map (fun (f, es) -> (f, !es)) (Array.to_list arr)
+
+let install_core_table net ~switch ~port structure =
+  List.iter
+    (fun (fam, exts) ->
+      ignore
+        (Network.add_entry net ~switch ~priority:10 ~match_:(family_cube fam)
+           (FE.Output port));
+      List.iter
+        (fun ext ->
+          ignore
+            (Network.add_entry net ~switch ~priority:20 ~match_:(specific_cube fam ext)
+               (FE.Output port)))
+        exts)
+    structure
+
+let synthesize ?(table_a = 550) ?(table_b = 579) ?(max_overlap = 65) rng =
+  (* edge0(0) - coreA(1) - coreB(2) - edge1(3) *)
+  let topo = Topology.create ~n_switches:4 in
+  Topology.add_link topo ~sw_a:0 ~port_a:1 ~sw_b:1 ~port_b:1;
+  Topology.add_link topo ~sw_a:1 ~port_a:2 ~sw_b:2 ~port_b:1;
+  Topology.add_link topo ~sw_a:2 ~port_a:2 ~sw_b:3 ~port_b:1;
+  let net = Network.create ~header_len topo in
+  (* Ingress: everything to core A. *)
+  ignore
+    (Network.add_entry net ~switch:0 ~priority:1 ~match_:(Cube.wildcard header_len)
+       (FE.Output 1));
+  let structure_a = make_structure rng ~budget:table_a ~max_overlap in
+  let structure_b =
+    if table_b >= table_a then extend_structure rng structure_a ~extra:(table_b - table_a)
+    else Sdn_util.Misc.take table_b (make_structure rng ~budget:table_b ~max_overlap)
+  in
+  install_core_table net ~switch:1 ~port:2 structure_a;
+  install_core_table net ~switch:2 ~port:2 structure_b;
+  (* Egress delivers everything locally. *)
+  ignore
+    (Network.add_entry net ~switch:3 ~priority:1 ~match_:(Cube.wildcard header_len)
+       FE.Drop);
+  net
+
+let stats_of net =
+  let table_sizes = ref [] in
+  let max_overlap = ref 0 in
+  for sw = 0 to Network.n_switches net - 1 do
+    let table = Network.table net ~switch:sw ~table:0 in
+    let size = FT.size table in
+    if size >= 10 then table_sizes := (sw, size) :: !table_sizes;
+    List.iter
+      (fun e ->
+        let o = List.length (FT.higher_priority_overlaps table e) in
+        if o > !max_overlap then max_overlap := o)
+      (FT.entries table)
+  done;
+  {
+    table_sizes = List.rev !table_sizes;
+    max_overlap = !max_overlap;
+    total_rules = Network.n_entries net;
+  }

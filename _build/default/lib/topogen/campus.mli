@@ -1,0 +1,34 @@
+(** Synthetic stand-in for the paper's campus backbone dataset.
+
+    §VIII-A describes the real dataset: part of a campus backbone with
+    two routing tables of 550 and 579 forwarding entries, overlapping
+    rules with a maximum overlap count of 65, for which SDNProbe
+    generated 600 test packets and MiniSat found each overlapping
+    rule's header in 0.5–2.4 ms. The dataset itself is not
+    redistributable, so {!synthesize} builds a network with the same
+    published statistics: an edge–core–core–edge backbone whose two core
+    tables hold exactly 550 and 579 prefix entries, including
+    aggregate-plus-specifics families that reproduce the overlap
+    profile (one aggregate overlapped by up to [max_overlap]
+    higher-priority specifics). *)
+
+type stats = {
+  table_sizes : (int * int) list;  (** (switch, entries) for core tables *)
+  max_overlap : int;
+      (** largest number of higher-priority overlapping rules above any
+          single rule *)
+  total_rules : int;
+}
+
+val synthesize :
+  ?table_a:int ->
+  ?table_b:int ->
+  ?max_overlap:int ->
+  Sdn_util.Prng.t ->
+  Openflow.Network.t
+(** Defaults: [table_a = 550], [table_b = 579], [max_overlap = 65]
+    (the published numbers). *)
+
+val stats_of : Openflow.Network.t -> stats
+(** Measure the realized statistics (table sizes of the two largest
+    tables, maximum overlap count). *)

@@ -1,0 +1,168 @@
+module Topology = Openflow.Topology
+module Network = Openflow.Network
+module FE = Openflow.Flow_entry
+module Cube = Hspace.Cube
+module Digraph = Sdngraph.Digraph
+module SP = Sdngraph.Shortest_path
+module Yen = Sdngraph.Yen
+
+type spec = {
+  header_len : int;
+  k_paths : int;
+  selector_bits : int;
+  flows_per_destination : int;
+  destinations : int list option;
+  acl_rules_per_switch : int;
+}
+
+let default_spec =
+  {
+    header_len = 32;
+    k_paths = 2;
+    selector_bits = 3;
+    flows_per_destination = 6;
+    destinations = None;
+    acl_rules_per_switch = 0;
+  }
+
+let prefix_bits ~n_switches =
+  let rec bits p = if 1 lsl p >= n_switches then p else bits (p + 1) in
+  max 1 (bits 1)
+
+(* Cube fixing bits [lo, lo+width) to [value]'s binary form (MSB first),
+   all other positions wildcard. *)
+let bits_cube ~header_len ~lo ~width value =
+  Cube.of_bits
+    (Array.init header_len (fun k ->
+         if k >= lo && k < lo + width then
+           if value land (1 lsl (width - 1 - (k - lo))) <> 0 then Cube.One else Cube.Zero
+         else Cube.Any))
+
+let block_of ~header_len ~prefix_bits v = bits_cube ~header_len ~lo:0 ~width:prefix_bits v
+
+let install ?(spec = default_spec) rng topo =
+  let n = Topology.n_switches topo in
+  let p = prefix_bits ~n_switches:n in
+  if (2 * p) + spec.selector_bits > spec.header_len then
+    invalid_arg "Rule_gen.install: dst+src+selector bits exceed header length";
+  if spec.k_paths > 1 lsl spec.selector_bits then
+    invalid_arg "Rule_gen.install: more paths than selector values";
+  let with_acl = spec.acl_rules_per_switch > 0 in
+  let net =
+    Network.create ~header_len:spec.header_len
+      ~tables_per_switch:(if with_acl then 2 else 1)
+      topo
+  in
+  let routing_table = if with_acl then 1 else 0 in
+  let destinations =
+    match spec.destinations with Some ds -> ds | None -> List.init n Fun.id
+  in
+  let block v = block_of ~header_len:spec.header_len ~prefix_bits:p v in
+  let flow_cube ~dst ~src ~sel =
+    let c1 = block dst in
+    let c2 = bits_cube ~header_len:spec.header_len ~lo:p ~width:p src in
+    let c3 =
+      bits_cube ~header_len:spec.header_len ~lo:(2 * p) ~width:spec.selector_bits sel
+    in
+    match Option.bind (Cube.inter c1 c2) (Cube.inter c3) with
+    | Some c -> c
+    | None -> assert false
+  in
+  let add_rule ~switch ~priority ~match_ ~next =
+    match Topology.port_towards topo ~src:switch ~dst:next with
+    | None -> invalid_arg "Rule_gen: hop without a link"
+    | Some port ->
+        ignore
+          (Network.add_entry net ~switch ~table:routing_table ~priority ~match_
+             (FE.Output port))
+  in
+  (* ACL pipeline (multi-table policies): table 0 blacklists a few
+     payload patterns per switch (think port/protocol filters) and sends
+     everything else to the routing table via goto — the two-table
+     pipeline of enterprise switches. Routing rules leave payload bits
+     wildcarded, so the blacklist never starves a route of headers. *)
+  if with_acl then begin
+    let acl_width = 6 in
+    if (2 * p) + spec.selector_bits + acl_width > spec.header_len then
+      invalid_arg "Rule_gen.install: no payload bits left for ACL patterns";
+    if spec.acl_rules_per_switch > 1 lsl (acl_width - 1) then
+      invalid_arg "Rule_gen.install: too many ACL rules per switch";
+    for sw = 0 to n - 1 do
+      List.iter
+        (fun pattern ->
+          ignore
+            (Network.add_entry net ~switch:sw ~table:0 ~priority:20
+               ~match_:
+                 (bits_cube ~header_len:spec.header_len
+                    ~lo:((2 * p) + spec.selector_bits)
+                    ~width:acl_width pattern)
+               FE.Drop))
+        (Sdn_util.Prng.sample_without_replacement rng spec.acl_rules_per_switch
+           (1 lsl acl_width));
+      (* Per-destination gotos rather than one catch-all: a wildcard
+         goto would connect every destination's rules to every other's
+         in the rule graph and manufacture pairwise (untraversable)
+         cycles, breaking the DAG precondition. *)
+      for v = 0 to n - 1 do
+        ignore
+          (Network.add_entry net ~switch:sw ~table:0 ~priority:1 ~match_:(block v)
+             (FE.Goto_table 1))
+      done
+    done
+  end;
+  let g = Topology.to_digraph topo in
+  List.iter
+    (fun v ->
+      ignore
+        (Network.add_entry net ~switch:v ~table:routing_table ~priority:30
+           ~match_:(block v) FE.Drop);
+      (* Aggregates: destination-based shortest-path tree toward v. *)
+      let tree = SP.dijkstra g v in
+      for u = 0 to n - 1 do
+        if u <> v && tree.SP.dist.(u) <> infinity then
+          add_rule ~switch:u ~priority:10 ~match_:(block v) ~next:tree.SP.parent.(u)
+      done;
+      (* Engineered flows: K loopless shortest paths for sampled
+         sources. *)
+      let others = List.filter (fun s -> s <> v) (List.init n Fun.id) in
+      let sources =
+        if spec.flows_per_destination >= List.length others then others
+        else
+          List.map (List.nth others)
+            (Sdn_util.Prng.sample_without_replacement rng spec.flows_per_destination
+               (List.length others))
+      in
+      List.iter
+        (fun s ->
+          let paths = Yen.k_shortest g ~src:s ~dst:v ~k:spec.k_paths in
+          List.iteri
+            (fun k path ->
+              let match_ = flow_cube ~dst:v ~src:s ~sel:k in
+              let rec hops = function
+                | [] | [ _ ] -> ()
+                | a :: (b :: _ as rest) ->
+                    add_rule ~switch:a ~priority:20 ~match_ ~next:b;
+                    hops rest
+              in
+              hops path)
+            paths)
+        sources)
+    destinations;
+  (* Mixing aggregate trees with engineered paths can in rare cases
+     close a forwarding loop; routing policies are loop-free by
+     assumption (§V-A), so repair by dropping an engineered rule on the
+     cycle until the rule graph is a DAG. *)
+  let rec repair () =
+    match Rulegraph.Rule_graph.build ~closure:false net with
+    | (_ : Rulegraph.Rule_graph.t) -> ()
+    | exception Rulegraph.Rule_graph.Cyclic_policy cycle ->
+        (match List.find_opt (fun id -> (Network.entry net id).FE.priority = 20) cycle with
+        | Some id -> Network.remove_entry net id
+        | None -> (
+            match cycle with
+            | id :: _ -> Network.remove_entry net id
+            | [] -> assert false));
+        repair ()
+  in
+  repair ();
+  net

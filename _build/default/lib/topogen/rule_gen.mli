@@ -1,0 +1,54 @@
+(** Flow-rule synthesis following the paper's methodology: campus-style
+    destination aggregates plus flow entries "along paths computed by an
+    all-pairs K-th shortest path algorithm" (§VIII, citing Eppstein; we
+    use Yen's loopless variant).
+
+    Header layout (MSB first): [dst] switch id, [src] switch id, a
+    [selector] choosing among the K engineered paths, then payload
+    wildcards. Three rule layers per destination [v]:
+
+    - a {e delivery} rule at [v] (priority 30) matching the whole
+      destination block;
+    - {e engineered flow} rules (priority 20): for a sample of source
+      switches and each [k < k_paths], the k-th shortest loopless path
+      from the source carries specific rules
+      [dst=v, src=s, sel=k -> next hop] at every transit switch;
+    - {e aggregate} rules (priority 10) at every other switch along the
+      shortest-path tree toward [v], matching the destination block.
+
+    Aggregates overlap the flow rules (their input spaces subtract the
+    engineered carve-outs, like the campus tables' aggregate/specific
+    families), and traffic can merge from an aggregate onto an
+    engineered path — producing the branch/merge-rich, deep rule graphs
+    of real policies. Engineered chains have the paper's legal-path
+    depths (ALPS ≈ path length).
+
+    The policy is loop-free: engineered paths are loopless and sticky
+    (once a packet matches its flow's rule it stays on that path), and
+    aggregate hops strictly approach the destination. A repair pass
+    removes flow rules in the rare case tree/path mixing closes a loop. *)
+
+type spec = {
+  header_len : int;  (** default 32 *)
+  k_paths : int;  (** K engineered paths per flow (default 2) *)
+  selector_bits : int;  (** selector field width (default 3) *)
+  flows_per_destination : int;  (** engineered sources per destination (default 6) *)
+  destinations : int list option;  (** [None] = every switch (default) *)
+  acl_rules_per_switch : int;
+      (** when positive, switches get a two-table pipeline: table 0
+          blacklists this many payload patterns per switch (Drop) with a
+          catch-all goto to the routing table — the multi-table
+          enterprise configuration (default 0: single table) *)
+}
+
+val default_spec : spec
+
+val install : ?spec:spec -> Sdn_util.Prng.t -> Openflow.Topology.t -> Openflow.Network.t
+(** Build a network over the topology and install the policy. Raises
+    [Invalid_argument] when the address fields do not fit the header. *)
+
+val prefix_bits : n_switches:int -> int
+(** Bits needed to encode a switch id. *)
+
+val block_of : header_len:int -> prefix_bits:int -> int -> Hspace.Cube.t
+(** Destination block cube of a switch id. *)

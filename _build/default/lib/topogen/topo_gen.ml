@@ -1,0 +1,65 @@
+module Topology = Openflow.Topology
+module Prng = Sdn_util.Prng
+
+let connect topo a b =
+  Topology.add_link topo ~sw_a:a ~port_a:(Topology.fresh_port topo a) ~sw_b:b
+    ~port_b:(Topology.fresh_port topo b)
+
+(* Router-level ISP topologies (Rocketfuel-style) are long backbones
+   with stub routers hanging off them: high diameter, few high-degree
+   hubs. We build a backbone path over ~40% of the switches, add a few
+   random chords, and attach the rest as (occasionally dual-homed)
+   stubs. *)
+let rocketfuel_like rng ?(links_per_switch = 2) ~n_switches () =
+  if n_switches < 2 then invalid_arg "Topo_gen.rocketfuel_like: need >= 2 switches";
+  ignore links_per_switch;
+  let topo = Topology.create ~n_switches in
+  let backbone = max 2 (2 * n_switches / 5) in
+  for s = 0 to backbone - 2 do
+    connect topo s (s + 1)
+  done;
+  (* Sparse chords shorten a few detours without collapsing diameter. *)
+  let chords = max 1 (backbone / 8) in
+  for _ = 1 to chords do
+    let a = Prng.int rng backbone and b = Prng.int rng backbone in
+    if abs (a - b) > 2 then
+      let lo = min a b and hi = max a b in
+      if Topology.port_towards topo ~src:lo ~dst:hi = None then connect topo lo hi
+  done;
+  (* Stubs: attach to a random backbone router; one in five dual-homes
+     to a nearby second router. *)
+  for s = backbone to n_switches - 1 do
+    let primary = Prng.int rng backbone in
+    connect topo s primary;
+    if Prng.int rng 5 = 0 then begin
+      let secondary = min (backbone - 1) (max 0 (primary + 1 + Prng.int rng 3 - 2)) in
+      if secondary <> primary && Topology.port_towards topo ~src:s ~dst:secondary = None
+      then connect topo s secondary
+    end
+  done;
+  topo
+
+let line ~n_switches =
+  if n_switches < 1 then invalid_arg "Topo_gen.line";
+  let topo = Topology.create ~n_switches in
+  for s = 0 to n_switches - 2 do
+    connect topo s (s + 1)
+  done;
+  topo
+
+let fat_tree_like rng ~pods =
+  if pods < 2 then invalid_arg "Topo_gen.fat_tree_like: need >= 2 pods";
+  let cores = (pods / 2) + 1 in
+  let topo = Topology.create ~n_switches:(pods + cores) in
+  (* Core ring. *)
+  for c = 0 to cores - 2 do
+    connect topo (pods + c) (pods + c + 1)
+  done;
+  (* Each edge switch uplinks to two distinct cores. *)
+  for e = 0 to pods - 1 do
+    let c1 = Prng.int rng cores in
+    let c2 = if cores = 1 then c1 else (c1 + 1 + Prng.int rng (cores - 1)) mod cores in
+    connect topo e (pods + c1);
+    if c2 <> c1 then connect topo e (pods + c2)
+  done;
+  topo

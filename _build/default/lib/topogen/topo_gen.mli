@@ -1,0 +1,23 @@
+(** Synthetic router-level topologies.
+
+    The paper samples router-level topologies from the Rocketfuel
+    dataset, which is not redistributable; {!rocketfuel_like} generates
+    graphs with the same qualitative shape — sparse, connected, with a
+    heavy-tailed degree distribution — via preferential attachment
+    (each new router links to [links_per_switch] existing routers chosen
+    proportionally to their degree). *)
+
+val rocketfuel_like :
+  Sdn_util.Prng.t -> ?links_per_switch:int -> n_switches:int -> unit -> Openflow.Topology.t
+(** Connected preferential-attachment topology. [links_per_switch]
+    defaults to 2 (average degree ≈ 4, matching the paper's Table II
+    ratios of links to switches). Raises [Invalid_argument] when
+    [n_switches < 2]. *)
+
+val line : n_switches:int -> Openflow.Topology.t
+(** Degenerate chain topology, mostly for tests. *)
+
+val fat_tree_like : Sdn_util.Prng.t -> pods:int -> Openflow.Topology.t
+(** Small two-layer datacenter-flavoured topology: [pods] edge switches
+    each linked to two of [pods/2 + 1] core switches (cores are joined
+    in a ring so the graph stays connected even for tiny pod counts). *)

@@ -1,0 +1,1 @@
+lib/util/misc.ml: Array Hashtbl List Unix

@@ -1,0 +1,67 @@
+let mean = function
+  | [] -> 0.
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let sorted xs = List.sort compare xs
+
+let median xs =
+  match sorted xs with
+  | [] -> 0.
+  | s ->
+      let n = List.length s in
+      let a = Array.of_list s in
+      if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.
+
+let percentile p xs =
+  match sorted xs with
+  | [] -> 0.
+  | s ->
+      let a = Array.of_list s in
+      let n = Array.length a in
+      let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
+      a.(max 0 (min (n - 1) (rank - 1)))
+
+let stddev xs =
+  match xs with
+  | [] -> 0.
+  | _ ->
+      let m = mean xs in
+      let var = mean (List.map (fun x -> (x -. m) *. (x -. m)) xs) in
+      sqrt var
+
+let list_init_filter n f =
+  let rec loop i acc =
+    if i >= n then List.rev acc
+    else
+      match f i with
+      | Some x -> loop (i + 1) (x :: acc)
+      | None -> loop (i + 1) acc
+  in
+  loop 0 []
+
+let group_by key xs =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun x ->
+      let k = key x in
+      match Hashtbl.find_opt tbl k with
+      | Some l -> Hashtbl.replace tbl k (x :: l)
+      | None ->
+          Hashtbl.add tbl k [ x ];
+          order := k :: !order)
+    xs;
+  List.rev_map (fun k -> (k, List.rev (Hashtbl.find tbl k))) !order
+
+let take n xs =
+  let rec loop n xs acc =
+    match (n, xs) with
+    | 0, _ | _, [] -> List.rev acc
+    | n, x :: rest -> loop (n - 1) rest (x :: acc)
+  in
+  loop n xs []
+
+let span_time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)

@@ -1,0 +1,28 @@
+(** Small helpers shared across the reproduction. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0. on the empty list. *)
+
+val median : float list -> float
+(** Median (average of middle two for even length); 0. on empty. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [\[0,100\]], nearest-rank;
+    0. on empty. *)
+
+val stddev : float list -> float
+(** Population standard deviation; 0. on empty. *)
+
+val list_init_filter : int -> (int -> 'a option) -> 'a list
+(** [list_init_filter n f] is [f 0 .. f (n-1)] keeping the [Some]s. *)
+
+val group_by : ('a -> 'b) -> 'a list -> ('b * 'a list) list
+(** Group elements by key (polymorphic compare on keys); groups appear
+    in order of first occurrence and preserve element order. *)
+
+val take : int -> 'a list -> 'a list
+(** First [n] elements (or fewer). *)
+
+val span_time : (unit -> 'a) -> 'a * float
+(** [span_time f] runs [f ()] and returns its result together with the
+    elapsed wall-clock time in seconds. *)

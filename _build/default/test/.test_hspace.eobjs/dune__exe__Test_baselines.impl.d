@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Baselines Dataplane Fixtures Hspace List Mlpc Openflow Rulegraph Sdn_util Sdnprobe

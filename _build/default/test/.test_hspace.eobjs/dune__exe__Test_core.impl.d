@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Dataplane Fixtures Hspace List Openflow Sdn_util Sdnprobe String

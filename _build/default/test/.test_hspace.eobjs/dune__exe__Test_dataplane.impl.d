@@ -1,0 +1,1 @@
+test/test_dataplane.ml: Alcotest Dataplane Fixtures Fun Hspace List Openflow

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Dataplane Experiments Hspace Lazy List Openflow Printf Rulegraph Sdn_util Sdnprobe String

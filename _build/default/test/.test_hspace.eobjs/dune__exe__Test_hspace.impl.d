@@ -1,0 +1,1 @@
+test/test_hspace.ml: Alcotest Array Hspace List QCheck QCheck_alcotest Sdn_util String

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Dataplane Hspace List Openflow Option Rulegraph Sdn_util Sdngraph Sdnprobe Topogen

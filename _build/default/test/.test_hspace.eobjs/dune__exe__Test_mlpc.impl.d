@@ -1,0 +1,1 @@
+test/test_mlpc.ml: Alcotest Array Fixtures Fun Hspace Lazy List Mlpc Openflow Rulegraph Sdn_util Sdngraph

@@ -1,0 +1,1 @@
+test/test_ofwire.ml: Alcotest Array Bytes Dataplane Fixtures Hspace Int64 List Ofwire Openflow Sdn_util Sdnprobe String Topogen

@@ -1,0 +1,1 @@
+test/test_openflow.ml: Alcotest Array Dataplane Fixtures Hspace List Openflow Option Sdn_util Sdngraph Topogen

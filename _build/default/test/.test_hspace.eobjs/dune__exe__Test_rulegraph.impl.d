@@ -1,0 +1,1 @@
+test/test_rulegraph.ml: Alcotest Fixtures Format Hspace Lazy List Openflow Rulegraph Sdn_util Sdngraph Topogen

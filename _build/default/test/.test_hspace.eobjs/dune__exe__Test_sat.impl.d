@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest Array Hspace List QCheck QCheck_alcotest Sat Sdn_util

@@ -1,0 +1,1 @@
+test/test_topogen.ml: Alcotest Dataplane Fun Hspace List Mlpc Openflow Rulegraph Sat Sdn_util Sdngraph Sdnprobe Topogen

@@ -1,0 +1,155 @@
+(* Tests for the experiments layer: workload construction, fault
+   injection ground truth, and scheme plumbing. *)
+
+module W = Experiments.Workloads
+module Schemes = Experiments.Schemes
+module Emu = Dataplane.Emulator
+module FE = Openflow.Flow_entry
+module Prng = Sdn_util.Prng
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let small = lazy (List.hd (W.suite ~count:1 ~seed:100 ()))
+
+let test_suite_shapes () =
+  let nets = W.suite ~count:3 ~seed:100 () in
+  check_int "count" 3 (List.length nets);
+  let sizes = List.map (fun w -> Openflow.Network.n_entries w.W.network) nets in
+  check_bool "growing" true (sizes = List.sort compare sizes);
+  List.iter
+    (fun w ->
+      check_bool "loop free" true
+        (match Rulegraph.Rule_graph.build ~closure:false w.W.network with
+        | (_ : Rulegraph.Rule_graph.t) -> true
+        | exception Rulegraph.Rule_graph.Cyclic_policy _ -> false))
+    nets
+
+let test_suite_deterministic () =
+  let labels w = (w.W.label, Openflow.Network.n_entries w.W.network) in
+  let a = List.map labels (W.suite ~count:2 ~seed:100 ()) in
+  let b = List.map labels (W.suite ~count:2 ~seed:100 ()) in
+  check_bool "deterministic" true (a = b)
+
+let test_inject_rules_ground_truth () =
+  let w = Lazy.force small in
+  let emulator = Emu.create w.W.network in
+  let truth = W.inject (Prng.create 9) ~kind:W.Drop_only ~fraction:0.05 emulator in
+  check_bool "non-empty" true (truth <> []);
+  (* Ground truth is exactly the switches owning faulted entries. *)
+  check_bool "matches emulator" true (truth = Emu.faulty_switches emulator);
+  (* Faulted entries are forwarding entries. *)
+  List.iter
+    (fun e ->
+      match (Openflow.Network.entry w.W.network e).FE.action with
+      | FE.Output _ -> ()
+      | _ -> Alcotest.fail "fault on non-forwarding entry")
+    (Emu.faulty_entries emulator)
+
+let test_inject_switches_ground_truth () =
+  let w = Lazy.force small in
+  let emulator = Emu.create w.W.network in
+  let truth =
+    W.inject_switches (Prng.create 9) ~kind:W.Basic ~switch_fraction:0.5 emulator
+  in
+  check_bool "non-empty" true (truth <> []);
+  check_bool "matches emulator" true (truth = Emu.faulty_switches emulator);
+  check_bool "bounded" true
+    (List.length truth <= Openflow.Network.n_switches w.W.network / 2 + 1)
+
+let test_inject_detour_stealthy () =
+  (* Every detour peer differs from both the faulted switch and its
+     next hop (otherwise the tunnel would be a no-op). *)
+  let w = Lazy.force small in
+  let emulator = Emu.create w.W.network in
+  let _ = W.inject_switches (Prng.create 5) ~kind:W.Detour ~switch_fraction:0.5 emulator in
+  List.iter
+    (fun entry ->
+      let e = Openflow.Network.entry w.W.network entry in
+      match Emu.fault_of emulator ~entry with
+      | Some { Dataplane.Fault.effect = Dataplane.Fault.Detour peer; _ } ->
+          check_bool "peer differs" true (peer <> e.FE.switch);
+          (match Openflow.Network.next_switch w.W.network e with
+          | Some next -> check_bool "skips a switch" true (peer <> next)
+          | None -> ())
+      | _ -> Alcotest.fail "expected detour fault")
+    (Emu.faulty_entries emulator)
+
+let test_same_seed_same_faults () =
+  let w = Lazy.force small in
+  let emu1 = Emu.create w.W.network in
+  let emu2 = Emu.create w.W.network in
+  let t1 = W.inject (Prng.create 3) ~kind:W.Basic ~fraction:0.1 emu1 in
+  let t2 = W.inject (Prng.create 3) ~kind:W.Basic ~fraction:0.1 emu2 in
+  check_bool "same truth" true (t1 = t2);
+  check_bool "same entries" true (Emu.faulty_entries emu1 = Emu.faulty_entries emu2)
+
+let test_scheme_plan_sizes () =
+  let w = Lazy.force small in
+  let net = w.W.network in
+  let sdn = Schemes.plan_size Schemes.Sdnprobe ~seed:7 net in
+  let rand = Schemes.plan_size Schemes.Randomized_sdnprobe ~seed:7 net in
+  let atpg = Schemes.plan_size Schemes.Atpg ~seed:7 net in
+  let pr = Schemes.plan_size Schemes.Per_rule ~seed:7 net in
+  check_bool "sdn minimal" true (sdn <= rand && sdn <= atpg && sdn <= pr);
+  check_int "per-rule = testable rules" pr
+    (let rg = Rulegraph.Rule_graph.build ~closure:false net in
+     let n = ref 0 in
+     for v = 0 to Rulegraph.Rule_graph.n_vertices rg - 1 do
+       if not (Hspace.Hs.is_empty (Rulegraph.Rule_graph.input rg v)) then incr n
+     done;
+     !n)
+
+let test_scheme_names () =
+  check_int "four schemes" 4 (List.length Schemes.all);
+  check_bool "distinct names" true
+    (List.length (List.sort_uniq compare (List.map Schemes.name Schemes.all)) = 4)
+
+let test_registry () =
+  check_int "ten experiments" 10 (List.length Experiments.Registry.experiments);
+  match Experiments.Registry.run ~scale:Experiments.Registry.Quick "no-such" with
+  | Error msg -> check_bool "helpful error" true (String.length msg > 10)
+  | Ok () -> Alcotest.fail "expected error"
+
+let test_scheme_end_to_end () =
+  (* Each scheme localizes a single drop fault on the small workload. *)
+  let w = Lazy.force small in
+  List.iter
+    (fun scheme ->
+      let emulator = Emu.create w.W.network in
+      let truth = W.inject (Prng.create 2) ~kind:W.Drop_only ~fraction:0.001 emulator in
+      let config = { Sdnprobe.Config.default with Sdnprobe.Config.max_rounds = 60 } in
+      let report =
+        Schemes.run scheme ~seed:7
+          ~stop:(Sdnprobe.Runner.stop_when_flagged truth)
+          ~config emulator
+      in
+      List.iter
+        (fun sw ->
+          check_bool
+            (Printf.sprintf "%s finds switch %d" (Schemes.name scheme) sw)
+            true
+            (List.mem sw (Sdnprobe.Report.flagged_switches report)))
+        truth)
+    Schemes.all
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "workloads",
+        [
+          Alcotest.test_case "suite shapes" `Quick test_suite_shapes;
+          Alcotest.test_case "deterministic" `Quick test_suite_deterministic;
+          Alcotest.test_case "inject rules" `Quick test_inject_rules_ground_truth;
+          Alcotest.test_case "inject switches" `Quick test_inject_switches_ground_truth;
+          Alcotest.test_case "detour stealthy" `Quick test_inject_detour_stealthy;
+          Alcotest.test_case "seed reproducibility" `Quick test_same_seed_same_faults;
+        ] );
+      ( "schemes",
+        [
+          Alcotest.test_case "plan sizes" `Quick test_scheme_plan_sizes;
+          Alcotest.test_case "names" `Quick test_scheme_names;
+          Alcotest.test_case "end to end" `Quick test_scheme_end_to_end;
+        ] );
+      ("registry", [ Alcotest.test_case "lookup" `Quick test_registry ]);
+    ]

@@ -1,0 +1,90 @@
+(* Tests for the metrics library: confusion matrices and table
+   rendering. *)
+
+module Confusion = Metrics.Confusion
+module Table = Metrics.Table
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+let pop = List.init 10 Fun.id
+
+let test_perfect () =
+  let c = Confusion.compute ~ground_truth:[ 1; 2 ] ~flagged:[ 1; 2 ] ~population:pop in
+  check_int "tp" 2 c.Confusion.true_positives;
+  check_int "fp" 0 c.Confusion.false_positives;
+  check_int "fn" 0 c.Confusion.false_negatives;
+  check_int "tn" 8 c.Confusion.true_negatives;
+  check_float "fpr" 0. (Confusion.fpr c);
+  check_float "fnr" 0. (Confusion.fnr c);
+  check_float "precision" 1. (Confusion.precision c);
+  check_float "recall" 1. (Confusion.recall c)
+
+let test_mixed () =
+  let c =
+    Confusion.compute ~ground_truth:[ 0; 1; 2; 3 ] ~flagged:[ 2; 3; 4; 5 ] ~population:pop
+  in
+  check_int "tp" 2 c.Confusion.true_positives;
+  check_int "fp" 2 c.Confusion.false_positives;
+  check_int "fn" 2 c.Confusion.false_negatives;
+  check_int "tn" 4 c.Confusion.true_negatives;
+  check_float "fpr" (2. /. 6.) (Confusion.fpr c);
+  check_float "fnr" 0.5 (Confusion.fnr c)
+
+let test_empty_truth () =
+  let c = Confusion.compute ~ground_truth:[] ~flagged:[ 1 ] ~population:pop in
+  check_float "fnr defined" 0. (Confusion.fnr c);
+  check_float "fpr" 0.1 (Confusion.fpr c)
+
+let test_all_faulty () =
+  (* No negatives: FPR defined as 0 rather than NaN. *)
+  let c = Confusion.compute ~ground_truth:pop ~flagged:pop ~population:pop in
+  check_float "fpr" 0. (Confusion.fpr c);
+  check_float "fnr" 0. (Confusion.fnr c)
+
+let test_duplicates_ignored () =
+  let c =
+    Confusion.compute ~ground_truth:[ 1; 1; 1 ] ~flagged:[ 1; 1 ] ~population:pop
+  in
+  check_int "tp" 1 c.Confusion.true_positives
+
+let test_table_render () =
+  let t = Table.create [ "a"; "bb" ] in
+  Table.add_row t [ "1"; "2" ];
+  Table.add_row t [ "333"; "4" ];
+  let rendered = Table.render t in
+  let lines = String.split_on_char '\n' rendered in
+  check_int "lines" 4 (List.length lines);
+  (* Columns padded to widest cell. *)
+  check_bool "header padded" true (List.nth lines 0 = "a    bb");
+  check_bool "separator" true (List.nth lines 1 = "---  --");
+  check_bool "row" true (List.nth lines 2 = "1    2 ")
+
+let test_table_arity () =
+  let t = Table.create [ "a"; "b" ] in
+  Alcotest.check_raises "arity" (Invalid_argument "Table.add_row: arity mismatch")
+    (fun () -> Table.add_row t [ "only one" ])
+
+let test_cells () =
+  Alcotest.(check string) "float" "3.14" (Table.cell_f 3.14159);
+  Alcotest.(check string) "int" "42" (Table.cell_i 42)
+
+let () =
+  Alcotest.run "metrics"
+    [
+      ( "confusion",
+        [
+          Alcotest.test_case "perfect" `Quick test_perfect;
+          Alcotest.test_case "mixed" `Quick test_mixed;
+          Alcotest.test_case "empty truth" `Quick test_empty_truth;
+          Alcotest.test_case "all faulty" `Quick test_all_faulty;
+          Alcotest.test_case "duplicates" `Quick test_duplicates_ignored;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "arity" `Quick test_table_arity;
+          Alcotest.test_case "cells" `Quick test_cells;
+        ] );
+    ]

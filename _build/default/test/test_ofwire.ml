@@ -1,0 +1,369 @@
+(* Tests for the OpenFlow 1.3 wire codec: byte-level layout against the
+   spec, roundtrip properties, framing errors, and a full
+   policy-over-the-wire integration check. *)
+
+module W = Ofwire.Byte_io.Writer
+module R = Ofwire.Byte_io.Reader
+module M = Ofwire.Message
+module Driver = Ofwire.Driver
+module Cube = Hspace.Cube
+module Header = Hspace.Header
+module FE = Openflow.Flow_entry
+module Prng = Sdn_util.Prng
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Byte_io *)
+
+let test_writer_reader_roundtrip () =
+  let w = W.create () in
+  W.u8 w 0xab;
+  W.u16 w 0x1234;
+  W.u32 w 0xdeadbeefl;
+  W.u64 w 0x0123456789abcdefL;
+  W.raw w (Bytes.of_string "xyz");
+  W.pad w 3;
+  let b = W.contents w in
+  check_int "length" (1 + 2 + 4 + 8 + 3 + 3) (Bytes.length b);
+  let r = R.of_bytes b in
+  check_int "u8" 0xab (R.u8 r);
+  check_int "u16" 0x1234 (R.u16 r);
+  check_bool "u32" true (R.u32 r = 0xdeadbeefl);
+  check_bool "u64" true (R.u64 r = 0x0123456789abcdefL);
+  check_bool "raw" true (Bytes.to_string (R.raw r 3) = "xyz");
+  check_int "padding remains" 3 (R.remaining r)
+
+let test_reader_truncated () =
+  let r = R.of_bytes (Bytes.make 3 '\000') in
+  R.skip r 2;
+  Alcotest.check_raises "over-read" Ofwire.Byte_io.Truncated (fun () -> ignore (R.u16 r))
+
+let test_writer_patch () =
+  let w = W.create () in
+  W.u16 w 0;
+  W.u32 w 5l;
+  W.patch_u16 w ~pos:0 42;
+  check_int "patched" 42 (R.u16 (R.of_bytes (W.contents w)))
+
+(* ------------------------------------------------------------------ *)
+(* Byte-level layout (OF1.3 spec §A.1) *)
+
+let test_hello_layout () =
+  let b = M.encode ~xid:7l M.Hello in
+  check_int "length" 8 (Bytes.length b);
+  check_int "version 0x04" 0x04 (Bytes.get_uint8 b 0);
+  check_int "type HELLO=0" 0 (Bytes.get_uint8 b 1);
+  check_int "length field" 8 (Bytes.get_uint16_be b 2);
+  check_bool "xid" true (Bytes.get_int32_be b 4 = 7l)
+
+let test_echo_layout () =
+  let b = M.encode ~xid:1l (M.Echo_request (Bytes.of_string "ping")) in
+  check_int "type ECHO_REQUEST=2" 2 (Bytes.get_uint8 b 1);
+  check_int "length" 12 (Bytes.get_uint16_be b 2)
+
+let test_flow_mod_layout () =
+  let fm =
+    {
+      M.cookie = 99L;
+      table_id = 1;
+      command = `Add;
+      priority = 20;
+      match_ = Cube.of_string (String.make 32 'x');
+      instructions = [ M.Apply_actions [ M.Output 3 ] ];
+    }
+  in
+  let b = M.encode ~xid:2l (M.Flow_mod fm) in
+  check_int "type FLOW_MOD=14" 14 (Bytes.get_uint8 b 1);
+  check_bool "cookie at offset 8" true (Bytes.get_int64_be b 8 = 99L);
+  check_int "table_id at 24" 1 (Bytes.get_uint8 b 24);
+  check_int "command ADD" 0 (Bytes.get_uint8 b 25);
+  check_int "priority at 30" 20 (Bytes.get_uint16_be b 30);
+  (* match begins at offset 48: type=1 (OXM) *)
+  check_int "match type OXM" 1 (Bytes.get_uint16_be b 48);
+  check_int "whole message length" (Bytes.length b) (Bytes.get_uint16_be b 2)
+
+let test_lengths_multiple_of_8 () =
+  (* Flow mods and packet-outs must stay 8-byte aligned (spec padding
+     rules). *)
+  let rng = Prng.create 4 in
+  for _ = 1 to 50 do
+    let fm =
+      {
+        M.cookie = Int64.of_int (Prng.int rng 1000);
+        table_id = Prng.int rng 4;
+        command = (if Prng.bool rng then `Add else `Delete);
+        priority = Prng.int rng 100;
+        match_ = Cube.random rng 32;
+        instructions =
+          (if Prng.bool rng then
+             [ M.Apply_actions [ M.Set_field (Cube.random rng 32); M.Output (Prng.int rng 10) ] ]
+           else [ M.Goto_table (Prng.int rng 4) ]);
+      }
+    in
+    let b = M.encode ~xid:0l (M.Flow_mod fm) in
+    check_int "8-aligned" 0 (Bytes.length b mod 8)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Roundtrips *)
+
+let roundtrip ?(header_len = 32) msg =
+  let b = M.encode ~xid:77l msg in
+  match M.decode ~header_len b with
+  | Ok ((xid, decoded), consumed) ->
+      check_bool "xid" true (xid = 77l);
+      check_int "consumed everything" (Bytes.length b) consumed;
+      decoded
+  | Error _ -> Alcotest.fail "decode failed"
+
+let test_roundtrip_simple () =
+  List.iter
+    (fun msg -> check_bool "same" true (roundtrip msg = msg))
+    [
+      M.Hello;
+      M.Echo_request (Bytes.of_string "abc");
+      M.Echo_reply Bytes.empty;
+      M.Features_request;
+      M.Features_reply { M.datapath_id = 42L; n_buffers = 256l; n_tables = 4 };
+      M.Barrier_request;
+      M.Barrier_reply;
+      M.Error_msg { err_type = 1; err_code = 5; data = Bytes.of_string "ctx" };
+    ]
+
+let cube_equal_msg a b =
+  match (a, b) with
+  | M.Flow_mod x, M.Flow_mod y ->
+      x.M.cookie = y.M.cookie && x.M.table_id = y.M.table_id
+      && x.M.command = y.M.command && x.M.priority = y.M.priority
+      && Cube.equal x.M.match_ y.M.match_
+      &&
+      let act_eq p q =
+        match (p, q) with
+        | M.Output i, M.Output j -> i = j
+        | M.Set_field c, M.Set_field d -> Cube.equal c d
+        | _ -> false
+      in
+      List.length x.M.instructions = List.length y.M.instructions
+      && List.for_all2
+           (fun i j ->
+             match (i, j) with
+             | M.Goto_table a, M.Goto_table b -> a = b
+             | M.Apply_actions a, M.Apply_actions b ->
+                 List.length a = List.length b && List.for_all2 act_eq a b
+             | _ -> false)
+           x.M.instructions y.M.instructions
+  | _ -> a = b
+
+let test_roundtrip_flow_mod_random () =
+  let rng = Prng.create 11 in
+  for _ = 1 to 100 do
+    let fm =
+      {
+        M.cookie = Sdn_util.Prng.bits64 rng;
+        table_id = Prng.int rng 8;
+        command = (if Prng.bool rng then `Add else `Delete);
+        priority = Prng.int rng 1000;
+        match_ = Cube.random rng (1 + Prng.int rng 64);
+        instructions =
+          (match Prng.int rng 3 with
+          | 0 -> [ M.Apply_actions [ M.Output (Prng.int rng 100) ] ]
+          | 1 ->
+              [
+                M.Apply_actions
+                  [ M.Set_field (Cube.random rng (1 + Prng.int rng 64)) ];
+                M.Goto_table (Prng.int rng 8);
+              ]
+          | _ -> [ M.Goto_table (Prng.int rng 8) ]);
+      }
+    in
+    (* decode needs the cube lengths; use a fixed length for this test *)
+    let len = Cube.length fm.M.match_ in
+    let fm =
+      {
+        fm with
+        M.instructions =
+          List.map
+            (function
+              | M.Apply_actions acts ->
+                  M.Apply_actions
+                    (List.map
+                       (function
+                         | M.Set_field _ -> M.Set_field (Cube.random rng len)
+                         | a -> a)
+                       acts)
+              | i -> i)
+            fm.M.instructions;
+      }
+    in
+    check_bool "flow-mod roundtrip" true
+      (cube_equal_msg (M.Flow_mod fm) (roundtrip ~header_len:len (M.Flow_mod fm)))
+  done
+
+let test_roundtrip_packet_out_in () =
+  let po =
+    M.Packet_out
+      { M.actions = [ M.Output 0xfffffff9 ]; payload = Bytes.of_string "payload!" }
+  in
+  check_bool "packet-out" true (roundtrip po = po);
+  let pi =
+    M.Packet_in
+      { M.reason = 1; table_id = 2; cookie = 5L; payload = Bytes.of_string "ret" }
+  in
+  check_bool "packet-in" true (roundtrip pi = pi)
+
+let test_decode_stream () =
+  let b =
+    Bytes.concat Bytes.empty
+      [
+        M.encode ~xid:1l M.Hello;
+        M.encode ~xid:2l M.Features_request;
+        M.encode ~xid:3l M.Barrier_request;
+      ]
+  in
+  match M.decode_all b with
+  | Ok [ (1l, M.Hello); (2l, M.Features_request); (3l, M.Barrier_request) ] -> ()
+  | _ -> Alcotest.fail "stream decode mismatch"
+
+let test_decode_errors () =
+  (* Truncated header. *)
+  (match M.decode (Bytes.make 4 '\000') with
+  | Error M.Truncated -> ()
+  | _ -> Alcotest.fail "expected Truncated");
+  (* Bad version. *)
+  let b = M.encode ~xid:1l M.Hello in
+  Bytes.set_uint8 b 0 0x01;
+  (match M.decode b with
+  | Error (M.Bad_version 1) -> ()
+  | _ -> Alcotest.fail "expected Bad_version");
+  (* Length promising more bytes than available. *)
+  let b = M.encode ~xid:1l M.Hello in
+  Bytes.set_uint16_be b 2 64;
+  (match M.decode b with
+  | Error M.Truncated -> ()
+  | _ -> Alcotest.fail "expected Truncated on short body");
+  (* Unsupported type. *)
+  let b = M.encode ~xid:1l M.Hello in
+  Bytes.set_uint8 b 1 19 (* QUEUE_GET_CONFIG *);
+  match M.decode b with
+  | Error (M.Unsupported 19) -> ()
+  | _ -> Alcotest.fail "expected Unsupported"
+
+(* ------------------------------------------------------------------ *)
+(* Driver: a whole policy over the wire *)
+
+let test_probe_payload_roundtrip () =
+  let { Fixtures.cnet; r_a; r_b; r_c } = Fixtures.chain3 () in
+  let p =
+    Sdnprobe.Probe.make cnet ~id:1234
+      ~rules:[ r_a.FE.id; r_b.FE.id; r_c.FE.id ]
+      ~header:(Header.of_string "10110001")
+  in
+  match Driver.parse_probe_payload ~header_len:8 (Driver.probe_payload p) with
+  | Some (id, h) ->
+      check_int "probe id" 1234 id;
+      check_bool "header" true (Header.equal h (Header.of_string "10110001"))
+  | None -> Alcotest.fail "payload did not parse"
+
+let test_policy_over_the_wire () =
+  (* Serialize a realistic policy switch by switch, decode it as the
+     switches would, and check the reconstructed network forwards every
+     sampled packet identically. *)
+  let rng = Prng.create 5 in
+  let topo = Topogen.Topo_gen.rocketfuel_like rng ~n_switches:10 () in
+  let net = Topogen.Rule_gen.install rng topo in
+  let streams = Driver.policy_streams net in
+  check_int "one stream per switch" (Openflow.Network.n_switches net)
+    (List.length streams);
+  match Driver.apply_policy ~header_len:32 topo streams with
+  | Error _ -> Alcotest.fail "policy replay failed"
+  | Ok net2 ->
+      check_int "same rule count" (Openflow.Network.n_entries net)
+        (Openflow.Network.n_entries net2);
+      let emu1 = Dataplane.Emulator.create net in
+      let emu2 = Dataplane.Emulator.create net2 in
+      let entries = Array.of_list (Openflow.Network.all_entries net) in
+      for _ = 1 to 200 do
+        let e = Prng.choose rng entries in
+        let header = Header.of_cube (Cube.sample rng e.FE.match_) in
+        let at = Prng.int rng (Openflow.Network.n_switches net) in
+        let r1 = Dataplane.Emulator.inject emu1 ~at header in
+        let r2 = Dataplane.Emulator.inject emu2 ~at header in
+        let switches r =
+          List.map (fun h -> h.Dataplane.Emulator.switch) r.Dataplane.Emulator.trace
+        in
+        check_bool "same trajectory" true (switches r1 = switches r2);
+        let outcome_class r =
+          match r.Dataplane.Emulator.outcome with
+          | Dataplane.Emulator.Delivered { at_switch; header } ->
+              `Delivered (at_switch, Header.to_string header)
+          | Dataplane.Emulator.Returned _ -> `Returned
+          | Dataplane.Emulator.Lost _ -> `Lost
+        in
+        check_bool "same outcome" true (outcome_class r1 = outcome_class r2)
+      done
+
+let test_figure3_over_the_wire () =
+  (* The Figure 3 probe plan still yields 4 packets after the policy
+     crosses the wire. *)
+  let fx = Fixtures.figure3 () in
+  let streams = Driver.policy_streams fx.Fixtures.net in
+  match
+    Driver.apply_policy ~header_len:8
+      (Openflow.Network.topology fx.Fixtures.net)
+      streams
+  with
+  | Error _ -> Alcotest.fail "replay failed"
+  | Ok net2 ->
+      let plan = Sdnprobe.Plan.generate net2 in
+      check_int "four probes" 4 (Sdnprobe.Plan.size plan)
+
+let test_packet_in_return () =
+  match
+    Driver.packet_in_of_return ~probe:9 ~header:(Header.of_string "11110000")
+      ~table_id:1 ~cookie:33L
+  with
+  | M.Packet_in pi as msg ->
+      check_int "cookie survives encode" 33
+        (match roundtrip ~header_len:8 msg with
+        | M.Packet_in pi' -> Int64.to_int pi'.M.cookie
+        | _ -> -1);
+      (match Driver.parse_probe_payload ~header_len:8 pi.M.payload with
+      | Some (9, h) ->
+          check_bool "returned header" true (Header.equal h (Header.of_string "11110000"))
+      | _ -> Alcotest.fail "return payload")
+  | _ -> Alcotest.fail "expected packet-in"
+
+let () =
+  Alcotest.run "ofwire"
+    [
+      ( "byte io",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_writer_reader_roundtrip;
+          Alcotest.test_case "truncated" `Quick test_reader_truncated;
+          Alcotest.test_case "patch" `Quick test_writer_patch;
+        ] );
+      ( "layout",
+        [
+          Alcotest.test_case "hello" `Quick test_hello_layout;
+          Alcotest.test_case "echo" `Quick test_echo_layout;
+          Alcotest.test_case "flow mod" `Quick test_flow_mod_layout;
+          Alcotest.test_case "alignment" `Quick test_lengths_multiple_of_8;
+        ] );
+      ( "roundtrip",
+        [
+          Alcotest.test_case "simple messages" `Quick test_roundtrip_simple;
+          Alcotest.test_case "random flow mods" `Quick test_roundtrip_flow_mod_random;
+          Alcotest.test_case "packet out/in" `Quick test_roundtrip_packet_out_in;
+          Alcotest.test_case "stream" `Quick test_decode_stream;
+          Alcotest.test_case "errors" `Quick test_decode_errors;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "probe payload" `Quick test_probe_payload_roundtrip;
+          Alcotest.test_case "policy over the wire" `Quick test_policy_over_the_wire;
+          Alcotest.test_case "figure3 over the wire" `Quick test_figure3_over_the_wire;
+          Alcotest.test_case "packet-in return" `Quick test_packet_in_return;
+        ] );
+    ]

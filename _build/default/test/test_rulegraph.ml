@@ -1,0 +1,405 @@
+(* Tests for rule-graph construction and legal transitive closure,
+   anchored on the paper's Figure 3/4 example. *)
+
+module RG = Rulegraph.Rule_graph
+module Digraph = Sdngraph.Digraph
+module Cube = Hspace.Cube
+module Hs = Hspace.Hs
+module FE = Openflow.Flow_entry
+module Network = Openflow.Network
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let fx = lazy (Fixtures.figure3 ())
+
+let rg = lazy (RG.build (Lazy.force fx).Fixtures.net)
+
+let v e = RG.vertex_of_entry (Lazy.force rg) e.FE.id
+
+let edge a b =
+  let g = RG.graph (Lazy.force rg) in
+  Digraph.mem_edge g (v a) (v b)
+
+let base_edge a b =
+  let g = RG.base_graph (Lazy.force rg) in
+  Digraph.mem_edge g (v a) (v b)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3 base graph (Step 1) *)
+
+let test_figure3_base_edges () =
+  let f = Lazy.force fx in
+  (* Edges stated or implied by the figure. *)
+  check_bool "a1->b1" true (base_edge f.Fixtures.a1 f.Fixtures.b1);
+  check_bool "b1->c1" true (base_edge f.Fixtures.b1 f.Fixtures.c1);
+  check_bool "b1->c2" true (base_edge f.Fixtures.b1 f.Fixtures.c2);
+  check_bool "b2->c2" true (base_edge f.Fixtures.b2 f.Fixtures.c2);
+  check_bool "b3->d1" true (base_edge f.Fixtures.b3 f.Fixtures.d1);
+  check_bool "c1->e1" true (base_edge f.Fixtures.c1 f.Fixtures.e1);
+  check_bool "c2->e1" true (base_edge f.Fixtures.c2 f.Fixtures.e1);
+  check_bool "c2->e2" true (base_edge f.Fixtures.c2 f.Fixtures.e2);
+  check_bool "d1->e3" true (base_edge f.Fixtures.d1 f.Fixtures.e3)
+
+let test_figure3_no_edges () =
+  let f = Lazy.force fx in
+  (* §V-A: no edge (c1, e2): 00100xxx ∩ (001xxxxx − 0010xxxx) = ∅. *)
+  check_bool "c1->e2 absent" false (base_edge f.Fixtures.c1 f.Fixtures.e2);
+  (* b2 does not reach c1 (0011 vs 00100). *)
+  check_bool "b2->c1 absent" false (base_edge f.Fixtures.b2 f.Fixtures.c1);
+  (* a1 only reaches b1 among B's rules. *)
+  check_bool "a1->b2 absent" false (base_edge f.Fixtures.a1 f.Fixtures.b2);
+  check_bool "a1->b3 absent" false (base_edge f.Fixtures.a1 f.Fixtures.b3);
+  (* drop rules have no successors *)
+  check_int "e1 out-degree" 0
+    (Digraph.out_degree (RG.base_graph (Lazy.force rg)) (v f.Fixtures.e1))
+
+let test_figure3_dag () =
+  let g = RG.base_graph (Lazy.force rg) in
+  check_bool "acyclic" false (Digraph.has_cycle g)
+
+(* ------------------------------------------------------------------ *)
+(* Legal paths (Definition 1) *)
+
+let test_legal_path_positive () =
+  let f = Lazy.force fx in
+  let path = List.map v [ f.Fixtures.a1; f.Fixtures.b1; f.Fixtures.c2; f.Fixtures.e1 ] in
+  check_bool "a1-b1-c2-e1 legal" true (RG.is_legal (Lazy.force rg) path);
+  (* Its traversing headers are exactly 00101xxx (paper §V-B step 3). *)
+  let ss = RG.start_space (Lazy.force rg) path in
+  check_bool "start space" true
+    (Hs.equal_sets ss (Hs.of_cubes 8 [ Cube.of_string "00101xxx" ]))
+
+let test_legal_path_negative () =
+  let f = Lazy.force fx in
+  (* The illegal MPC path a1 -> b1 -> c1 -> e1 (§V-B). *)
+  let path = List.map v [ f.Fixtures.a1; f.Fixtures.b1; f.Fixtures.c1; f.Fixtures.e1 ] in
+  check_bool "a1-b1-c1-e1 illegal" false (RG.is_legal (Lazy.force rg) path)
+
+let test_legal_path_with_set_field () =
+  let f = Lazy.force fx in
+  (* b3 -> d1 -> e3 requires d1's set field to produce 0111xxxx. *)
+  let path = List.map v [ f.Fixtures.b3; f.Fixtures.d1; f.Fixtures.e3 ] in
+  check_bool "legal through set field" true (RG.is_legal (Lazy.force rg) path);
+  let ss = RG.start_space (Lazy.force rg) path in
+  (* Injectable headers: anything matching 000xxxxx. *)
+  check_bool "start space" true (Hs.equal_sets ss (Hs.of_cubes 8 [ Cube.of_string "000xxxxx" ]))
+
+let test_forward_space () =
+  let f = Lazy.force fx in
+  let path = List.map v [ f.Fixtures.b3; f.Fixtures.d1; f.Fixtures.e3 ] in
+  let out = RG.forward_space (Lazy.force rg) path in
+  check_bool "forward space is 0111xxxx" true
+    (Hs.equal_sets out (Hs.of_cubes 8 [ Cube.of_string "0111xxxx" ]))
+
+(* ------------------------------------------------------------------ *)
+(* Legal transitive closure (Step 2, Figure 4) *)
+
+let test_closure_adds_b2_e2 () =
+  let f = Lazy.force fx in
+  check_bool "closure edge b2->e2" true (edge f.Fixtures.b2 f.Fixtures.e2);
+  check_bool "b2->e2 not base" false (base_edge f.Fixtures.b2 f.Fixtures.e2);
+  check_bool "is_closure_edge" true
+    (RG.is_closure_edge (Lazy.force rg) (v f.Fixtures.b2) (v f.Fixtures.e2))
+
+let test_closure_witness_expansion () =
+  let f = Lazy.force fx in
+  let path = List.map v [ f.Fixtures.b2; f.Fixtures.e2 ] in
+  let expanded = RG.expand_path (Lazy.force rg) path in
+  (* b2 -> e2 must expand through c2 (paper: "b2->e2 can be further
+     converted to b2->c2->e2"). *)
+  check_bool "expansion" true
+    (expanded = List.map v [ f.Fixtures.b2; f.Fixtures.c2; f.Fixtures.e2 ]);
+  check_bool "expanded is legal" true
+    (not (Hs.is_empty (RG.forward_space (Lazy.force rg) expanded)))
+
+let test_closure_does_not_add_illegal () =
+  let f = Lazy.force fx in
+  (* a1 -> e2 would require traversing c1/c2 with headers 00101xxx; e2's
+     input is 0011xxxx, so no legal path exists. *)
+  check_bool "a1->e2 absent" false (edge f.Fixtures.a1 f.Fixtures.e2);
+  (* a1 -> e1 IS a legal two-hop extension: closure adds it. *)
+  check_bool "a1->e1 closure" true (edge f.Fixtures.a1 f.Fixtures.e1)
+
+let test_closure_edges_all_legal () =
+  let r = Lazy.force rg in
+  let g = RG.graph r in
+  Digraph.iter_edges
+    (fun u v -> check_bool "edge legal" true (RG.is_legal r [ u; v ]))
+    g
+
+let test_no_closure_build () =
+  let f = Lazy.force fx in
+  let r = RG.build ~closure:false f.Fixtures.net in
+  check_int "same edges as base" (Digraph.n_edges (RG.base_graph r))
+    (Digraph.n_edges (RG.graph r))
+
+(* ------------------------------------------------------------------ *)
+(* Inputs/outputs and lookup *)
+
+let test_vertex_roundtrip () =
+  let r = Lazy.force rg in
+  check_int "10 vertices" 10 (RG.n_vertices r);
+  for i = 0 to RG.n_vertices r - 1 do
+    let e = RG.vertex_entry r i in
+    check_int "roundtrip" i (RG.vertex_of_entry r e.FE.id)
+  done
+
+let test_cyclic_policy_rejected () =
+  (* Two switches forwarding the same header space at each other. *)
+  let topo = Openflow.Topology.create ~n_switches:2 in
+  Openflow.Topology.add_link topo ~sw_a:0 ~port_a:1 ~sw_b:1 ~port_b:1;
+  let net = Network.create ~header_len:4 topo in
+  let m = Cube.of_string "1xxx" in
+  let _ = Network.add_entry net ~switch:0 ~priority:1 ~match_:m (FE.Output 1) in
+  let _ = Network.add_entry net ~switch:1 ~priority:1 ~match_:m (FE.Output 1) in
+  check_bool "raises" true
+    (try
+       ignore (RG.build net);
+       false
+     with RG.Cyclic_policy cycle -> List.length cycle >= 2)
+
+let test_multi_table_goto () =
+  (* A single switch with two tables chained by goto; edge must exist
+     between the matching entries. *)
+  let topo = Openflow.Topology.create ~n_switches:2 in
+  Openflow.Topology.add_link topo ~sw_a:0 ~port_a:1 ~sw_b:1 ~port_b:1;
+  let net = Network.create ~header_len:4 ~tables_per_switch:2 topo in
+  let t0 =
+    Network.add_entry net ~switch:0 ~table:0 ~priority:1 ~match_:(Cube.of_string "1xxx")
+      (FE.Goto_table 1)
+  in
+  let t1 =
+    Network.add_entry net ~switch:0 ~table:1 ~priority:1 ~match_:(Cube.of_string "11xx")
+      (FE.Output 1)
+  in
+  let sink =
+    Network.add_entry net ~switch:1 ~priority:1 ~match_:(Cube.of_string "xxxx") FE.Drop
+  in
+  let r = RG.build net in
+  let vv e = RG.vertex_of_entry r e.FE.id in
+  check_bool "goto edge" true (Digraph.mem_edge (RG.base_graph r) (vv t0) (vv t1));
+  check_bool "cross switch" true (Digraph.mem_edge (RG.base_graph r) (vv t1) (vv sink));
+  check_bool "goto path legal" true (RG.is_legal r [ vv t0; vv t1; vv sink ])
+
+(* ------------------------------------------------------------------ *)
+(* Incremental updates *)
+
+let same_graphs rg_inc rg_full =
+  let edge_ids rg g =
+    let acc = ref [] in
+    Sdngraph.Digraph.iter_edges
+      (fun u v ->
+        acc :=
+          ((RG.vertex_entry rg u).FE.id, (RG.vertex_entry rg v).FE.id) :: !acc)
+      g;
+    List.sort compare !acc
+  in
+  check_int "same vertex count" (RG.n_vertices rg_full) (RG.n_vertices rg_inc);
+  check_bool "same base edges" true
+    (edge_ids rg_inc (RG.base_graph rg_inc) = edge_ids rg_full (RG.base_graph rg_full));
+  check_bool "same closure edges" true
+    (edge_ids rg_inc (RG.graph rg_inc) = edge_ids rg_full (RG.graph rg_full));
+  for v = 0 to RG.n_vertices rg_full - 1 do
+    let id = (RG.vertex_entry rg_full v).FE.id in
+    let vi = RG.vertex_of_entry rg_inc id in
+    check_bool "same input space" true (Hs.equal_sets (RG.input rg_inc vi) (RG.input rg_full v));
+    check_bool "same output space" true
+      (Hs.equal_sets (RG.output rg_inc vi) (RG.output rg_full v))
+  done
+
+let test_incremental_add () =
+  let f = Fixtures.figure3 () in
+  let rg0 = RG.build f.Fixtures.net in
+  (* Add a new high-priority rule on switch C: it shadows part of c2 and
+     changes C's inputs, edges, and closure paths. *)
+  let _new_rule =
+    Network.add_entry f.Fixtures.net ~switch:Fixtures.sw_c ~priority:3
+      ~match_:(Cube.of_string "0011xxxx")
+      (FE.Output 2)
+  in
+  let rg_inc = RG.update rg0 ~changed_tables:[ (Fixtures.sw_c, 0) ] in
+  let rg_full = RG.build f.Fixtures.net in
+  same_graphs rg_inc rg_full
+
+let test_incremental_remove () =
+  let f = Fixtures.figure3 () in
+  let rg0 = RG.build f.Fixtures.net in
+  (* Removing c1 un-shadows c2's input (0010xxxx returns to it). *)
+  Network.remove_entry f.Fixtures.net f.Fixtures.c1.FE.id;
+  let rg_inc = RG.update rg0 ~changed_tables:[ (Fixtures.sw_c, 0) ] in
+  let rg_full = RG.build f.Fixtures.net in
+  same_graphs rg_inc rg_full
+
+let test_incremental_random_churn () =
+  let rng = Sdn_util.Prng.create 23 in
+  for _ = 1 to 8 do
+    let net =
+      Fixtures.random_line_net rng ~n_switches:5 ~rules_per_switch:4 ~header_len:8
+    in
+    let rg0 = RG.build net in
+    (* Random churn: remove one entry, add one entry, on random switches. *)
+    let entries = Network.all_entries net in
+    let victim = List.nth entries (Sdn_util.Prng.int rng (List.length entries)) in
+    Network.remove_entry net victim.FE.id;
+    let sw = Sdn_util.Prng.int rng 4 in
+    let added =
+      Network.add_entry net ~switch:sw
+        ~priority:(1 + Sdn_util.Prng.int rng 9)
+        ~match_:(Hspace.Cube.random rng 8)
+        (FE.Output 2)
+    in
+    let changed_tables =
+      List.sort_uniq compare [ (victim.FE.switch, victim.FE.table); (added.FE.switch, 0) ]
+    in
+    let rg_inc = RG.update rg0 ~changed_tables in
+    let rg_full = RG.build net in
+    same_graphs rg_inc rg_full
+  done
+
+let test_incremental_cycle_detected () =
+  let topo = Openflow.Topology.create ~n_switches:2 in
+  Openflow.Topology.add_link topo ~sw_a:0 ~port_a:1 ~sw_b:1 ~port_b:1;
+  let net = Network.create ~header_len:4 topo in
+  let m = Cube.of_string "1xxx" in
+  let _ = Network.add_entry net ~switch:0 ~priority:1 ~match_:m (FE.Output 1) in
+  let rg0 = RG.build net in
+  (* Adding the reverse rule closes a loop. *)
+  let _ = Network.add_entry net ~switch:1 ~priority:1 ~match_:m (FE.Output 1) in
+  check_bool "cycle raised" true
+    (try
+       ignore (RG.update rg0 ~changed_tables:[ (1, 0) ]);
+       false
+     with RG.Cyclic_policy _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Static policy checks *)
+
+module SC = Rulegraph.Static_checks
+
+let test_static_clean () =
+  let f = Fixtures.figure3 () in
+  check_bool "figure3 is clean of loops/shadows" true
+    (List.for_all
+       (function SC.Blackhole _ -> true | _ -> false)
+       (SC.check f.Fixtures.net))
+
+let test_static_loop () =
+  let topo = Openflow.Topology.create ~n_switches:2 in
+  Openflow.Topology.add_link topo ~sw_a:0 ~port_a:1 ~sw_b:1 ~port_b:1;
+  let net = Network.create ~header_len:4 topo in
+  let m = Cube.of_string "1xxx" in
+  let a = Network.add_entry net ~switch:0 ~priority:1 ~match_:m (FE.Output 1) in
+  let b = Network.add_entry net ~switch:1 ~priority:1 ~match_:m (FE.Output 1) in
+  match SC.check net with
+  | SC.Forwarding_loop ids :: _ ->
+      check_bool "both entries on the loop" true
+        (List.sort compare ids = List.sort compare [ a.FE.id; b.FE.id ])
+  | _ -> Alcotest.fail "expected a loop issue first"
+
+let test_static_blackhole () =
+  let topo = Openflow.Topology.create ~n_switches:2 in
+  Openflow.Topology.add_link topo ~sw_a:0 ~port_a:1 ~sw_b:1 ~port_b:1;
+  let net = Network.create ~header_len:4 topo in
+  (* Switch 0 forwards 1xxx; switch 1 only matches 11xx: 10xx dies. *)
+  let fwd =
+    Network.add_entry net ~switch:0 ~priority:1 ~match_:(Cube.of_string "1xxx")
+      (FE.Output 1)
+  in
+  let _ =
+    Network.add_entry net ~switch:1 ~priority:1 ~match_:(Cube.of_string "11xx") FE.Drop
+  in
+  let blackholes =
+    List.filter_map
+      (function
+        | SC.Blackhole { rule; next_switch; space } -> Some (rule, next_switch, space)
+        | _ -> None)
+      (SC.check net)
+  in
+  match blackholes with
+  | [ (rule, next_switch, space) ] ->
+      check_int "leaking rule" fwd.FE.id rule;
+      check_int "at switch" 1 next_switch;
+      check_bool "leaked space" true
+        (Hs.equal_sets space (Hs.of_cubes 4 [ Cube.of_string "10xx" ]))
+  | _ -> Alcotest.fail "expected exactly one blackhole"
+
+let test_static_shadowed () =
+  let topo = Openflow.Topology.create ~n_switches:2 in
+  Openflow.Topology.add_link topo ~sw_a:0 ~port_a:1 ~sw_b:1 ~port_b:1;
+  let net = Network.create ~header_len:4 topo in
+  let _hi =
+    Network.add_entry net ~switch:0 ~priority:2 ~match_:(Cube.of_string "1xxx")
+      (FE.Output 1)
+  in
+  let shadowed =
+    Network.add_entry net ~switch:0 ~priority:1 ~match_:(Cube.of_string "11xx")
+      (FE.Output 1)
+  in
+  let _sink =
+    Network.add_entry net ~switch:1 ~priority:1 ~match_:(Cube.of_string "xxxx") FE.Drop
+  in
+  check_bool "shadow reported" true
+    (List.mem (SC.Shadowed_rule shadowed.FE.id) (SC.check net))
+
+let test_static_generated_clean () =
+  (* The synthetic policies are loop-free and shadow-free by
+     construction. *)
+  let rng = Sdn_util.Prng.create 31 in
+  let topo = Topogen.Topo_gen.rocketfuel_like rng ~n_switches:10 () in
+  let net = Topogen.Rule_gen.install rng topo in
+  List.iter
+    (fun issue ->
+      match issue with
+      | SC.Forwarding_loop _ | SC.Shadowed_rule _ ->
+          Alcotest.failf "unexpected issue: %s"
+            (Format.asprintf "%a" (SC.pp_issue net) issue)
+      | SC.Blackhole _ -> () (* unused selector values die by design *))
+    (SC.check net)
+
+let () =
+  Alcotest.run "rulegraph"
+    [
+      ( "figure3 base",
+        [
+          Alcotest.test_case "edges present" `Quick test_figure3_base_edges;
+          Alcotest.test_case "edges absent" `Quick test_figure3_no_edges;
+          Alcotest.test_case "dag" `Quick test_figure3_dag;
+        ] );
+      ( "legal paths",
+        [
+          Alcotest.test_case "positive" `Quick test_legal_path_positive;
+          Alcotest.test_case "negative (MPC trap)" `Quick test_legal_path_negative;
+          Alcotest.test_case "set field" `Quick test_legal_path_with_set_field;
+          Alcotest.test_case "forward space" `Quick test_forward_space;
+        ] );
+      ( "closure",
+        [
+          Alcotest.test_case "adds b2->e2" `Quick test_closure_adds_b2_e2;
+          Alcotest.test_case "witness expansion" `Quick test_closure_witness_expansion;
+          Alcotest.test_case "no illegal closure edges" `Quick test_closure_does_not_add_illegal;
+          Alcotest.test_case "all closure edges legal" `Quick test_closure_edges_all_legal;
+          Alcotest.test_case "closure off" `Quick test_no_closure_build;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "vertex roundtrip" `Quick test_vertex_roundtrip;
+          Alcotest.test_case "cyclic policy rejected" `Quick test_cyclic_policy_rejected;
+          Alcotest.test_case "multi-table goto" `Quick test_multi_table_goto;
+        ] );
+      ( "incremental",
+        [
+          Alcotest.test_case "add rule" `Quick test_incremental_add;
+          Alcotest.test_case "remove rule" `Quick test_incremental_remove;
+          Alcotest.test_case "random churn" `Quick test_incremental_random_churn;
+          Alcotest.test_case "cycle detected" `Quick test_incremental_cycle_detected;
+        ] );
+      ( "static checks",
+        [
+          Alcotest.test_case "figure3 clean" `Quick test_static_clean;
+          Alcotest.test_case "loop" `Quick test_static_loop;
+          Alcotest.test_case "blackhole" `Quick test_static_blackhole;
+          Alcotest.test_case "shadowed" `Quick test_static_shadowed;
+          Alcotest.test_case "generated policies clean" `Quick test_static_generated_clean;
+        ] );
+    ]

@@ -1,0 +1,150 @@
+(* Tests for the utility library: PRNG determinism and distribution
+   sanity, plus the small statistics helpers. *)
+
+module Prng = Sdn_util.Prng
+module Misc = Sdn_util.Misc
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* PRNG *)
+
+let test_determinism () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    check_bool "same stream" true (Prng.bits64 a = Prng.bits64 b)
+  done;
+  let c = Prng.create 43 in
+  check_bool "different seed differs" true (Prng.bits64 (Prng.create 42) <> Prng.bits64 c)
+
+let test_copy_and_split () =
+  let a = Prng.create 7 in
+  ignore (Prng.bits64 a);
+  let b = Prng.copy a in
+  check_bool "copy continues identically" true (Prng.bits64 a = Prng.bits64 b);
+  let c = Prng.split a in
+  check_bool "split independent" true (Prng.bits64 a <> Prng.bits64 c)
+
+let test_int_bounds () =
+  let rng = Prng.create 1 in
+  for _ = 1 to 1000 do
+    let v = Prng.int rng 7 in
+    check_bool "in range" true (v >= 0 && v < 7)
+  done;
+  for _ = 1 to 1000 do
+    let v = Prng.int_in rng 3 9 in
+    check_bool "inclusive range" true (v >= 3 && v <= 9)
+  done;
+  Alcotest.check_raises "bound must be positive"
+    (Invalid_argument "Prng.int: bound must be positive") (fun () ->
+      ignore (Prng.int rng 0))
+
+let test_int_uniformity () =
+  let rng = Prng.create 2 in
+  let counts = Array.make 4 0 in
+  let n = 40_000 in
+  for _ = 1 to n do
+    let v = Prng.int rng 4 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iter
+    (fun c -> check_bool "roughly uniform" true (abs (c - (n / 4)) < n / 20))
+    counts
+
+let test_float_bounds () =
+  let rng = Prng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Prng.float rng 2.5 in
+    check_bool "in range" true (v >= 0. && v < 2.5)
+  done
+
+let test_shuffle_permutation () =
+  let rng = Prng.create 4 in
+  let a = Array.init 50 Fun.id in
+  Prng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check_bool "is permutation" true (Array.to_list sorted = List.init 50 Fun.id);
+  check_bool "actually shuffled" true (Array.to_list a <> List.init 50 Fun.id)
+
+let test_sample_without_replacement () =
+  let rng = Prng.create 5 in
+  for _ = 1 to 50 do
+    let k = 1 + Prng.int rng 10 in
+    let n = k + Prng.int rng 20 in
+    let s = Prng.sample_without_replacement rng k n in
+    check_int "size" k (List.length s);
+    check_int "distinct" k (List.length (List.sort_uniq compare s));
+    List.iter (fun v -> check_bool "in range" true (v >= 0 && v < n)) s
+  done;
+  Alcotest.check_raises "k > n"
+    (Invalid_argument "Prng.sample_without_replacement: k > n") (fun () ->
+      ignore (Prng.sample_without_replacement rng 5 3))
+
+let test_choose () =
+  let rng = Prng.create 6 in
+  let arr = [| 10; 20; 30 |] in
+  for _ = 1 to 50 do
+    check_bool "member" true (Array.mem (Prng.choose rng arr) arr)
+  done;
+  check_int "singleton list" 42 (Prng.choose_list rng [ 42 ])
+
+(* ------------------------------------------------------------------ *)
+(* Misc statistics *)
+
+let test_mean_median () =
+  check_float "mean" 2.5 (Misc.mean [ 1.; 2.; 3.; 4. ]);
+  check_float "mean empty" 0. (Misc.mean []);
+  check_float "median odd" 3. (Misc.median [ 5.; 1.; 3. ]);
+  check_float "median even" 2.5 (Misc.median [ 4.; 1.; 2.; 3. ]);
+  check_float "median empty" 0. (Misc.median [])
+
+let test_percentile () =
+  let xs = List.init 100 (fun i -> float_of_int (i + 1)) in
+  check_float "p50" 50. (Misc.percentile 50. xs);
+  check_float "p99" 99. (Misc.percentile 99. xs);
+  check_float "p100" 100. (Misc.percentile 100. xs)
+
+let test_stddev () =
+  check_float "constant" 0. (Misc.stddev [ 2.; 2.; 2. ]);
+  check_float "known" 2. (Misc.stddev [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ])
+
+let test_group_by () =
+  let groups = Misc.group_by (fun x -> x mod 2) [ 1; 2; 3; 4; 5 ] in
+  check_bool "groups" true (groups = [ (1, [ 1; 3; 5 ]); (0, [ 2; 4 ]) ])
+
+let test_take () =
+  check_bool "take 2" true (Misc.take 2 [ 1; 2; 3 ] = [ 1; 2 ]);
+  check_bool "take more than length" true (Misc.take 9 [ 1; 2 ] = [ 1; 2 ]);
+  check_bool "take 0" true (Misc.take 0 [ 1 ] = [])
+
+let test_list_init_filter () =
+  check_bool "evens" true
+    (Misc.list_init_filter 6 (fun i -> if i mod 2 = 0 then Some i else None) = [ 0; 2; 4 ])
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "copy/split" `Quick test_copy_and_split;
+          Alcotest.test_case "int bounds" `Quick test_int_bounds;
+          Alcotest.test_case "int uniformity" `Quick test_int_uniformity;
+          Alcotest.test_case "float bounds" `Quick test_float_bounds;
+          Alcotest.test_case "shuffle" `Quick test_shuffle_permutation;
+          Alcotest.test_case "sampling" `Quick test_sample_without_replacement;
+          Alcotest.test_case "choose" `Quick test_choose;
+        ] );
+      ( "misc",
+        [
+          Alcotest.test_case "mean/median" `Quick test_mean_median;
+          Alcotest.test_case "percentile" `Quick test_percentile;
+          Alcotest.test_case "stddev" `Quick test_stddev;
+          Alcotest.test_case "group_by" `Quick test_group_by;
+          Alcotest.test_case "take" `Quick test_take;
+          Alcotest.test_case "list_init_filter" `Quick test_list_init_filter;
+        ] );
+    ]
