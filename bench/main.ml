@@ -23,6 +23,26 @@ let micro_workload =
 
 let campus = lazy (Topogen.Campus.synthesize (Sdn_util.Prng.create 42))
 
+(* Lint benchmark workload: a Rocketfuel-scale topology plus the probe
+   plan feeding the L009 coverage audit (cover paths as entry ids). *)
+let lint_workload =
+  lazy
+    (let rng = Sdn_util.Prng.create 99 in
+     let topo = Topogen.Topo_gen.rocketfuel_like rng ~n_switches:50 () in
+     let net = Topogen.Rule_gen.install rng topo in
+     let rg = Rulegraph.Rule_graph.build net in
+     let cover = Mlpc.Legal_matching.solve rg in
+     let probes =
+       List.map
+         (fun (p : Mlpc.Cover.path) ->
+           List.map
+             (fun v ->
+               (Rulegraph.Rule_graph.vertex_entry rg v).Openflow.Flow_entry.id)
+             p.Mlpc.Cover.rules)
+         cover.Mlpc.Cover.paths
+     in
+     (net, probes))
+
 let tests () =
   let net, rg = Lazy.force micro_workload in
   let campus = Lazy.force campus in
@@ -48,6 +68,17 @@ let tests () =
            ignore (Mlpc.Legal_matching.randomized (Sdn_util.Prng.create 3) rg)));
     Test.make ~name:"plan.generate campus (§VIII-A)"
       (Staged.stage (fun () -> ignore (Sdnprobe.Plan.generate campus)));
+    Test.make ~name:"lint.full-registry (50-sw rocketfuel)"
+      (Staged.stage
+         (let net, probes = Lazy.force lint_workload in
+          fun () -> ignore (Lint.Engine.run ~probes net)));
+    Test.make ~name:"lint.loop+shadow (50-sw rocketfuel)"
+      (Staged.stage
+         (let net, _ = Lazy.force lint_workload in
+          fun () ->
+            ignore
+              (Lint.Engine.run ~only:[ "L001-forwarding-loop"; "L003-shadowed-rule" ]
+                 net)));
     Test.make ~name:"emulator.inject (fig8b/8c delay)"
       (Staged.stage
          (let emu = Dataplane.Emulator.create net in

@@ -190,6 +190,101 @@ let detect_cmd =
     Term.(const run $ switches_term $ seed_term $ scheme $ fraction $ kind $ load_term)
 
 (* ------------------------------------------------------------------ *)
+(* lint *)
+
+let lint_cmd =
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as one JSON object.")
+  in
+  let fail_on =
+    let fail_conv =
+      Arg.enum
+        [
+          ("error", Lint.Engine.Fail_error);
+          ("warning", Lint.Engine.Fail_warning);
+          ("never", Lint.Engine.Fail_never);
+        ]
+    in
+    Arg.(
+      value
+      & opt fail_conv Lint.Engine.Fail_error
+      & info [ "fail-on" ] ~docv:"SEVERITY"
+          ~doc:
+            "Exit non-zero when a diagnostic of this severity (or worse) is \
+             present: $(b,error) (default), $(b,warning), or $(b,never).")
+  in
+  let passes =
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "passes" ] ~docv:"IDS"
+          ~doc:
+            "Comma-separated check ids (or $(b,Lnnn) prefixes) to run instead \
+             of the full registry.")
+  in
+  let no_coverage =
+    Arg.(
+      value & flag
+      & info [ "no-coverage" ]
+          ~doc:
+            "Skip the L009 probe-plan coverage audit (avoids building the rule \
+             graph and solving the path cover).")
+  in
+  let campus =
+    Arg.(value & flag & info [ "campus" ] ~doc:"Lint the synthetic campus dataset.")
+  in
+  (* The coverage audit needs a probe plan: the minimum legal path cover
+     is enough (header synthesis is irrelevant to which entries a probe
+     traverses). A cyclic policy has no rule graph — L001 reports the
+     loop and coverage is skipped. *)
+  let plan_probes net =
+    match Rulegraph.Rule_graph.build net with
+    | exception Rulegraph.Rule_graph.Cyclic_policy _ -> None
+    | rg ->
+        let cover = Mlpc.Legal_matching.solve rg in
+        Some
+          (List.map
+             (fun (p : Mlpc.Cover.path) ->
+               List.map
+                 (fun v ->
+                   (Rulegraph.Rule_graph.vertex_entry rg v).Openflow.Flow_entry.id)
+                 p.Mlpc.Cover.rules)
+             cover.Mlpc.Cover.paths)
+  in
+  let run switches seed campus load json fail_on passes no_coverage =
+    let net =
+      if campus then Topogen.Campus.synthesize (Sdn_util.Prng.create seed)
+      else resolve_network ~switches ~seed load
+    in
+    let probes = if no_coverage then None else plan_probes net in
+    match Lint.Engine.run ?only:passes ?probes net with
+    | exception Lint.Engine.Unknown_pass key ->
+        `Error
+          ( false,
+            Printf.sprintf "unknown lint pass %S; valid ids: %s" key
+              (String.concat ", "
+                 (List.map (fun (p : Lint.Passes.t) -> p.Lint.Passes.id)
+                    Lint.Passes.all)) )
+    | report ->
+        if json then print_endline (Lint.Engine.to_json report)
+        else begin
+          Format.printf "%a@." Openflow.Network.pp_summary net;
+          Format.printf "%a" Lint.Engine.pp_text report
+        end;
+        exit (Lint.Engine.exit_code ~fail_on report)
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run the static-analysis passes (loops, blackholes, shadowing, \
+          ambiguity, dead configuration, redundancy, probe coverage) over a \
+          policy")
+    Term.(
+      ret
+        (const run $ switches_term $ seed_term $ campus $ load_term $ json
+       $ fail_on $ passes $ no_coverage))
+
+(* ------------------------------------------------------------------ *)
 (* verify *)
 
 let verify_cmd =
@@ -221,4 +316,5 @@ let () =
   let info = Cmd.info "sdnprobe" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ list_cmd; experiment_cmd; plan_cmd; detect_cmd; verify_cmd ]))
+       (Cmd.group info
+          [ list_cmd; experiment_cmd; plan_cmd; detect_cmd; lint_cmd; verify_cmd ]))

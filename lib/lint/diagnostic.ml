@@ -1,0 +1,86 @@
+module Hs = Hspace.Hs
+
+type severity = Error | Warning | Info
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+type t = {
+  check : string;
+  severity : severity;
+  switch : int option;
+  table : int option;
+  entries : int list;
+  witness : Hs.t;
+  message : string;
+}
+
+let make ~check ~severity ?switch ?table ?(entries = []) ~witness message =
+  { check; severity; switch; table; entries; witness; message }
+
+let compare a b =
+  match Stdlib.compare (severity_rank a.severity) (severity_rank b.severity) with
+  | 0 -> (
+      match String.compare a.check b.check with
+      | 0 -> Stdlib.compare (a.switch, a.table, a.entries) (b.switch, b.table, b.entries)
+      | c -> c)
+  | c -> c
+
+let pp fmt d =
+  Format.fprintf fmt "%s[%s]" (severity_to_string d.severity) d.check;
+  (match d.switch with
+  | Some sw -> (
+      Format.fprintf fmt " sw%d" sw;
+      match d.table with Some tb -> Format.fprintf fmt "/t%d" tb | None -> ())
+  | None -> ());
+  Format.fprintf fmt ": %s" d.message;
+  if not (Hs.is_empty d.witness) then Format.fprintf fmt " [witness %a]" Hs.pp d.witness
+
+(* ------------------------------------------------------------------ *)
+(* JSON (hand-rolled: the toolchain carries no JSON library). *)
+
+let json_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let to_json buf d =
+  Buffer.add_string buf "{\"check\":";
+  json_string buf d.check;
+  Buffer.add_string buf ",\"severity\":";
+  json_string buf (severity_to_string d.severity);
+  (match d.switch with
+  | Some sw -> Buffer.add_string buf (Printf.sprintf ",\"switch\":%d" sw)
+  | None -> ());
+  (match d.table with
+  | Some tb -> Buffer.add_string buf (Printf.sprintf ",\"table\":%d" tb)
+  | None -> ());
+  Buffer.add_string buf ",\"entries\":[";
+  List.iteri
+    (fun i id ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (string_of_int id))
+    d.entries;
+  Buffer.add_string buf "],\"witness\":[";
+  List.iteri
+    (fun i cube ->
+      if i > 0 then Buffer.add_char buf ',';
+      json_string buf (Hspace.Cube.to_string cube))
+    (Hs.cubes d.witness);
+  Buffer.add_string buf "],\"message\":";
+  json_string buf d.message;
+  Buffer.add_char buf '}'

@@ -1,0 +1,495 @@
+module Hs = Hspace.Hs
+module Cube = Hspace.Cube
+module FE = Openflow.Flow_entry
+module Flow_table = Openflow.Flow_table
+module Network = Openflow.Network
+module Topology = Openflow.Topology
+module Digraph = Sdngraph.Digraph
+module D = Diagnostic
+
+type ctx = {
+  net : Network.t;
+  entries : FE.t array;
+  index_of : (int, int) Hashtbl.t; (* entry id -> array index *)
+  inputs : Hs.t array;
+  outputs : Hs.t array;
+  probes : int list list option;
+}
+
+let make_ctx ?probes net =
+  let entries = Array.of_list (Network.all_entries net) in
+  let index_of = Hashtbl.create (Array.length entries) in
+  Array.iteri (fun i (e : FE.t) -> Hashtbl.add index_of e.id i) entries;
+  {
+    net;
+    entries;
+    index_of;
+    inputs = Array.map (Network.input_space net) entries;
+    outputs = Array.map (Network.output_space net) entries;
+    probes;
+  }
+
+let network ctx = ctx.net
+
+let probes ctx = ctx.probes
+
+let table_entries ctx ~switch ~table =
+  Flow_table.entries (Network.table ctx.net ~switch ~table)
+
+(* Successor candidates of a rule: the entries its action hands the
+   packet to (next switch's table 0, or this switch's goto target). *)
+let successor_entries ctx (r : FE.t) =
+  match r.action with
+  | FE.Drop -> []
+  | FE.Output _ -> (
+      match Network.next_switch ctx.net r with
+      | None -> []
+      | Some sw -> table_entries ctx ~switch:sw ~table:0)
+  | FE.Goto_table tb -> table_entries ctx ~switch:r.switch ~table:tb
+
+(* ------------------------------------------------------------------ *)
+(* L001: forwarding loops.
+
+   Build the base rule graph edge set (the same construction as
+   Rule_graph step 1, but without rejecting cycles) and report a cycle
+   if one exists. The witness is the header space at the loop head that
+   survives a full traversal of the cycle (backward preimage, as in
+   Rule_graph.start_space); when per-edge compatibility does not
+   compose into a global round trip, the first edge's hand-off space is
+   the witness instead — the cycle still violates SDNProbe's DAG
+   precondition either way. *)
+
+let base_edges ctx =
+  let n = Array.length ctx.entries in
+  let g = Digraph.create n in
+  Array.iteri
+    (fun i (r : FE.t) ->
+      List.iter
+        (fun (q : FE.t) ->
+          let j = Hashtbl.find ctx.index_of q.id in
+          if not (Hs.is_empty (Hs.inter ctx.outputs.(i) ctx.inputs.(j))) then
+            Digraph.add_edge g i j)
+        (successor_entries ctx r))
+    ctx.entries;
+  g
+
+let backward_space ctx path =
+  let len = Network.header_len ctx.net in
+  List.fold_right
+    (fun v after ->
+      let r = ctx.entries.(v) in
+      Hs.inter ctx.inputs.(v) (Hs.inverse_set_field ~set:r.FE.set_field after))
+    path (Hs.full len)
+
+let pass_forwarding_loop ctx =
+  match Digraph.find_cycle (base_edges ctx) with
+  | None -> []
+  | Some cycle ->
+      let head = List.hd cycle in
+      let round_trip = backward_space ctx (cycle @ [ head ]) in
+      let witness =
+        if not (Hs.is_empty round_trip) then round_trip
+        else
+          match cycle with
+          | a :: b :: _ -> Hs.inter ctx.outputs.(a) ctx.inputs.(b)
+          | [ a ] -> Hs.inter ctx.outputs.(a) ctx.inputs.(a)
+          | [] -> assert false
+      in
+      let ids = List.map (fun v -> ctx.entries.(v).FE.id) cycle in
+      let switches =
+        List.sort_uniq compare (List.map (fun v -> ctx.entries.(v).FE.switch) cycle)
+      in
+      [
+        D.make ~check:"L001-forwarding-loop" ~severity:D.Error
+          ~switch:(List.hd switches) ~entries:ids ~witness
+          (Format.asprintf "forwarding loop through entries %a (switches %a)"
+             Fmt.(list ~sep:(any " -> ") int)
+             ids
+             Fmt.(list ~sep:(any ",") int)
+             switches);
+      ]
+
+(* ------------------------------------------------------------------ *)
+(* L002: blackholes — the part of a forwarding rule's output space no
+   entry of the next hop's first table matches (traffic silently dies
+   on table-miss). Witness: the leaked space. *)
+
+let pass_blackhole ctx =
+  let acc = ref [] in
+  Array.iteri
+    (fun i (r : FE.t) ->
+      match r.action with
+      | FE.Output _ -> (
+          match Network.next_switch ctx.net r with
+          | None -> ()
+          | Some sw ->
+              let leaked =
+                List.fold_left
+                  (fun space (q : FE.t) -> Hs.diff_cube space q.match_)
+                  ctx.outputs.(i)
+                  (table_entries ctx ~switch:sw ~table:0)
+              in
+              if not (Hs.is_empty leaked) then
+                acc :=
+                  D.make ~check:"L002-blackhole" ~severity:D.Warning ~switch:sw
+                    ~table:0 ~entries:[ r.id ] ~witness:leaked
+                    (Format.asprintf
+                       "entry %d (sw%d, prio %d) forwards %a to sw%d, where no \
+                        entry matches it"
+                       r.id r.switch r.priority Hs.pp leaked sw)
+                  :: !acc)
+      | FE.Drop | FE.Goto_table _ -> ())
+    ctx.entries;
+  List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* L003: fully-shadowed rules — empty input space: higher-precedence
+   rules of the same table cover the whole match. Witness: the match
+   itself (every header of it is stolen). *)
+
+let pass_shadowed ctx =
+  let acc = ref [] in
+  Array.iteri
+    (fun i (e : FE.t) ->
+      if Hs.is_empty ctx.inputs.(i) then begin
+        let shadowers =
+          Flow_table.higher_priority_overlaps
+            (Network.table ctx.net ~switch:e.switch ~table:e.table)
+            e
+        in
+        let shadower_ids = List.map (fun (q : FE.t) -> q.FE.id) shadowers in
+        acc :=
+          D.make ~check:"L003-shadowed-rule" ~severity:D.Error ~switch:e.switch
+            ~table:e.table
+            ~entries:(e.id :: shadower_ids)
+            ~witness:(Hs.of_cube e.match_)
+            (Format.asprintf
+               "entry %d (sw%d, prio %d) can never match: fully shadowed by %a"
+               e.id e.switch e.priority
+               Fmt.(list ~sep:(any ",") int)
+               shadower_ids)
+          :: !acc
+      end)
+    ctx.entries;
+  List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* L004: partially-shadowed rules — a non-empty strict subset of the
+   match survives higher-precedence rules. Normal in priority-based
+   tables (aggregate/specific families), so informational. Witness:
+   the shadowed portion. *)
+
+let pass_partial_shadow ctx =
+  let acc = ref [] in
+  Array.iteri
+    (fun i (e : FE.t) ->
+      if not (Hs.is_empty ctx.inputs.(i)) then begin
+        let stolen = Hs.diff (Hs.of_cube e.match_) ctx.inputs.(i) in
+        if not (Hs.is_empty stolen) then
+          acc :=
+            D.make ~check:"L004-partial-shadow" ~severity:D.Info ~switch:e.switch
+              ~table:e.table ~entries:[ e.id ] ~witness:stolen
+              (Format.asprintf
+                 "entry %d (sw%d, prio %d) loses %a to higher-precedence rules"
+                 e.id e.switch e.priority Hs.pp stolen)
+            :: !acc
+      end)
+    ctx.entries;
+  List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* L005: equal-priority overlap ambiguity. OpenFlow leaves the winner
+   among equal-priority matching entries undefined; the reproduction's
+   Flow_table papers over this with a lowest-id tiebreak. Report pairs
+   whose undefined region is actually reachable (not already resolved
+   by genuinely higher priorities) and whose behaviors differ — for
+   observationally identical rules the ambiguity is harmless. Witness:
+   the headers the two rules compete for. *)
+
+let same_behavior (a : FE.t) (b : FE.t) =
+  a.action = b.action && (a.action = FE.Drop || Cube.equal a.set_field b.set_field)
+
+let pass_priority_ambiguity ctx =
+  let acc = ref [] in
+  let n = Array.length ctx.entries in
+  for i = 0 to n - 1 do
+    let a = ctx.entries.(i) in
+    for j = i + 1 to n - 1 do
+      let b = ctx.entries.(j) in
+      if
+        a.FE.switch = b.FE.switch && a.FE.table = b.FE.table
+        && a.FE.priority = b.FE.priority
+        && (not (Cube.disjoint a.FE.match_ b.FE.match_))
+        && not (same_behavior a b)
+      then begin
+        (* The winner of the id tiebreak is the lower id; its input
+           space is the overlap net of genuinely higher priorities. *)
+        let low, high = if a.FE.id < b.FE.id then (i, j) else (j, i) in
+        let contested =
+          Hs.inter_cube ctx.inputs.(low) ctx.entries.(high).FE.match_
+        in
+        if not (Hs.is_empty contested) then
+          acc :=
+            D.make ~check:"L005-priority-ambiguity" ~severity:D.Warning
+              ~switch:a.FE.switch ~table:a.FE.table
+              ~entries:[ ctx.entries.(low).FE.id; ctx.entries.(high).FE.id ]
+              ~witness:contested
+              (Format.asprintf
+                 "entries %d and %d (sw%d, prio %d) overlap on %a with \
+                  different behavior; OpenFlow leaves the winner undefined \
+                  (the emulator breaks the tie by lower id)"
+                 ctx.entries.(low).FE.id ctx.entries.(high).FE.id a.FE.switch
+                 a.FE.priority Hs.pp contested)
+            :: !acc
+      end
+    done
+  done;
+  List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* L006: dead or unreachable switches. Three shapes: a switch with no
+   links (isolated — nothing can reach or leave it), a linked switch
+   with no flow entries (every arriving packet dies on table-miss), and
+   a switch no neighbour policy forwards into (only locally injected
+   packets can exercise its rules — informational). *)
+
+let pass_dead_switch ctx =
+  let topo = Network.topology ctx.net in
+  let len = Network.header_len ctx.net in
+  let fed = Array.make (Network.n_switches ctx.net) false in
+  Array.iteri
+    (fun _ (r : FE.t) ->
+      match Network.next_switch ctx.net r with
+      | Some sw -> fed.(sw) <- true
+      | None -> ())
+    ctx.entries;
+  let acc = ref [] in
+  for sw = 0 to Network.n_switches ctx.net - 1 do
+    let has_links = Topology.ports_of topo sw <> [] in
+    let has_entries = Network.switch_entries ctx.net sw <> [] in
+    if not has_links then
+      acc :=
+        D.make ~check:"L006-dead-switch" ~severity:D.Warning ~switch:sw
+          ~witness:(Hs.empty len)
+          (Format.asprintf "sw%d is isolated: no links attached" sw)
+        :: !acc
+    else if not has_entries then
+      acc :=
+        D.make ~check:"L006-dead-switch" ~severity:D.Warning ~switch:sw
+          ~witness:(Hs.full len)
+          (Format.asprintf
+             "sw%d has no flow entries: every packet reaching it dies on \
+              table-miss" sw)
+        :: !acc
+    else if not fed.(sw) then
+      acc :=
+        D.make ~check:"L006-dead-switch" ~severity:D.Info ~switch:sw
+          ~witness:(Hs.empty len)
+          (Format.asprintf
+             "no policy forwards traffic into sw%d: only locally injected \
+              packets can exercise its %d entries" sw
+             (List.length (Network.switch_entries ctx.net sw)))
+        :: !acc
+  done;
+  List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* L007: dead ports — a linked port no rule of its switch ever outputs
+   onto. Unused capacity, or a hint the policy misses a path. Witness:
+   the (empty) set of headers the switch sends out of the port. *)
+
+let pass_dead_port ctx =
+  let topo = Network.topology ctx.net in
+  let len = Network.header_len ctx.net in
+  let used = Hashtbl.create 64 in
+  Array.iter
+    (fun (r : FE.t) ->
+      match r.action with
+      | FE.Output p -> Hashtbl.replace used (r.switch, p) ()
+      | FE.Drop | FE.Goto_table _ -> ())
+    ctx.entries;
+  let acc = ref [] in
+  for sw = 0 to Network.n_switches ctx.net - 1 do
+    List.iter
+      (fun port ->
+        if not (Hashtbl.mem used (sw, port)) then
+          let peer =
+            match Topology.peer topo ~sw ~port with
+            | Some (psw, pport) -> Format.asprintf " (to sw%d:%d)" psw pport
+            | None -> ""
+          in
+          acc :=
+            D.make ~check:"L007-dead-port" ~severity:D.Info ~switch:sw
+              ~witness:(Hs.empty len)
+              (Format.asprintf "no rule of sw%d outputs onto port %d%s" sw port
+                 peer)
+            :: !acc)
+      (Topology.ports_of topo sw)
+  done;
+  List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* L008: redundant rules — removable without changing the table's
+   forwarding function. A rule is redundant when every header of its
+   input space would, in its absence, fall through to rules with the
+   same observable behavior (or to the table-miss drop, for Drop
+   rules). Witness: the rule's whole input space. *)
+
+let pass_redundant ctx =
+  let acc = ref [] in
+  for sw = 0 to Network.n_switches ctx.net - 1 do
+    for tb = 0 to Network.n_tables ctx.net - 1 do
+      let entries = table_entries ctx ~switch:sw ~table:tb in
+      let rec scan = function
+        | [] -> ()
+        | (r : FE.t) :: rest ->
+            let i = Hashtbl.find ctx.index_of r.id in
+            if not (Hs.is_empty ctx.inputs.(i)) then begin
+              (* Fold the rule's input space through the rest of the
+                 table in lookup order. *)
+              let rec absorb residual = function
+                | _ when Hs.is_empty residual -> Some (Hs.empty (Hs.length residual))
+                | [] -> if r.action = FE.Drop then Some residual else None
+                | (q : FE.t) :: qs ->
+                    if Hs.is_empty (Hs.inter_cube residual q.match_) then
+                      absorb residual qs
+                    else if same_behavior r q then
+                      absorb (Hs.diff_cube residual q.match_) qs
+                    else None
+              in
+              match absorb ctx.inputs.(i) rest with
+              | Some _ ->
+                  acc :=
+                    D.make ~check:"L008-redundant-rule" ~severity:D.Info
+                      ~switch:sw ~table:tb ~entries:[ r.id ]
+                      ~witness:ctx.inputs.(i)
+                      (Format.asprintf
+                         "entry %d (sw%d, prio %d) is redundant: removing it \
+                          leaves the table's behavior unchanged on %a"
+                         r.id sw r.priority Hs.pp ctx.inputs.(i))
+                    :: !acc
+              | None -> ()
+            end;
+            scan rest
+      in
+      scan entries
+    done
+  done;
+  List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* L009: probe-plan coverage audit — statically prove every testable
+   (non-shadowed) entry is traversed by some planned probe, or name the
+   uncovered entries. Witness: the headers that would exercise the
+   uncovered entry. *)
+
+let pass_coverage ctx =
+  match ctx.probes with
+  | None -> []
+  | Some probes ->
+      let covered = Hashtbl.create 256 in
+      List.iter (List.iter (fun id -> Hashtbl.replace covered id ())) probes;
+      let acc = ref [] in
+      Array.iteri
+        (fun i (e : FE.t) ->
+          if (not (Hs.is_empty ctx.inputs.(i))) && not (Hashtbl.mem covered e.id)
+          then
+            acc :=
+              D.make ~check:"L009-uncovered-rule" ~severity:D.Error
+                ~switch:e.switch ~table:e.table ~entries:[ e.id ]
+                ~witness:ctx.inputs.(i)
+                (Format.asprintf
+                   "entry %d (sw%d, prio %d) is testable but no planned probe \
+                    traverses it" e.id e.switch e.priority)
+              :: !acc)
+        ctx.entries;
+      List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* Registry *)
+
+type t = {
+  id : string;
+  severity : Diagnostic.severity;
+  doc : string;
+  needs_probes : bool;
+  run : ctx -> Diagnostic.t list;
+}
+
+let all =
+  [
+    {
+      id = "L001-forwarding-loop";
+      severity = D.Error;
+      doc = "cycle of flow entries some header can traverse";
+      needs_probes = false;
+      run = pass_forwarding_loop;
+    };
+    {
+      id = "L002-blackhole";
+      severity = D.Warning;
+      doc = "forwarded header space the next hop silently drops";
+      needs_probes = false;
+      run = pass_blackhole;
+    };
+    {
+      id = "L003-shadowed-rule";
+      severity = D.Error;
+      doc = "entry fully covered by higher-precedence rules";
+      needs_probes = false;
+      run = pass_shadowed;
+    };
+    {
+      id = "L004-partial-shadow";
+      severity = D.Info;
+      doc = "entry losing part of its match to higher-precedence rules";
+      needs_probes = false;
+      run = pass_partial_shadow;
+    };
+    {
+      id = "L005-priority-ambiguity";
+      severity = D.Warning;
+      doc = "equal-priority overlap with different behavior (undefined in OpenFlow)";
+      needs_probes = false;
+      run = pass_priority_ambiguity;
+    };
+    {
+      id = "L006-dead-switch";
+      severity = D.Warning;
+      doc = "isolated, entry-less, or policy-unreachable switch";
+      needs_probes = false;
+      run = pass_dead_switch;
+    };
+    {
+      id = "L007-dead-port";
+      severity = D.Info;
+      doc = "linked port no rule outputs onto";
+      needs_probes = false;
+      run = pass_dead_port;
+    };
+    {
+      id = "L008-redundant-rule";
+      severity = D.Info;
+      doc = "entry removable without changing reachability";
+      needs_probes = false;
+      run = pass_redundant;
+    };
+    {
+      id = "L009-uncovered-rule";
+      severity = D.Error;
+      doc = "testable entry no planned probe traverses";
+      needs_probes = true;
+      run = pass_coverage;
+    };
+  ]
+
+let find key =
+  let key = String.lowercase_ascii key in
+  List.find_opt
+    (fun p ->
+      let id = String.lowercase_ascii p.id in
+      id = key
+      || String.length key <= String.length id
+         && String.sub id 0 (String.length key) = key
+         && String.length key >= 4)
+    all

@@ -1,0 +1,33 @@
+type t = {
+  mutable order : string list; (* reversed first-insertion order *)
+  totals : (string, float) Hashtbl.t;
+}
+
+let create () = { order = []; totals = Hashtbl.create 8 }
+
+let record t label seconds =
+  (match Hashtbl.find_opt t.totals label with
+  | None ->
+      t.order <- label :: t.order;
+      Hashtbl.add t.totals label seconds
+  | Some acc -> Hashtbl.replace t.totals label (acc +. seconds));
+  ()
+
+let time t label f =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect ~finally:(fun () -> record t label (Unix.gettimeofday () -. t0)) f
+
+let timings t =
+  List.rev_map (fun label -> (label, Hashtbl.find t.totals label)) t.order
+
+let total t = Hashtbl.fold (fun _ s acc -> s +. acc) t.totals 0.
+
+let pp_duration fmt s =
+  if s >= 1. then Format.fprintf fmt "%.2f s" s
+  else if s >= 1e-3 then Format.fprintf fmt "%.2f ms" (s *. 1e3)
+  else Format.fprintf fmt "%.0f us" (s *. 1e6)
+
+let pp fmt t =
+  List.iter
+    (fun (label, s) -> Format.fprintf fmt "%s: %a@." label pp_duration s)
+    (timings t)

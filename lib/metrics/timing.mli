@@ -1,0 +1,26 @@
+(** Named wall-clock timers for instrumenting multi-stage pipelines
+    (the lint engine's per-pass timings, experiment phases, ...).
+
+    A recorder accumulates labelled durations in insertion order;
+    re-recording an existing label adds to its total, so a label can
+    wrap a loop body. *)
+
+type t
+
+val create : unit -> t
+
+val time : t -> string -> (unit -> 'a) -> 'a
+(** [time t label f] runs [f], charges its wall-clock duration to
+    [label] and returns [f]'s result. Exceptions propagate; the elapsed
+    time up to the raise is still recorded. *)
+
+val record : t -> string -> float -> unit
+(** Charge an externally-measured duration (seconds) to a label. *)
+
+val timings : t -> (string * float) list
+(** Accumulated [(label, seconds)] pairs in first-insertion order. *)
+
+val total : t -> float
+
+val pp : Format.formatter -> t -> unit
+(** One [label: duration] line per entry, human-scaled units. *)

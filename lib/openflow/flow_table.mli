@@ -23,11 +23,20 @@ val remove : t -> int -> t
 (** Remove by entry id (no-op when absent). *)
 
 val lookup : t -> Hspace.Header.t -> Flow_entry.t option
-(** First match in lookup order. *)
+(** First match in lookup order: highest priority wins; among entries of
+    {e equal} priority the one with the lower id wins. OpenFlow leaves
+    equal-priority overlap undefined, so this tiebreak is a modelling
+    decision — see {!higher_priority_overlaps} for its analytic twin. *)
 
 val higher_priority_overlaps : t -> Flow_entry.t -> Flow_entry.t list
 (** The paper's overlapping rules [q >_o r]: entries of this table with
-    strictly higher lookup precedence whose match intersects [r]'s. *)
+    strictly higher lookup precedence whose match intersects [r]'s.
+    "Precedence" is the {!lookup} order, so an equal-priority entry with
+    a lower id {e does} count as an overlap of [r], while one with a
+    higher id does not — keeping [input_space]/[output_space] consistent
+    with what the emulator actually executes. An entry shadowed only by
+    equal-priority, lower-id rules is therefore still reported as
+    shadowed (its {!input_space} is empty). *)
 
 val input_space : t -> Flow_entry.t -> Hspace.Hs.t
 (** [r.in = r.m − ∪ { q.m | q >_o r }] (§V-A). *)

@@ -1,99 +1,54 @@
 module Hs = Hspace.Hs
 module FE = Openflow.Flow_entry
 module Network = Openflow.Network
-module Topology = Openflow.Topology
-module Digraph = Sdngraph.Digraph
 
 type issue =
   | Forwarding_loop of int list
   | Blackhole of { rule : int; next_switch : int; space : Hs.t }
   | Shadowed_rule of int
 
-(* Build the base rule graph without rejecting cycles: Rule_graph.build
-   raises on loops, so the loop check replicates its edge construction
-   on top of the per-rule spaces. *)
-let base_edges net entries inputs outputs =
-  let index_of = Hashtbl.create (Array.length entries) in
-  Array.iteri (fun i (e : FE.t) -> Hashtbl.add index_of e.id i) entries;
-  let g = Digraph.create (Array.length entries) in
-  Array.iteri
-    (fun i (r : FE.t) ->
-      let candidates =
-        match r.action with
-        | FE.Drop -> []
-        | FE.Output _ -> (
-            match Network.next_switch net r with
-            | None -> []
-            | Some sw -> Openflow.Flow_table.entries (Network.table net ~switch:sw ~table:0))
-        | FE.Goto_table tb ->
-            Openflow.Flow_table.entries (Network.table net ~switch:r.switch ~table:tb)
-      in
-      List.iter
-        (fun (q : FE.t) ->
-          let j = Hashtbl.find index_of q.id in
-          if not (Hs.is_empty (Hs.inter outputs.(i) inputs.(j))) then
-            Digraph.add_edge g i j)
-        candidates)
-    entries;
-  g
-
+(* Thin compatibility shim over the lint engine (lib/lint): run the
+   three legacy passes and map their diagnostics back onto [issue].
+   Pass emission order matches the historical contract — the loop
+   first, then blackholes and shadows in ascending entry order. *)
 let check net =
-  let entries = Array.of_list (Network.all_entries net) in
-  let inputs = Array.map (Network.input_space net) entries in
-  let outputs = Array.map (Network.output_space net) entries in
-  let issues = ref [] in
-  (* Shadowed rules. *)
-  Array.iteri
-    (fun i (e : FE.t) ->
-      if Hs.is_empty inputs.(i) then issues := Shadowed_rule e.id :: !issues)
-    entries;
-  (* Blackholes: per forwarding rule, the part of its output space no
-     entry of the next hop's first table matches. *)
-  Array.iteri
-    (fun i (r : FE.t) ->
-      match r.action with
-      | FE.Output _ -> (
-          match Network.next_switch net r with
-          | None -> ()
-          | Some sw ->
-              let absorbed =
-                List.fold_left
-                  (fun acc (q : FE.t) -> Hs.diff_cube acc q.match_)
-                  outputs.(i)
-                  (Openflow.Flow_table.entries (Network.table net ~switch:sw ~table:0))
-              in
-              if not (Hs.is_empty absorbed) then
-                issues := Blackhole { rule = r.id; next_switch = sw; space = absorbed } :: !issues)
-      | FE.Drop | FE.Goto_table _ -> ())
-    entries;
-  (* Forwarding loops. *)
-  let g = base_edges net entries inputs outputs in
-  (match Digraph.find_cycle g with
-  | Some cycle ->
-      issues := Forwarding_loop (List.map (fun v -> entries.(v).FE.id) cycle) :: !issues
-  | None -> ());
-  (* Loops first, then blackholes, then shadows. *)
-  let weight = function
-    | Forwarding_loop _ -> 0
-    | Blackhole _ -> 1
-    | Shadowed_rule _ -> 2
+  let report =
+    Lint.Engine.run
+      ~only:[ "L001-forwarding-loop"; "L002-blackhole"; "L003-shadowed-rule" ]
+      net
   in
-  List.stable_sort (fun a b -> compare (weight a) (weight b)) (List.rev !issues)
+  List.filter_map
+    (fun (d : Lint.Diagnostic.t) ->
+      match (d.check, d.entries) with
+      | "L001-forwarding-loop", ids -> Some (Forwarding_loop ids)
+      | "L002-blackhole", rule :: _ ->
+          Some
+            (Blackhole
+               { rule; next_switch = Option.get d.switch; space = d.witness })
+      | "L003-shadowed-rule", id :: _ -> Some (Shadowed_rule id)
+      | _ -> None)
+    report.Lint.Engine.diagnostics
 
 let is_clean net = check net = []
+
+let pp_entry net fmt id =
+  match Network.find_entry net id with
+  | Some e -> Format.fprintf fmt "%d(p%d)" id e.FE.priority
+  | None -> Format.pp_print_int fmt id
 
 let pp_issue net fmt = function
   | Forwarding_loop ids ->
       Format.fprintf fmt "forwarding loop through entries %a"
         (Format.pp_print_list
            ~pp_sep:(fun f () -> Format.pp_print_string f " -> ")
-           Format.pp_print_int)
+           (pp_entry net))
         ids
   | Blackhole { rule; next_switch; space } ->
-      Format.fprintf fmt "blackhole: entry %d (sw%d) sends %a to sw%d, which drops it"
-        rule
+      Format.fprintf fmt "blackhole: entry %a (sw%d) sends %a to sw%d, which drops it"
+        (pp_entry net) rule
         (Network.entry net rule).FE.switch
         Hs.pp space next_switch
   | Shadowed_rule id ->
-      Format.fprintf fmt "shadowed rule: entry %d (sw%d) can never match" id
+      Format.fprintf fmt "shadowed rule: entry %a (sw%d) can never match"
+        (pp_entry net) id
         (Network.entry net id).FE.switch

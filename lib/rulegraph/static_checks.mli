@@ -15,7 +15,13 @@
       probe).
 
     Checking is polynomial: one rule-graph construction plus a pairwise
-    leak computation per link. *)
+    leak computation per link.
+
+    This module is now a thin compatibility shim over the {!Lint}
+    engine, which generalizes these three checks into a full diagnostic
+    framework (severities, stable check ids, header-space witnesses,
+    more passes — see [docs/LINT.md] and [sdnprobe lint]). Existing
+    callers keep the historical [issue] API and results. *)
 
 type issue =
   | Forwarding_loop of int list

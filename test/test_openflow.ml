@@ -74,6 +74,26 @@ let test_table_tie_break () =
   | Some e -> check_int "lower id" 3 e.FE.id
   | None -> Alcotest.fail "expected match"
 
+let test_overlaps_tie_break () =
+  (* The analytic side of the tiebreak: with equal priorities, the
+     lower-id entry takes precedence, so it overlaps the higher-id one
+     but not vice versa — and the higher-id entry's input space is
+     exactly what the lower-id entry leaves behind. *)
+  let a = entry ~id:5 ~priority:1 ~match_:"00xxxxxx" FE.Drop in
+  let b = entry ~id:3 ~priority:1 ~match_:"000xxxxx" FE.Drop in
+  let t = FT.of_entries [ a; b ] in
+  check_bool "b precedes a" true (FT.higher_priority_overlaps t a = [ b ]);
+  check_bool "a does not precede b" true (FT.higher_priority_overlaps t b = []);
+  check_bool "b.in is its whole match" true
+    (Hs.equal_sets (FT.input_space t b) (Hs.of_cubes 8 [ Cube.of_string "000xxxxx" ]));
+  check_bool "a.in is the remainder" true
+    (Hs.equal_sets (FT.input_space t a) (Hs.of_cubes 8 [ Cube.of_string "001xxxxx" ]));
+  (* Identical matches at equal priority: the higher id is fully
+     shadowed by the lower id. *)
+  let c = entry ~id:7 ~priority:1 ~match_:"000xxxxx" FE.Drop in
+  let t = FT.add t c in
+  check_bool "c shadowed by b" true (Hs.is_empty (FT.input_space t c))
+
 let test_table_add_remove () =
   let a = entry ~id:1 ~priority:1 ~match_:"0xxxxxxx" FE.Drop in
   let t = FT.add FT.empty a in
@@ -100,6 +120,45 @@ let test_output_space () =
   let t = FT.of_entries [ d1 ] in
   check_bool "d1 out" true
     (Hs.equal_sets (FT.output_space t d1) (Hs.of_cubes 8 [ Cube.of_string "0111xxxx" ]))
+
+(* Property: an entry's input space is empty exactly when the static
+   checker reports it shadowed — [Flow_table.input_space] (including the
+   equal-priority id tiebreak) and the lint-backed [Static_checks] agree
+   on every random table. *)
+
+let gen_table =
+  QCheck.Gen.(
+    let gen_bit =
+      frequency [ (2, return Cube.Zero); (2, return Cube.One); (3, return Cube.Any) ]
+    in
+    let gen_cube =
+      map (fun bits -> Cube.of_bits (Array.of_list bits)) (list_size (return 8) gen_bit)
+    in
+    list_size (int_range 2 8) (pair (int_range 1 3) gen_cube))
+
+let arb_table =
+  QCheck.make
+    ~print:(fun rows ->
+      String.concat "; "
+        (List.map (fun (p, c) -> Printf.sprintf "p%d %s" p (Cube.to_string c)) rows))
+    gen_table
+
+let prop_shadow_iff_empty_input =
+  QCheck.Test.make ~name:"shadowed iff empty input space" ~count:200 arb_table
+    (fun rows ->
+      let net = Network.create ~header_len:8 (Topology.create ~n_switches:2) in
+      let entries =
+        List.map
+          (fun (priority, match_) ->
+            Network.add_entry net ~switch:0 ~priority ~match_ FE.Drop)
+          rows
+      in
+      let issues = Rulegraph.Static_checks.check net in
+      List.for_all
+        (fun (e : FE.t) ->
+          Hs.is_empty (Network.input_space net e)
+          = List.mem (Rulegraph.Static_checks.Shadowed_rule e.id) issues)
+        entries)
 
 (* ------------------------------------------------------------------ *)
 (* Topology *)
@@ -262,9 +321,11 @@ let () =
         [
           Alcotest.test_case "lookup priority" `Quick test_table_lookup_priority;
           Alcotest.test_case "tie break" `Quick test_table_tie_break;
+          Alcotest.test_case "overlaps tie break" `Quick test_overlaps_tie_break;
           Alcotest.test_case "add/remove" `Quick test_table_add_remove;
           Alcotest.test_case "input space" `Quick test_input_space;
           Alcotest.test_case "output space" `Quick test_output_space;
+          QCheck_alcotest.to_alcotest prop_shadow_iff_empty_input;
         ] );
       ( "topology",
         [

@@ -134,6 +134,65 @@ let test_no_closure_build () =
   check_int "same edges as base" (Digraph.n_edges (RG.base_graph r))
     (Digraph.n_edges (RG.graph r))
 
+let test_expand_path_nested_closures () =
+  (* A 5-switch chain with one rule per switch: the closure adds an
+     edge for every vertex pair (i, j), i < j, so a path can be built
+     entirely of closure edges. expand_path must splice each witness
+     interior back in, producing the base-edge chain. *)
+  let topo = Openflow.Topology.create ~n_switches:5 in
+  for i = 0 to 3 do
+    Openflow.Topology.add_link topo ~sw_a:i ~port_a:2 ~sw_b:(i + 1) ~port_b:1
+  done;
+  let net = Network.create ~header_len:4 topo in
+  let rule sw action =
+    Network.add_entry net ~switch:sw ~priority:1 ~match_:(Cube.of_string "1xxx") action
+  in
+  let rules =
+    List.init 4 (fun i -> rule i (FE.Output 2)) @ [ rule 4 FE.Drop ]
+  in
+  let r = RG.build net in
+  let vv i = RG.vertex_of_entry r (List.nth rules i).FE.id in
+  let chain = List.init 5 vv in
+  (* Two consecutive closure edges: 0 -> 2 -> 4. *)
+  check_bool "0->2 closure" true (RG.is_closure_edge r (vv 0) (vv 2));
+  check_bool "2->4 closure" true (RG.is_closure_edge r (vv 2) (vv 4));
+  check_bool "two-hop expansion" true
+    (RG.expand_path r [ vv 0; vv 2; vv 4 ] = chain);
+  (* A single closure edge spanning the whole chain. *)
+  check_bool "0->4 closure" true (RG.is_closure_edge r (vv 0) (vv 4));
+  check_bool "full-span expansion" true (RG.expand_path r [ vv 0; vv 4 ] = chain);
+  check_bool "expansion legal" true
+    (not (Hs.is_empty (RG.forward_space r chain)));
+  (* A pair that is neither a base nor a closure edge is rejected. *)
+  check_bool "reverse pair rejected" true
+    (try
+       ignore (RG.expand_path r [ vv 4; vv 0 ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_cyclic_policy_through_rewrites () =
+  (* Two switches bouncing a packet via set-field rewrites: sw0 sends
+     0xxx as 1xxx, sw1 sends it back as 0xxx. The match fields are
+     disjoint, so the loop exists only through the rewrites — build
+     must still reject it. *)
+  let topo = Openflow.Topology.create ~n_switches:2 in
+  Openflow.Topology.add_link topo ~sw_a:0 ~port_a:1 ~sw_b:1 ~port_b:1;
+  let net = Network.create ~header_len:4 topo in
+  let a =
+    Network.add_entry net ~switch:0 ~priority:1 ~match_:(Cube.of_string "0xxx")
+      ~set_field:(Cube.of_string "1xxx") (FE.Output 1)
+  in
+  let b =
+    Network.add_entry net ~switch:1 ~priority:1 ~match_:(Cube.of_string "1xxx")
+      ~set_field:(Cube.of_string "0xxx") (FE.Output 1)
+  in
+  check_bool "raises with both entries" true
+    (try
+       ignore (RG.build net);
+       false
+     with RG.Cyclic_policy cycle ->
+       List.sort compare cycle = List.sort compare [ a.FE.id; b.FE.id ])
+
 (* ------------------------------------------------------------------ *)
 (* Inputs/outputs and lookup *)
 
@@ -380,11 +439,13 @@ let () =
           Alcotest.test_case "no illegal closure edges" `Quick test_closure_does_not_add_illegal;
           Alcotest.test_case "all closure edges legal" `Quick test_closure_edges_all_legal;
           Alcotest.test_case "closure off" `Quick test_no_closure_build;
+          Alcotest.test_case "nested closure expansion" `Quick test_expand_path_nested_closures;
         ] );
       ( "structure",
         [
           Alcotest.test_case "vertex roundtrip" `Quick test_vertex_roundtrip;
           Alcotest.test_case "cyclic policy rejected" `Quick test_cyclic_policy_rejected;
+          Alcotest.test_case "cyclic through rewrites" `Quick test_cyclic_policy_through_rewrites;
           Alcotest.test_case "multi-table goto" `Quick test_multi_table_goto;
         ] );
       ( "incremental",
