@@ -160,34 +160,106 @@ let detect_cmd =
       & opt kind_conv Experiments.Workloads.Basic
       & info [ "kind" ] ~docv:"KIND" ~doc:"Fault kind: basic, drop, or detour.")
   in
-  let run switches seed scheme fraction kind load =
+  let loss =
+    Arg.(
+      value & opt float 0.
+      & info [ "loss" ] ~docv:"RATE"
+          ~doc:"Impairment: per-link per-packet loss probability (e.g. 0.02).")
+  in
+  let jitter =
+    Arg.(
+      value & opt int 0
+      & info [ "jitter" ] ~docv:"US"
+          ~doc:"Impairment: max per-switch delay jitter in microseconds.")
+  in
+  let flap =
+    Arg.(
+      value & opt (some float) None
+      & info [ "flap" ] ~docv:"RATIO"
+          ~doc:"Impairment: probability a link is down in a 200ms window.")
+  in
+  let churn =
+    Arg.(
+      value & opt (some float) None
+      & info [ "churn" ] ~docv:"RATIO"
+          ~doc:
+            "Impairment: probability a flow entry is mid-reconfiguration \
+             (blackholing) in a 250ms window.")
+  in
+  let resilient =
+    Arg.(
+      value & flag
+      & info [ "resilient" ]
+          ~doc:
+            "Use the loss-tolerant detection profile (bounded retransmission \
+             with backoff, suspicion decay) instead of the loss-naive default. \
+             Recommended whenever impairments are enabled.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the detection report as one versioned JSON object.")
+  in
+  let run switches seed scheme fraction kind load loss jitter flap churn resilient
+      json =
     let net = resolve_network ~switches ~seed load in
     let emulator = Dataplane.Emulator.create net in
     let truth =
       Experiments.Workloads.inject (Sdn_util.Prng.create (seed + 1)) ~kind ~fraction
         emulator
     in
-    Format.printf "%a@." Openflow.Network.pp_summary net;
-    Format.printf "injected faults on switches: %a@."
-      Fmt.(list ~sep:comma int)
-      truth;
-    let config = { Sdnprobe.Config.default with Sdnprobe.Config.max_rounds = 150 } in
+    (if loss > 0. || jitter > 0 || flap <> None || churn <> None then
+       let spec =
+         Dataplane.Impairment.spec ~seed:(seed + 2) ~loss_rate:loss
+           ~jitter_max_us:jitter
+           ?flaps:
+             (Option.map
+                (fun down_ratio ->
+                  { Dataplane.Impairment.flap_window_us = 200_000; down_ratio })
+                flap)
+           ?churn:
+             (Option.map
+                (fun out_ratio ->
+                  { Dataplane.Impairment.churn_window_us = 250_000; out_ratio })
+                churn)
+           ()
+       in
+       Dataplane.Emulator.set_impairment emulator (Dataplane.Impairment.create spec));
+    if not json then begin
+      Format.printf "%a@." Openflow.Network.pp_summary net;
+      Format.printf "injected faults on switches: %a@."
+        Fmt.(list ~sep:comma int)
+        truth
+    end;
+    let config =
+      if resilient then Sdnprobe.Config.(with_max_rounds 150 resilient)
+      else Sdnprobe.Config.make ~max_rounds:150 ()
+    in
     let report =
       Experiments.Schemes.run scheme ~seed
         ~stop:(Sdnprobe.Runner.stop_when_flagged truth)
         ~config emulator
     in
-    Format.printf "%a@." Sdnprobe.Report.pp report;
-    let confusion =
-      Metrics.Confusion.compute ~ground_truth:truth
-        ~flagged:(Sdnprobe.Report.flagged_switches report)
-        ~population:(Experiments.Workloads.population net)
-    in
-    Format.printf "accuracy: %a@." Metrics.Confusion.pp confusion
+    if json then print_endline (Sdnprobe.Report.to_json report)
+    else begin
+      Format.printf "%a@." Sdnprobe.Report.pp report;
+      let confusion =
+        Metrics.Confusion.compute ~ground_truth:truth
+          ~flagged:(Sdnprobe.Report.flagged_switches report)
+          ~population:(Experiments.Workloads.population net)
+      in
+      Format.printf "accuracy: %a@." Metrics.Confusion.pp confusion
+    end
   in
   Cmd.v
-    (Cmd.info "detect" ~doc:"Inject faults and run fault localization")
-    Term.(const run $ switches_term $ seed_term $ scheme $ fraction $ kind $ load_term)
+    (Cmd.info "detect"
+       ~doc:
+         "Inject faults (and optional environment impairments) and run fault \
+          localization")
+    Term.(
+      const run $ switches_term $ seed_term $ scheme $ fraction $ kind $ load_term
+      $ loss $ jitter $ flap $ churn $ resilient $ json)
 
 (* ------------------------------------------------------------------ *)
 (* lint *)

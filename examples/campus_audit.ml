@@ -19,13 +19,16 @@ module Report = Sdnprobe.Report
 
 let audit name emulator ~expect =
   Format.printf "@.--- epoch: %s ---@." name;
-  let config = { Sdnprobe.Config.default with Sdnprobe.Config.max_rounds = 40 } in
+  let config = Sdnprobe.Config.make ~max_rounds:40 () in
   let stop = match expect with [] -> Runner.stop_never | sws -> Runner.stop_when_flagged sws in
   (* Cap the healthy epoch at a few monitoring rounds. *)
   let stop =
     Runner.stop_any [ stop; (fun ~detections:_ ~round ~time_s:_ -> round >= 8) ]
   in
-  let report = Runner.detect ~stop ~config emulator in
+  let report =
+    Runner.execute ~stop ~config ~emulator
+      (Sdnprobe.Plan.generate (Dataplane.Emulator.network emulator))
+  in
   Format.printf "%a@." Report.pp report;
   (match report.Report.suspicion_ranking with
   | [] -> Format.printf "suspicion ranking: all clear@."

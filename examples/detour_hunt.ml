@@ -48,11 +48,12 @@ let () =
   let hunt name mode =
     let emulator = Emu.create net in
     Emu.set_fault emulator ~entry:compromised.FE.id (Fault.make (Fault.Detour peer));
-    let config = { Sdnprobe.Config.default with Sdnprobe.Config.max_rounds = 500 } in
+    let config = Sdnprobe.Config.make ~max_rounds:500 () in
     let report =
-      Runner.detect
+      Runner.execute
         ~stop:(Runner.stop_when_flagged [ compromised.FE.switch ])
-        ~mode ~config emulator
+        ~config ~emulator
+        (Sdnprobe.Plan.generate ~mode net)
     in
     let found = List.mem compromised.FE.switch (Report.flagged_switches report) in
     Format.printf "%s: %s (rounds %d, %.1fs virtual)@." name

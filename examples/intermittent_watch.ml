@@ -34,9 +34,12 @@ let () =
   Format.printf "flapping rule: %d on switch %d (drop bursts, ~30%% duty)@." victim.FE.id
     victim.FE.switch;
 
-  let config = { Sdnprobe.Config.default with Sdnprobe.Config.max_rounds = 400 } in
+  let config = Sdnprobe.Config.make ~max_rounds:400 () in
   let report =
-    Runner.detect ~stop:(Runner.stop_when_flagged [ victim.FE.switch ]) ~config emulator
+    Runner.execute
+      ~stop:(Runner.stop_when_flagged [ victim.FE.switch ])
+      ~config ~emulator
+      (Sdnprobe.Plan.generate net)
   in
   List.iter
     (fun (d : Report.detection) ->

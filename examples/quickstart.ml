@@ -59,9 +59,10 @@ let () =
 
   (* 5. Localize with Algorithm 2. *)
   let report =
-    Sdnprobe.Runner.detect
+    Sdnprobe.Runner.execute
       ~stop:(Sdnprobe.Runner.stop_when_flagged [ b ])
-      ~config:Sdnprobe.Config.default emulator
+      ~config:Sdnprobe.Config.default ~emulator
+      (Sdnprobe.Plan.generate net)
   in
   Format.printf "%a@." Sdnprobe.Report.pp report;
   match Sdnprobe.Report.flagged_switches report with

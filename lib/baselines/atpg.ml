@@ -279,4 +279,6 @@ let run ?(stop = Sdnprobe.Runner.stop_never) ?(compute_us_per_rule = 150) ~confi
     rounds = !round;
     duration_s = Clock.now_seconds clock -. start_s;
     suspicion_ranking = Sdnprobe.Suspicion.rule_levels suspicion;
+    retransmissions = 0;
+    round_stats = [];
   }

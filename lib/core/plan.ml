@@ -1,15 +1,16 @@
 module RG = Rulegraph.Rule_graph
 module FE = Openflow.Flow_entry
 
+type mode = Static | Randomized of Sdn_util.Prng.t
+
 type t = {
   network : Openflow.Network.t;
   rulegraph : RG.t;
   cover : Mlpc.Cover.t;
   probes : Probe.t list;
   generation_s : float;
+  mode : mode;
 }
-
-type mode = Static | Randomized of Sdn_util.Prng.t
 
 let of_cover net rg ~policy cover =
   let assigned = Mlpc.Headers.assign policy cover in
@@ -29,12 +30,18 @@ let generate ?(mode = Static) network =
         (Mlpc.Legal_matching.randomized rng rulegraph, Mlpc.Headers.Random rng)
   in
   let probes = of_cover network rulegraph ~policy cover in
-  { network; rulegraph; cover; probes; generation_s = Unix.gettimeofday () -. t0 }
+  { network; rulegraph; cover; probes; generation_s = Unix.gettimeofday () -. t0; mode }
 
 let redraw t rng =
   let t0 = Unix.gettimeofday () in
   let cover = Mlpc.Legal_matching.randomized rng t.rulegraph in
   let probes = of_cover t.network t.rulegraph ~policy:(Mlpc.Headers.Random rng) cover in
-  { t with cover; probes; generation_s = Unix.gettimeofday () -. t0 }
+  {
+    t with
+    cover;
+    probes;
+    generation_s = Unix.gettimeofday () -. t0;
+    mode = Randomized rng;
+  }
 
 let size t = List.length t.probes

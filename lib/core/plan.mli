@@ -5,19 +5,24 @@
     cheaply re-draw paths each detection cycle ("tested path
     randomization can reuse the same rule graph", §V-C). *)
 
+type mode =
+  | Static  (** SDNProbe: minimum cover, SAT-unique headers *)
+  | Randomized of Sdn_util.Prng.t
+      (** Randomized SDNProbe: randomized greedy legal matching and
+          uniform header draws *)
+
 type t = {
   network : Openflow.Network.t;
   rulegraph : Rulegraph.Rule_graph.t;
   cover : Mlpc.Cover.t;
   probes : Probe.t list;
   generation_s : float;  (** wall-clock pre-computation time *)
+  mode : mode;
+      (** how the plan was drawn — carries the redraw capability: a
+          [Randomized] plan re-draws fresh paths (over the kept rule
+          graph) at every detection-cycle boundary of
+          {!Runner.execute} *)
 }
-
-type mode =
-  | Static  (** SDNProbe: minimum cover, SAT-unique headers *)
-  | Randomized of Sdn_util.Prng.t
-      (** Randomized SDNProbe: randomized greedy legal matching and
-          uniform header draws *)
 
 val generate : ?mode:mode -> Openflow.Network.t -> t
 (** Build the full pipeline. [mode] defaults to [Static]. Raises

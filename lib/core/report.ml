@@ -1,4 +1,14 @@
+module Json = Sdn_util.Json
+
 type detection = { switch : int; time_s : float; round : int }
+
+type round_stat = {
+  round : int;
+  sent : int;
+  retries : int;
+  lost_attempts : int;
+  failed_probes : int;
+}
 
 type t = {
   scheme : string;
@@ -10,6 +20,8 @@ type t = {
   rounds : int;
   duration_s : float;
   suspicion_ranking : (int * int) list;
+  retransmissions : int;
+  round_stats : round_stat list;
 }
 
 let flagged_switches t = List.sort compare (List.map (fun d -> d.switch) t.detections)
@@ -25,10 +37,128 @@ let time_to_detect_all t ~ground_truth =
 
 let pp fmt t =
   Format.fprintf fmt
-    "@[<v>%s: %d probes (gen %.3fs), %d rounds, %.2fs virtual, %d pkts/%d bytes, flagged: %a@]"
+    "@[<v>%s: %d probes (gen %.3fs), %d rounds, %.2fs virtual, %d pkts/%d bytes%s, flagged: %a@]"
     t.scheme t.plan_size t.generation_s t.rounds t.duration_s t.packets_sent
     t.bytes_sent
+    (if t.retransmissions > 0 then Printf.sprintf " (%d retx)" t.retransmissions else "")
     (Format.pp_print_list
        ~pp_sep:(fun f () -> Format.pp_print_string f ",")
        Format.pp_print_int)
     (flagged_switches t)
+
+(* ------------------------------------------------------------------ *)
+(* Versioned JSON *)
+
+let schema_version = 1
+
+let to_json t =
+  let detection d =
+    Json.Obj
+      [
+        ("switch", Json.Int d.switch);
+        ("time_s", Json.Float d.time_s);
+        ("round", Json.Int d.round);
+      ]
+  in
+  let round_stat (r : round_stat) =
+    Json.Obj
+      [
+        ("round", Json.Int r.round);
+        ("sent", Json.Int r.sent);
+        ("retries", Json.Int r.retries);
+        ("lost_attempts", Json.Int r.lost_attempts);
+        ("failed_probes", Json.Int r.failed_probes);
+      ]
+  in
+  Json.to_string
+    (Json.Obj
+       [
+         ("schema_version", Json.Int schema_version);
+         ("scheme", Json.Str t.scheme);
+         ("plan_size", Json.Int t.plan_size);
+         ("generation_s", Json.Float t.generation_s);
+         ("detections", Json.List (List.map detection t.detections));
+         ("packets_sent", Json.Int t.packets_sent);
+         ("bytes_sent", Json.Int t.bytes_sent);
+         ("rounds", Json.Int t.rounds);
+         ("duration_s", Json.Float t.duration_s);
+         ( "suspicion_ranking",
+           Json.List
+             (List.map
+                (fun (rule, level) -> Json.List [ Json.Int rule; Json.Int level ])
+                t.suspicion_ranking) );
+         ("retransmissions", Json.Int t.retransmissions);
+         ("round_stats", Json.List (List.map round_stat t.round_stats));
+       ])
+
+let ( let* ) o f = match o with Some x -> f x | None -> Error "missing or mistyped field"
+
+let require_all f xs =
+  let rec loop acc = function
+    | [] -> Ok (List.rev acc)
+    | x :: rest -> ( match f x with Ok y -> loop (y :: acc) rest | Error _ as e -> e)
+  in
+  loop [] xs
+
+let detection_of_json v =
+  let* switch = Json.obj_int "switch" v in
+  let* time_s = Json.obj_float "time_s" v in
+  let* round = Json.obj_int "round" v in
+  Ok { switch; time_s; round }
+
+let round_stat_of_json v =
+  let* round = Json.obj_int "round" v in
+  let* sent = Json.obj_int "sent" v in
+  let* retries = Json.obj_int "retries" v in
+  let* lost_attempts = Json.obj_int "lost_attempts" v in
+  let* failed_probes = Json.obj_int "failed_probes" v in
+  Ok { round; sent; retries; lost_attempts; failed_probes }
+
+let rank_of_json v =
+  match v with
+  | Json.List [ rule; level ] -> (
+      match (Json.to_int rule, Json.to_int level) with
+      | Some r, Some l -> Ok (r, l)
+      | _ -> Error "malformed suspicion_ranking entry")
+  | _ -> Error "malformed suspicion_ranking entry"
+
+let of_json s =
+  match Json.of_string s with
+  | Error msg -> Error msg
+  | Ok v -> (
+      match Json.obj_int "schema_version" v with
+      | None -> Error "missing schema_version"
+      | Some version when version <> schema_version ->
+          Error
+            (Printf.sprintf "unsupported report schema_version %d (expected %d)"
+               version schema_version)
+      | Some _ ->
+          let* scheme = Json.obj_str "scheme" v in
+          let* plan_size = Json.obj_int "plan_size" v in
+          let* generation_s = Json.obj_float "generation_s" v in
+          let* detections_v = Json.obj_list "detections" v in
+          let* packets_sent = Json.obj_int "packets_sent" v in
+          let* bytes_sent = Json.obj_int "bytes_sent" v in
+          let* rounds = Json.obj_int "rounds" v in
+          let* duration_s = Json.obj_float "duration_s" v in
+          let* ranking_v = Json.obj_list "suspicion_ranking" v in
+          let* retransmissions = Json.obj_int "retransmissions" v in
+          let* round_stats_v = Json.obj_list "round_stats" v in
+          Result.bind (require_all detection_of_json detections_v) @@ fun detections ->
+          Result.bind (require_all rank_of_json ranking_v) @@ fun suspicion_ranking ->
+          Result.bind (require_all round_stat_of_json round_stats_v)
+          @@ fun round_stats ->
+          Ok
+            {
+              scheme;
+              plan_size;
+              generation_s;
+              detections;
+              packets_sent;
+              bytes_sent;
+              rounds;
+              duration_s;
+              suspicion_ranking;
+              retransmissions;
+              round_stats;
+            })

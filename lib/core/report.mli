@@ -3,6 +3,17 @@
 
 type detection = { switch : int; time_s : float; round : int }
 
+type round_stat = {
+  round : int;  (** 1-based round number *)
+  sent : int;  (** probe injections this round, retransmissions included *)
+  retries : int;  (** retransmissions this round *)
+  lost_attempts : int;
+      (** attempts with no (timely) echo — real faults and environment
+          losses alike, as the controller observes them *)
+  failed_probes : int;
+      (** probes classified failed after exhausting retransmissions *)
+}
+
 type t = {
   scheme : string;
   plan_size : int;  (** test packets in the (initial) plan *)
@@ -13,6 +24,12 @@ type t = {
   rounds : int;
   duration_s : float;  (** virtual detection time *)
   suspicion_ranking : (int * int) list;  (** (rule, level), descending *)
+  retransmissions : int;
+      (** total retransmissions across the run (0 when the
+          retransmission machinery is disabled, [Config.max_retries = 0]) *)
+  round_stats : round_stat list;
+      (** per-round send/retry/loss accounting, in round order; empty
+          for schemes that do not track it *)
 }
 
 val flagged_switches : t -> int list
@@ -26,3 +43,19 @@ val time_to_detect_all : t -> ground_truth:int list -> float option
     ground-truth switch went undetected. *)
 
 val pp : Format.formatter -> t -> unit
+
+(** {2 Versioned JSON serialization}
+
+    [to_json] emits one self-describing object carrying a
+    [schema_version] field; [of_json] refuses versions it does not
+    know. The round-trip is exact for every field except none —
+    floats are printed with round-trip precision. *)
+
+val schema_version : int
+(** Current version: 1. *)
+
+val to_json : t -> string
+
+val of_json : string -> (t, string) result
+(** [Error] on malformed JSON, a missing field, or an unsupported
+    [schema_version]. *)

@@ -26,14 +26,58 @@ let install_traps emu probes =
 let remove_traps emu probes =
   List.iter (fun (p : Probe.t) -> Emulator.remove_probe_traps emu ~probe:p.id) probes
 
-(* A probe passes iff its own trap captured it. *)
-let probe_passes emu (p : Probe.t) =
-  let result = Emulator.inject emu ~at:p.inject_switch p.header in
-  match result.Emulator.outcome with
-  | Emulator.Returned { probe; _ } -> probe = p.id
-  | Emulator.Delivered _ | Emulator.Lost _ -> false
+(* Mutable per-round accounting, flushed into a Report.round_stat. *)
+type round_counters = {
+  mutable sent : int;
+  mutable retries : int;
+  mutable lost_attempts : int;
+  mutable failed_probes : int;
+}
 
-let run ?(stop = stop_never) ?redraw ?(name = "sdnprobe") ~config ~emulator
+(* One attempt: inject and classify against the probe's own trap. A
+   probe passes iff its trap captured it AND the echo arrived within
+   the per-probe timeout (nominal flight time plus any impairment
+   jitter the packet accumulated). *)
+let attempt_passes emu ~config (p : Probe.t) =
+  let result = Emulator.inject emu ~at:p.inject_switch p.header in
+  let returned =
+    match result.Emulator.outcome with
+    | Emulator.Returned { probe; _ } -> probe = p.id
+    | Emulator.Delivered _ | Emulator.Lost _ -> false
+  in
+  let hops = Probe.hop_count p in
+  let flight_us =
+    (hops * config.Config.per_hop_latency_us) + result.Emulator.jitter_us
+  in
+  returned && flight_us <= Config.probe_timeout_us config ~hops
+
+(* Send one probe with bounded retransmission: send -> (no echo within
+   timeout) -> wait out the timeout, back off exponentially, resend —
+   up to [max_retries] times before the probe is classified failed.
+   With [max_retries = 0] this is exactly the seed detection loop's
+   single send (no timeout accounting touches the clock). *)
+let send_probe ~config ~emulator ~clock ~per_packet_us ~packets_sent ~counters
+    (p : Probe.t) =
+  let rec attempt n =
+    Clock.advance_us clock per_packet_us;
+    incr packets_sent;
+    counters.sent <- counters.sent + 1;
+    if attempt_passes emulator ~config p then true
+    else begin
+      counters.lost_attempts <- counters.lost_attempts + 1;
+      if n < config.Config.max_retries then begin
+        Clock.advance_us clock
+          (Config.probe_timeout_us config ~hops:(Probe.hop_count p));
+        Clock.advance_us clock (Config.backoff_us config ~attempt:(n + 1));
+        counters.retries <- counters.retries + 1;
+        attempt (n + 1)
+      end
+      else false
+    end
+  in
+  attempt 0
+
+let engine ?(stop = stop_never) ?redraw ?(name = "sdnprobe") ~config ~emulator
     ~generation_s probes =
   let clock = Emulator.clock emulator in
   let start_s = Clock.now_seconds clock in
@@ -48,6 +92,8 @@ let run ?(stop = stop_never) ?redraw ?(name = "sdnprobe") ~config ~emulator
     id
   in
   let packets_sent = ref 0 in
+  let retransmissions = ref 0 in
+  let round_stats = ref [] in
   let round = ref 0 in
   let cycle = ref 0 in
   let active = ref probes in
@@ -56,15 +102,16 @@ let run ?(stop = stop_never) ?redraw ?(name = "sdnprobe") ~config ~emulator
   while (not !finished) && !round < config.Config.max_rounds do
     incr round;
     let probes_this_round = !active in
+    let counters = { sent = 0; retries = 0; lost_attempts = 0; failed_probes = 0 } in
     install_traps emulator probes_this_round;
     (* Send serially at the controller rate; each probe sees the clock
        at its own send instant (intermittent faults depend on it). *)
     let results =
       List.map
         (fun p ->
-          Clock.advance_us clock per_packet_us;
-          incr packets_sent;
-          (p, probe_passes emulator p))
+          ( p,
+            send_probe ~config ~emulator ~clock ~per_packet_us ~packets_sent
+              ~counters p ))
         probes_this_round
     in
     (* Flight time of the slowest probe, plus controller processing. *)
@@ -76,11 +123,22 @@ let run ?(stop = stop_never) ?redraw ?(name = "sdnprobe") ~config ~emulator
     Clock.advance_us clock config.Config.per_round_overhead_us;
     remove_traps emulator probes_this_round;
     let now_s = Clock.now_seconds clock in
-    (* Algorithm 2 lines 5-14. *)
+    (* Algorithm 2 lines 5-14, extended with suspicion decay: a path
+       that passes (re-)testing drains the suspicion its rules may have
+       accumulated from transient environment noise. *)
     let follow_up = ref [] in
     List.iter
       (fun ((p : Probe.t), passed) ->
-        if not passed then begin
+        if passed then begin
+          if config.Config.suspicion_decay > 0 then
+            List.iter
+              (fun rule ->
+                Suspicion.decay_rule suspicion rule
+                  ~amount:config.Config.suspicion_decay)
+              p.rules
+        end
+        else begin
+          counters.failed_probes <- counters.failed_probes + 1;
           List.iter (Suspicion.bump_rule suspicion) p.rules;
           if List.length p.rules > 1 then
             match Probe.slice net ~fresh_id p with
@@ -112,6 +170,16 @@ let run ?(stop = stop_never) ?redraw ?(name = "sdnprobe") ~config ~emulator
        | None -> active := probes
      end
      else active := !follow_up);
+    retransmissions := !retransmissions + counters.retries;
+    round_stats :=
+      {
+        Report.round = !round;
+        sent = counters.sent;
+        retries = counters.retries;
+        lost_attempts = counters.lost_attempts;
+        failed_probes = counters.failed_probes;
+      }
+      :: !round_stats;
     let detections =
       List.map
         (fun (switch, time_s, round) -> { Report.switch; time_s; round })
@@ -132,16 +200,25 @@ let run ?(stop = stop_never) ?redraw ?(name = "sdnprobe") ~config ~emulator
     rounds = !round;
     duration_s = Clock.now_seconds clock -. start_s;
     suspicion_ranking = Suspicion.rule_levels suspicion;
+    retransmissions = !retransmissions;
+    round_stats = List.rev !round_stats;
   }
+
+let execute ?stop ?name ~config ~emulator (plan : Plan.t) =
+  let name, redraw =
+    match (name, plan.Plan.mode) with
+    | Some n, Plan.Static -> (n, None)
+    | None, Plan.Static -> ("sdnprobe", None)
+    | name, Plan.Randomized rng ->
+        ( Option.value ~default:"randomized-sdnprobe" name,
+          Some (fun ~cycle:_ -> (Plan.redraw plan rng).Plan.probes) )
+  in
+  engine ?stop ?redraw ~name ~config ~emulator ~generation_s:plan.Plan.generation_s
+    plan.Plan.probes
+
+let run ?stop ?redraw ?name ~config ~emulator ~generation_s probes =
+  engine ?stop ?redraw ?name ~config ~emulator ~generation_s probes
 
 let detect ?stop ?(mode = Plan.Static) ~config emulator =
   let plan = Plan.generate ~mode (Emulator.network emulator) in
-  let name, redraw =
-    match mode with
-    | Plan.Static -> ("sdnprobe", None)
-    | Plan.Randomized rng ->
-        ( "randomized-sdnprobe",
-          Some (fun ~cycle:_ -> (Plan.redraw plan rng).Plan.probes) )
-  in
-  run ?stop ?redraw ~name ~config ~emulator ~generation_s:plan.Plan.generation_s
-    plan.Plan.probes
+  execute ?stop ~config ~emulator plan

@@ -1,12 +1,27 @@
-(** The detection loop (Algorithm 2) against the data-plane emulator.
+(** The detection loop (Algorithm 2) against the data-plane emulator,
+    hardened for error-prone environments.
 
     Each round: install return traps for the active probes, serialize
     them at the configured controller rate (advancing the virtual
-    clock), inject, and classify. A failed probe bumps the suspicion of
-    every rule on its path and is sliced in two; a failed single-rule
-    probe whose suspicion exceeds the threshold flags its switch. When a
-    round produces no follow-up work, a new detection cycle starts from
-    the full plan — re-drawn by [redraw] for Randomized SDNProbe. *)
+    clock), inject, and classify. A probe passes only if its trap
+    captured it {e and} the echo arrived within the per-probe timeout
+    ([Config.probe_timeout_us], derived from path length); otherwise
+    the controller waits out the timeout, backs off exponentially
+    ([Config.backoff_us]), and retransmits, up to [Config.max_retries]
+    times, before classifying the probe as failed. A failed probe bumps
+    the suspicion of every rule on its path and is sliced in two; a
+    failed single-rule probe whose suspicion exceeds the threshold
+    flags its switch. A passing probe decays the suspicion of its rules
+    by [Config.suspicion_decay], so transient environment noise drains
+    back out instead of accumulating into false positives. When a round
+    produces no follow-up work, a new detection cycle starts from the
+    full plan — re-drawn for Randomized SDNProbe.
+
+    With [Config.max_retries = 0] and [Config.suspicion_decay = 0]
+    (the {!Config.default}) the engine is behaviourally identical to
+    the original loss-naive loop: one send per probe, no timeout waits
+    on the clock, no decay. {!Config.resilient} turns the machinery
+    on. See [docs/RUNNER.md] for the full state machine. *)
 
 type stop = detections:Report.detection list -> round:int -> time_s:float -> bool
 (** Return true to end the run (evaluated between rounds). *)
@@ -20,6 +35,28 @@ val stop_after_s : float -> stop
 
 val stop_any : stop list -> stop
 
+val execute :
+  ?stop:stop ->
+  ?name:string ->
+  config:Config.t ->
+  emulator:Dataplane.Emulator.t ->
+  Plan.t ->
+  Report.t
+(** The single entry point: run the detection loop over a generated
+    {!Plan.t}. The plan's {!Plan.mode} carries the redraw capability —
+    a [Plan.Randomized] plan re-draws fresh paths (over its kept rule
+    graph) at every detection-cycle boundary, a [Plan.Static] plan
+    reuses its probes. [name] overrides the report's scheme label
+    (default ["sdnprobe"] / ["randomized-sdnprobe"] by mode). The
+    emulator's faults are the ground truth being hunted; its clock is
+    advanced by this function and left at the end-of-run time. *)
+
+(** {2 Deprecated wrappers}
+
+    Kept for source compatibility with pre-[Plan.t] callers; both
+    delegate to the {!execute} engine. New code should generate a
+    {!Plan.t} and call {!execute}. *)
+
 val run :
   ?stop:stop ->
   ?redraw:(cycle:int -> Probe.t list) ->
@@ -29,13 +66,10 @@ val run :
   generation_s:float ->
   Probe.t list ->
   Report.t
-(** Run detection with the given initial probes. [redraw ~cycle] (if
-    given) supplies fresh probes when cycle [cycle >= 1] begins;
-    otherwise the initial plan is reused. The emulator's faults are the
-    ground truth being hunted; its clock is advanced by this function
-    and left at the end-of-run time. *)
+(** @deprecated Use {!execute}. Runs detection with raw probes;
+    [redraw ~cycle] (if given) supplies fresh probes when cycle
+    [cycle >= 1] begins. *)
 
 val detect : ?stop:stop -> ?mode:Plan.mode -> config:Config.t -> Dataplane.Emulator.t -> Report.t
-(** Convenience: generate a plan for the emulator's network and run.
-    [mode] defaults to [Plan.Static]; with [Plan.Randomized rng] the
-    plan is re-drawn every cycle (Randomized SDNProbe). *)
+(** @deprecated Use {!Plan.generate} + {!execute}. Generates a plan
+    for the emulator's network and executes it. *)

@@ -13,6 +13,14 @@ let bump_rule t rule =
 
 let level t rule = Option.value ~default:0 (Hashtbl.find_opt t.levels rule)
 
+let decay_rule t rule ~amount =
+  if amount < 0 then invalid_arg "Suspicion.decay_rule: negative amount";
+  match Hashtbl.find_opt t.levels rule with
+  | None -> ()
+  | Some l ->
+      let l' = max 0 (l - amount) in
+      if l' = 0 then Hashtbl.remove t.levels rule else Hashtbl.replace t.levels rule l'
+
 let exceeds_threshold t rule = level t rule > t.threshold
 
 let flag t ~switch ~time_s ~round =

@@ -17,6 +17,14 @@ val bump_rule : t -> int -> unit
 
 val level : t -> int -> int
 
+val decay_rule : t -> int -> amount:int -> unit
+(** Lower a rule's suspicion by [amount], floored at 0 (a rule decayed
+    to 0 leaves {!rule_levels} entirely). Used when a previously
+    suspected path passes a re-test: suspicion accumulated from
+    transient environment noise (packet loss, churn) drains away
+    instead of creeping toward the threshold. [amount = 0] is a no-op.
+    Raises [Invalid_argument] on a negative [amount]. *)
+
 val exceeds_threshold : t -> int -> bool
 (** [level > threshold], the paper's flag condition. *)
 

@@ -8,6 +8,9 @@ type lost_reason =
   | Dropped_by_fault of int
   | Dead_port of int
   | Ttl_exceeded
+  | Link_loss of int
+  | Link_down of int
+  | Churn_miss of int
 
 type outcome =
   | Returned of { probe : int; at_switch : int; header : Header.t }
@@ -16,7 +19,7 @@ type outcome =
 
 type hop = { switch : int; entry : int; header_out : Header.t }
 
-type result = { outcome : outcome; trace : hop list }
+type result = { outcome : outcome; trace : hop list; jitter_us : int }
 
 type trap_key = { t_switch : int; t_rule : int; t_header : string }
 
@@ -26,6 +29,7 @@ type t = {
   traps : (trap_key, int) Hashtbl.t; (* -> probe id *)
   clk : Clock.t;
   counters : (int, int) Hashtbl.t; (* entry -> packets processed *)
+  mutable impairment : Impairment.t option;
 }
 
 let ttl = 64
@@ -37,11 +41,18 @@ let create net =
     traps = Hashtbl.create 64;
     clk = Clock.create ();
     counters = Hashtbl.create 256;
+    impairment = None;
   }
 
 let network t = t.net
 
 let clock t = t.clk
+
+let set_impairment t imp = t.impairment <- Some imp
+
+let clear_impairment t = t.impairment <- None
+
+let impairment t = t.impairment
 
 let set_fault t ~entry fault =
   (* Validate the entry exists so misconfigured experiments fail fast. *)
@@ -96,6 +107,7 @@ type step =
 let inject t ~at header =
   let now_us = Clock.now_us t.clk in
   let trace = ref [] in
+  let jitter = ref 0 in
   let record switch entry header_out = trace := { switch; entry; header_out } :: !trace in
   let rec at_switch sw table header budget =
     if budget <= 0 then Final (Lost Ttl_exceeded)
@@ -104,6 +116,15 @@ let inject t ~at header =
       | None -> Final (Lost (No_match sw))
       | Some e -> process sw e header budget
   and process sw (e : FE.t) header budget =
+    (* A churned-out entry is mid insert/delete: the packet hits the
+       table while the rule is absent and is blackholed by the
+       reconfiguration window (transient, impairment-side — distinct
+       from the Fault ground truth). *)
+    match t.impairment with
+    | Some imp when Impairment.rule_out imp ~entry:e.id ~now_us ->
+        Final (Lost (Churn_miss sw))
+    | _ -> process_entry sw e header budget
+  and process_entry sw (e : FE.t) header budget =
     bump_counter t e.id;
     let fault =
       match Hashtbl.find_opt t.faults e.id with
@@ -144,7 +165,15 @@ let inject t ~at header =
             | FE.Output port -> (
                 match Topology.peer (Network.topology t.net) ~sw ~port with
                 | None -> Final (Lost (Dead_port sw))
-                | Some (next_sw, _) -> Forward (next_sw, header'))))
+                | Some (next_sw, _) -> (
+                    match t.impairment with
+                    | Some imp when Impairment.link_down imp ~sw_a:sw ~sw_b:next_sw ~now_us
+                      ->
+                        Final (Lost (Link_down sw))
+                    | Some imp when Impairment.lose_on_link imp ~sw_a:sw ~sw_b:next_sw ~now_us
+                      ->
+                        Final (Lost (Link_loss sw))
+                    | _ -> Forward (next_sw, header')))))
   and goto sw tb header budget =
     match
       Openflow.Flow_table.lookup (Network.table t.net ~switch:sw ~table:tb) header
@@ -153,12 +182,16 @@ let inject t ~at header =
     | Some e -> process sw e header budget
   and drive sw header budget =
     if budget <= 0 then Final (Lost Ttl_exceeded)
-    else
+    else begin
+      (match t.impairment with
+      | Some imp -> jitter := !jitter + Impairment.jitter_us imp ~switch:sw ~now_us
+      | None -> ());
       match at_switch sw 0 header budget with
       | Forward (next, h) -> drive next h (budget - 1)
       | Teleport (peer, h) -> drive peer h (budget - 1)
       | Final o -> Final o
+    end
   in
   let final = drive at header ttl in
   let outcome = match final with Final o -> o | _ -> assert false in
-  { outcome; trace = List.rev !trace }
+  { outcome; trace = List.rev !trace; jitter_us = !jitter }

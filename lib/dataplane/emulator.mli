@@ -22,6 +22,11 @@ type lost_reason =
   | Dropped_by_fault of int  (** a drop fault fired at this switch *)
   | Dead_port of int  (** output port without a link *)
   | Ttl_exceeded  (** forwarding loop guard *)
+  | Link_loss of int
+      (** impairment: natural per-packet loss on this switch's egress link *)
+  | Link_down of int  (** impairment: egress link flapped down *)
+  | Churn_miss of int
+      (** impairment: the matched rule was churned out mid-reconfiguration *)
 
 type outcome =
   | Returned of { probe : int; at_switch : int; header : Hspace.Header.t }
@@ -35,16 +40,34 @@ type hop = { switch : int; entry : int; header_out : Hspace.Header.t }
 (** One processed flow entry: the switch, the matched entry id, and the
     header after its (possibly faulty) rewrite. *)
 
-type result = { outcome : outcome; trace : hop list }
+type result = {
+  outcome : outcome;
+  trace : hop list;
+  jitter_us : int;
+      (** total impairment delay jitter accumulated over the packet's
+          switch visits (0 without an impairment); the probe scheduler
+          adds it to the nominal flight time for timeout decisions *)
+}
 
 type t
 
 val create : Openflow.Network.t -> t
-(** Fresh emulator over the network, no faults, clock at 0. *)
+(** Fresh emulator over the network, no faults, clock at 0, no
+    impairment. *)
 
 val network : t -> Openflow.Network.t
 
 val clock : t -> Clock.t
+
+val set_impairment : t -> Impairment.t -> unit
+(** Attach the error-prone environment model: per-link loss, link
+    flaps, rule churn and delay jitter perturb every subsequent
+    {!inject}. Attaching an impairment built from {!Impairment.none} is
+    observationally identical to having none. *)
+
+val clear_impairment : t -> unit
+
+val impairment : t -> Impairment.t option
 
 val set_fault : t -> entry:int -> Fault.t -> unit
 (** Attach (or replace) a fault on a flow entry. *)

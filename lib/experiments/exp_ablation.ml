@@ -83,16 +83,12 @@ let threshold_ablation ~scale =
            ~activation:
              (Fault.Random_bursts { window_us = 30_000; active_ratio = 0.3; seed = 9 })
            Fault.Drop_packet);
-      let config =
-        {
-          Sdnprobe.Config.default with
-          Sdnprobe.Config.threshold;
-          max_rounds = 300;
-        }
-      in
+      let config = Sdnprobe.Config.make ~threshold ~max_rounds:300 () in
       let report =
-        Runner.detect ~stop:(Runner.stop_when_flagged [ entry.FE.switch ]) ~config
-          emulator
+        Runner.execute
+          ~stop:(Runner.stop_when_flagged [ entry.FE.switch ])
+          ~config ~emulator
+          (Sdnprobe.Plan.generate net)
       in
       let flagged = Report.flagged_switches report in
       Metrics.Table.add_row table

@@ -10,7 +10,7 @@ let delay_for scheme ~seed net truth ~fault_seed =
     Exp_common.emulator_with_faults ~fault_seed ~kind:Workloads.Drop_only
       ~fraction:0.0001 (* at least one entry *) net
   in
-  let config = { Sdnprobe.Config.default with Sdnprobe.Config.max_rounds = 120 } in
+  let config = Sdnprobe.Config.make ~max_rounds:120 () in
   let report =
     Schemes.run scheme ~seed ~stop:(Sdnprobe.Runner.stop_when_flagged truth) ~config
       emulator

@@ -32,7 +32,7 @@ let run ~scale =
           Exp_common.emulator_with_faults ~fault_seed ~kind:Workloads.Drop_only ~fraction
             net
         in
-        let config = { Sdnprobe.Config.default with Sdnprobe.Config.max_rounds = 150 } in
+        let config = Sdnprobe.Config.make ~max_rounds:150 () in
         let report =
           Schemes.run scheme ~seed:7
             ~stop:(Sdnprobe.Runner.stop_when_flagged truth)

@@ -25,7 +25,7 @@ let accuracy_run scheme ~kind ~fraction ~fault_seed ~run_seed ~max_rounds net =
   let max_rounds =
     match scheme with Schemes.Randomized_sdnprobe -> max_rounds | _ -> min max_rounds 30
   in
-  let config = { Sdnprobe.Config.default with Sdnprobe.Config.max_rounds } in
+  let config = Sdnprobe.Config.make ~max_rounds () in
   let report =
     Schemes.run scheme ~seed:run_seed
       ~stop:(Runner.stop_when_flagged truth)
@@ -106,7 +106,7 @@ let run_c ~scale =
     let max_rounds =
       match scheme with Schemes.Randomized_sdnprobe -> 400 | _ -> 40
     in
-    let config = { Sdnprobe.Config.default with Sdnprobe.Config.max_rounds } in
+    let config = Sdnprobe.Config.make ~max_rounds () in
     let report =
       Schemes.run scheme ~seed:7
         ~stop:

@@ -140,7 +140,7 @@ let run ~scale =
           | Intermittent | Targeting | Detour_scenario -> 300
           | One_fault | Multi_fault -> 60
         in
-        let config = { Sdnprobe.Config.default with Sdnprobe.Config.max_rounds } in
+        let config = Sdnprobe.Config.make ~max_rounds () in
         let report =
           Schemes.run scheme ~seed:11 ~stop:(Runner.stop_when_flagged truth) ~config
             emulator

@@ -13,6 +13,9 @@ let table :
     ("table1", "Table I: detection accuracy matrix", Exp_table1.run);
     ("table2", "Table II: generation at scale", Exp_table2.run);
     ("ablations", "design-choice ablations", Exp_ablation.run);
+    ( "loss-sweep",
+      "error-prone environment: accuracy & delay vs per-link loss",
+      Exp_loss_sweep.run );
   ]
 
 let experiments = List.map (fun (n, d, _) -> (n, d)) table

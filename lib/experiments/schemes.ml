@@ -20,11 +20,12 @@ let plan_size t ~seed net =
   | Per_rule -> List.length (fst (Baselines.Per_rule.generate net))
 
 let run t ~seed ?stop ~config emulator =
+  let net = Dataplane.Emulator.network emulator in
   match t with
-  | Sdnprobe -> Sdnprobe.Runner.detect ?stop ~config emulator
+  | Sdnprobe ->
+      Sdnprobe.Runner.execute ?stop ~config ~emulator (Sdnprobe.Plan.generate net)
   | Randomized_sdnprobe ->
-      Sdnprobe.Runner.detect ?stop
-        ~mode:(Sdnprobe.Plan.Randomized (Prng.create seed))
-        ~config emulator
+      Sdnprobe.Runner.execute ?stop ~config ~emulator
+        (Sdnprobe.Plan.generate ~mode:(Sdnprobe.Plan.Randomized (Prng.create seed)) net)
   | Atpg -> Baselines.Atpg.run ?stop ~config emulator
   | Per_rule -> Baselines.Per_rule.run ?stop ~config emulator

@@ -30,6 +30,27 @@ let precision t = ratio t.true_positives (t.true_positives + t.false_positives)
 
 let recall t = ratio t.true_positives (t.true_positives + t.false_negatives)
 
+let zero =
+  { true_positives = 0; false_positives = 0; false_negatives = 0; true_negatives = 0 }
+
+let add a b =
+  {
+    true_positives = a.true_positives + b.true_positives;
+    false_positives = a.false_positives + b.false_positives;
+    false_negatives = a.false_negatives + b.false_negatives;
+    true_negatives = a.true_negatives + b.true_negatives;
+  }
+
+let accuracy t =
+  ratio
+    (t.true_positives + t.true_negatives)
+    (t.true_positives + t.true_negatives + t.false_positives + t.false_negatives)
+
+let exact t = t.false_positives = 0 && t.false_negatives = 0
+
+(* A run with no real fault: every flagged switch is a false positive. *)
+let pure_loss ~flagged ~population = compute ~ground_truth:[] ~flagged ~population
+
 let pp fmt t =
   Format.fprintf fmt "tp=%d fp=%d fn=%d tn=%d (fpr=%.3f fnr=%.3f)" t.true_positives
     t.false_positives t.false_negatives t.true_negatives (fpr t) (fnr t)

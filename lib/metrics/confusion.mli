@@ -25,4 +25,21 @@ val precision : t -> float
 
 val recall : t -> float
 
+val zero : t
+(** All counters 0; the identity of {!add}. *)
+
+val add : t -> t -> t
+(** Counter-wise sum, for aggregating over repeated runs. *)
+
+val accuracy : t -> float
+(** [(tp + tn) / population]; 0 on an empty population. *)
+
+val exact : t -> bool
+(** Perfect localization: no false positives and no false negatives. *)
+
+val pure_loss : flagged:int list -> population:int list -> t
+(** Confusion matrix of a run with {e no} real fault injected (the
+    error-prone environment's noise is the only signal): every flagged
+    switch is a false positive. *)
+
 val pp : Format.formatter -> t -> unit

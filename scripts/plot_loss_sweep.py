@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Consume the loss-sweep experiment's versioned JSON and render a table
+plus an ASCII plot of detection time vs loss rate.
+
+Usage:
+    sdnprobe experiment loss-sweep     # with SDNPROBE_LOSS_SWEEP_JSON=sweep.json
+    python3 scripts/plot_loss_sweep.py sweep.json [--tsv out.tsv]
+
+Exits non-zero on an unsupported schema_version, a missed localization,
+or any pure-loss false positive (so CI can gate on it). Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA_VERSION = 1
+
+
+def load(path):
+    with open(path) as fh:
+        doc = json.load(fh)
+    version = doc.get("schema_version")
+    if version != SCHEMA_VERSION:
+        sys.exit(f"unsupported sweep schema_version {version} (expected {SCHEMA_VERSION})")
+    for point in doc["points"]:
+        report = point["report"]
+        if report.get("schema_version") != SCHEMA_VERSION:
+            sys.exit(f"unsupported report schema_version {report.get('schema_version')}")
+    return doc
+
+
+def table(doc):
+    rows = [("loss%", "scheme", "exact", "detect(s)", "rounds", "retx", "pure-loss FPs")]
+    for p in doc["points"]:
+        r = p["report"]
+        rows.append(
+            (
+                f"{p['loss'] * 100:.1f}",
+                p["scheme"],
+                "yes" if p["exact"] else "NO",
+                f"{p['detect_s']:.2f}" if p["detect_s"] is not None else "miss",
+                str(r["rounds"]),
+                str(r["retransmissions"]),
+                str(p["pure_loss_false_positives"]),
+            )
+        )
+    widths = [max(len(row[i]) for row in rows) for i in range(len(rows[0]))]
+    for i, row in enumerate(rows):
+        print("  ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip())
+        if i == 0:
+            print("  ".join("-" * w for w in widths))
+
+
+def ascii_plot(doc, width=60, height=12):
+    """Detection time vs loss, one glyph per scheme."""
+    series = {}
+    for p in doc["points"]:
+        if p["detect_s"] is not None:
+            series.setdefault(p["scheme"], []).append((p["loss"], p["detect_s"]))
+    if not series:
+        return
+    glyphs = {}
+    for i, name in enumerate(sorted(series)):
+        glyphs[name] = "ox+*"[i % 4]
+    xs = [x for pts in series.values() for x, _ in pts]
+    ys = [y for pts in series.values() for _, y in pts]
+    x0, x1 = min(xs), max(xs) or 1e-9
+    y1 = max(ys) or 1e-9
+    grid = [[" "] * width for _ in range(height)]
+    for name, pts in series.items():
+        for x, y in pts:
+            col = 0 if x1 == x0 else round((x - x0) / (x1 - x0) * (width - 1))
+            row = height - 1 - round(y / y1 * (height - 1))
+            grid[row][col] = glyphs[name]
+    print(f"\ndetection time (0..{y1:.1f}s) vs loss ({x0 * 100:.1f}%..{x1 * 100:.1f}%)")
+    for row in grid:
+        print("  |" + "".join(row))
+    print("  +" + "-" * width)
+    print("  " + "   ".join(f"{g} {name}" for name, g in sorted(glyphs.items())))
+
+
+def write_tsv(doc, path):
+    with open(path, "w") as fh:
+        fh.write("loss\tscheme\texact\tdetect_s\trounds\tretransmissions\tpure_loss_fps\n")
+        for p in doc["points"]:
+            r = p["report"]
+            detect = "" if p["detect_s"] is None else f"{p['detect_s']:.6f}"
+            fh.write(
+                f"{p['loss']:.4f}\t{p['scheme']}\t{int(p['exact'])}\t{detect}"
+                f"\t{r['rounds']}\t{r['retransmissions']}\t{p['pure_loss_false_positives']}\n"
+            )
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("sweep", help="JSON written by the loss-sweep experiment")
+    ap.add_argument("--tsv", help="also write a gnuplot-ready TSV")
+    args = ap.parse_args()
+
+    doc = load(args.sweep)
+    print(f"loss sweep: {doc['n_switches']} switches, threshold {doc['threshold']}")
+    table(doc)
+    ascii_plot(doc)
+    if args.tsv:
+        write_tsv(doc, args.tsv)
+        print(f"\nTSV written to {args.tsv}")
+
+    missed = [p for p in doc["points"] if not p["exact"]]
+    fps = sum(p["pure_loss_false_positives"] for p in doc["points"])
+    if missed:
+        sys.exit(f"{len(missed)} point(s) missed exact localization")
+    if fps:
+        sys.exit(f"{fps} pure-loss false positive(s) at threshold {doc['threshold']}")
+
+
+if __name__ == "__main__":
+    main()

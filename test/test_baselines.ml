@@ -70,7 +70,7 @@ let test_per_rule_false_positives () =
   let fx = Fixtures.figure3 () in
   let emu = Emu.create fx.Fixtures.net in
   Emu.set_fault emu ~entry:fx.Fixtures.b1.FE.id (Fault.make Fault.Drop_packet);
-  let cfg = { config with Config.max_rounds = 12 } in
+  let cfg = Config.with_max_rounds 12 config in
   let report = Baselines.Per_rule.run ~config:cfg emu in
   let flagged = Report.flagged_switches report in
   check_bool "B detected" true (List.mem Fixtures.sw_b flagged);
@@ -135,7 +135,7 @@ let test_atpg_no_fn_multiple_faults () =
   let emu = Emu.create fx.Fixtures.net in
   Emu.set_fault emu ~entry:fx.Fixtures.b1.FE.id (Fault.make Fault.Drop_packet);
   Emu.set_fault emu ~entry:fx.Fixtures.d1.FE.id (Fault.make Fault.Drop_packet);
-  let cfg = { config with Config.max_rounds = 40 } in
+  let cfg = Config.with_max_rounds 40 config in
   let report =
     Baselines.Atpg.run ~stop:(Runner.stop_when_flagged [ Fixtures.sw_b; Fixtures.sw_d ])
       ~config:cfg emu
@@ -152,7 +152,7 @@ let test_atpg_false_positive_at_intersection () =
   let emu = Emu.create fx.Fixtures.net in
   Emu.set_fault emu ~entry:fx.Fixtures.b1.FE.id (Fault.make Fault.Drop_packet);
   Emu.set_fault emu ~entry:fx.Fixtures.d1.FE.id (Fault.make Fault.Drop_packet);
-  let cfg = { config with Config.max_rounds = 40 } in
+  let cfg = Config.with_max_rounds 40 config in
   let report = Baselines.Atpg.run ~config:cfg emu in
   let flagged = Report.flagged_switches report in
   let fps = List.filter (fun sw -> sw <> Fixtures.sw_b && sw <> Fixtures.sw_d) flagged in

@@ -140,7 +140,7 @@ let run_static ?(cfg = config) ?stop emu =
 let test_no_fault_no_detection () =
   let fx = Fixtures.figure3 () in
   let emu = Emu.create fx.Fixtures.net in
-  let cfg = { config with Config.max_rounds = 10 } in
+  let cfg = Config.with_max_rounds 10 config in
   let report = run_static ~cfg emu in
   check_bool "nothing flagged" true (Report.flagged_switches report = []);
   check_int "10 rounds" 10 report.Report.rounds;
@@ -200,7 +200,7 @@ let test_intermittent_fault_localized () =
     (Fault.make
        ~activation:(Fault.Random_bursts { window_us = 30_000; active_ratio = 0.3; seed = 42 })
        Fault.Drop_packet);
-  let cfg = { config with Config.max_rounds = 400 } in
+  let cfg = Config.with_max_rounds 400 config in
   let report = run_static ~cfg ~stop:(Runner.stop_when_flagged [ Fixtures.sw_b ]) emu in
   check_bool "B eventually flagged" true
     (List.mem Fixtures.sw_b (Report.flagged_switches report));
@@ -231,7 +231,7 @@ let test_targeting_fault_static_misses () =
   let emu = Emu.create fx.Fixtures.net in
   Emu.set_fault emu ~entry:fx.Fixtures.b1.FE.id
     (Fault.make ~activation:(Fault.Targeting target) Fault.Drop_packet);
-  let cfg = { config with Config.max_rounds = 30 } in
+  let cfg = Config.with_max_rounds 30 config in
   let report = run_static ~cfg emu in
   check_bool "static misses targeting fault" true (Report.flagged_switches report = [])
 
@@ -243,7 +243,7 @@ let test_targeting_fault_randomized_catches () =
   (* Target half of b1's traffic: 00101xx1. *)
   Emu.set_fault emu ~entry:fx.Fixtures.b1.FE.id
     (Fault.make ~activation:(Fault.Targeting (Cube.of_string "0010xxx1")) Fault.Drop_packet);
-  let cfg = { config with Config.max_rounds = 400 } in
+  let cfg = Config.with_max_rounds 400 config in
   let report =
     Runner.detect
       ~stop:(Runner.stop_when_flagged [ Fixtures.sw_b ])
@@ -259,7 +259,7 @@ let test_detour_static_blind () =
   let fx = Fixtures.figure3 () in
   let emu = Emu.create fx.Fixtures.net in
   Emu.set_fault emu ~entry:fx.Fixtures.a1.FE.id (Fault.make (Fault.Detour Fixtures.sw_c));
-  let cfg = { config with Config.max_rounds = 20 } in
+  let cfg = Config.with_max_rounds 20 config in
   let report = run_static ~cfg emu in
   check_bool "static blind to detour" true (Report.flagged_switches report = [])
 
@@ -267,7 +267,7 @@ let test_detour_randomized_detects () =
   let fx = Fixtures.figure3 () in
   let emu = Emu.create fx.Fixtures.net in
   Emu.set_fault emu ~entry:fx.Fixtures.a1.FE.id (Fault.make (Fault.Detour Fixtures.sw_c));
-  let cfg = { config with Config.max_rounds = 600 } in
+  let cfg = Config.with_max_rounds 600 config in
   let report =
     Runner.detect
       ~stop:(Runner.stop_when_flagged [ Fixtures.sw_a ])
@@ -302,7 +302,7 @@ let test_empty_network () =
   let plan = Plan.generate net in
   check_int "no probes" 0 (Plan.size plan);
   let emu = Emu.create net in
-  let cfg = { config with Config.max_rounds = 5 } in
+  let cfg = Config.with_max_rounds 5 config in
   let report = Runner.detect ~config:cfg emu in
   check_bool "no detections" true (Report.flagged_switches report = []);
   check_int "no packets" 0 report.Report.packets_sent
@@ -323,7 +323,7 @@ let test_single_switch_plan () =
   check_bool "covers the rule" true (p.Probe.rules = [ e.FE.id ]);
   (* It passes on a healthy emulator... *)
   let emu = Emu.create net in
-  let report = Runner.detect ~config:{ config with Config.max_rounds = 3 } emu in
+  let report = Runner.detect ~config:(Config.with_max_rounds 3 config) emu in
   check_bool "healthy" true (Report.flagged_switches report = []);
   (* ... and a fault on it is localized. *)
   Emu.set_fault emu ~entry:e.FE.id (Fault.make Fault.Drop_packet);

@@ -106,7 +106,7 @@ let test_scheme_names () =
     (List.length (List.sort_uniq compare (List.map Schemes.name Schemes.all)) = 4)
 
 let test_registry () =
-  check_int "ten experiments" 10 (List.length Experiments.Registry.experiments);
+  check_int "eleven experiments" 11 (List.length Experiments.Registry.experiments);
   match Experiments.Registry.run ~scale:Experiments.Registry.Quick "no-such" with
   | Error msg -> check_bool "helpful error" true (String.length msg > 10)
   | Ok () -> Alcotest.fail "expected error"
@@ -118,7 +118,7 @@ let test_scheme_end_to_end () =
     (fun scheme ->
       let emulator = Emu.create w.W.network in
       let truth = W.inject (Prng.create 2) ~kind:W.Drop_only ~fraction:0.001 emulator in
-      let config = { Sdnprobe.Config.default with Sdnprobe.Config.max_rounds = 60 } in
+      let config = Sdnprobe.Config.make ~max_rounds:60 () in
       let report =
         Schemes.run scheme ~seed:7
           ~stop:(Sdnprobe.Runner.stop_when_flagged truth)
