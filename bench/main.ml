@@ -136,6 +136,7 @@ let () =
   | [] ->
       Experiments.Registry.run_all ~scale;
       run_micro ()
+  | "regress" :: rest -> Regress.main rest
   | names ->
       List.iter
         (fun name ->

@@ -1,0 +1,259 @@
+(* Perf-regression harness ("bench regress").
+
+   Times the probe-generation hot paths — cube kernels (Bechamel),
+   rule-graph construction and space queries, the MLPC legal-matching
+   solver and Yen's K-shortest — on the Rocketfuel-like workloads the
+   lint and loss-sweep benches already use, and emits a versioned JSON
+   file (BENCH_<n>.json, schema_version below) built with
+   {!Sdn_util.Json}.
+
+     dune exec bench/main.exe -- regress                      # both scales
+     dune exec bench/main.exe -- regress --switches 16        # CI smoke
+     dune exec bench/main.exe -- regress --baseline old.json  # before/after report
+
+   With [--baseline], each entry gains [before_ns]/[speedup] fields taken
+   from the baseline file, producing the report format committed as
+   BENCH_3.json; scripts/compare_bench.py gates CI on it. *)
+
+module Json = Sdn_util.Json
+module RG = Rulegraph.Rule_graph
+
+let schema_version = 1
+
+(* ------------------------------------------------------------------ *)
+(* Measurement. End-to-end entries use best-of-[runs] wall clock: the
+   minimum is the standard robust estimator for a deterministic
+   computation under scheduler noise. *)
+
+let time_ns ?(runs = 5) f =
+  ignore (f ());
+  (* warmup: faults, lazy forcing, first-touch allocation *)
+  let best = ref infinity in
+  for _ = 1 to runs do
+    let t0 = Unix.gettimeofday () in
+    ignore (f ());
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt
+  done;
+  !best *. 1e9
+
+(* Bechamel OLS estimate (ns/run) for the cube micro-kernels. *)
+let bechamel_ns tests =
+  let open Bechamel in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  List.concat_map
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let results = Analyze.all ols Toolkit.Instance.monotonic_clock results in
+      Hashtbl.fold
+        (fun name ols_result acc ->
+          let ns =
+            match Analyze.OLS.estimates ols_result with
+            | Some (e :: _) -> e
+            | _ -> nan
+          in
+          (name, ns) :: acc)
+        results [])
+    tests
+
+(* ------------------------------------------------------------------ *)
+(* Workloads: the same deterministic Rocketfuel-like policies as the
+   lint bench (seed fixed per scale so before/after runs see identical
+   inputs). *)
+
+type workload = {
+  scale : int;
+  net : Openflow.Network.t;
+  topo : Openflow.Topology.t;
+  rg : RG.t;
+  cover_paths : int list list; (* expanded rule sequences of the cover *)
+}
+
+let make_workload scale =
+  let rng = Sdn_util.Prng.create (1000 + scale) in
+  let topo = Topogen.Topo_gen.rocketfuel_like rng ~n_switches:scale () in
+  let net = Topogen.Rule_gen.install rng topo in
+  let rg = RG.build net in
+  let cover = Mlpc.Legal_matching.solve rg in
+  let cover_paths =
+    List.map (fun (p : Mlpc.Cover.path) -> p.Mlpc.Cover.rules) cover.Mlpc.Cover.paths
+  in
+  { scale; net; topo; rg; cover_paths }
+
+let invalidate rg = RG.invalidate_caches rg
+
+(* Space queries: what Cover.all_legal, the L009 audit and report
+   post-processing do — walk every cover path's start and forward space,
+   several times over. Caches are cleared at the start of the measured
+   run, so only intra-run reuse (the realistic kind) is credited. *)
+let space_queries w () =
+  invalidate w.rg;
+  for _ = 1 to 3 do
+    List.iter
+      (fun path ->
+        ignore (RG.start_space w.rg path);
+        ignore (RG.forward_space w.rg path))
+      w.cover_paths
+  done
+
+let solve w () =
+  invalidate w.rg;
+  ignore (Mlpc.Legal_matching.solve w.rg)
+
+let randomized w () =
+  invalidate w.rg;
+  ignore (Mlpc.Legal_matching.randomized (Sdn_util.Prng.create 3) w.rg)
+
+let yen_k8 w =
+  let g = Openflow.Topology.to_digraph w.topo in
+  let n = Sdngraph.Digraph.n_vertices g in
+  let rng = Sdn_util.Prng.create 7 in
+  let pairs =
+    List.init 12 (fun _ ->
+        let s = Sdn_util.Prng.int rng n in
+        let d = Sdn_util.Prng.int rng n in
+        (s, (if d = s then (d + 1) mod n else d)))
+  in
+  fun () ->
+    List.iter
+      (fun (src, dst) -> ignore (Sdngraph.Yen.k_shortest g ~src ~dst ~k:8))
+      pairs
+
+let micro_tests () =
+  let open Bechamel in
+  let cube_a =
+    Hspace.Cube.of_string (String.concat "" (List.init 8 (fun _ -> "0010xxx1")))
+  and cube_b =
+    Hspace.Cube.of_string (String.concat "" (List.init 8 (fun _ -> "0x10x1xx")))
+  in
+  (* Long cubes exercise the multi-chunk hash path (satellite: the old
+     Hashtbl.hash stopped after its meaningful-word budget). *)
+  let long =
+    Hspace.Cube.of_string
+      (String.concat "" (List.init 80 (fun i -> if i mod 7 = 0 then "0x10x1xx" else "00101xx1")))
+  in
+  [
+    Test.make ~name:"cube.inter/64"
+      (Staged.stage (fun () -> ignore (Hspace.Cube.inter cube_a cube_b)));
+    Test.make ~name:"cube.diff/64"
+      (Staged.stage (fun () -> ignore (Hspace.Cube.diff cube_a cube_b)));
+    Test.make ~name:"cube.hash/640"
+      (Staged.stage (fun () -> ignore (Hspace.Cube.hash long)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let entries ~scales =
+  let micros = bechamel_ns (micro_tests ()) in
+  let per_scale scale =
+    let w = make_workload scale in
+    let runs = if scale >= 50 then 3 else 5 in
+    [
+      (Printf.sprintf "rulegraph.build/%d" scale, time_ns ~runs (fun () -> ignore (RG.build w.net)));
+      (Printf.sprintf "rulegraph.spaces/%d" scale, time_ns ~runs (space_queries w));
+      (Printf.sprintf "mlpc.solve/%d" scale, time_ns ~runs (solve w));
+      (Printf.sprintf "mlpc.randomized/%d" scale, time_ns ~runs (randomized w));
+      (Printf.sprintf "yen.k8/%d" scale, time_ns ~runs (yen_k8 w));
+    ]
+  in
+  micros @ List.concat_map per_scale scales
+
+(* ------------------------------------------------------------------ *)
+(* Report assembly. *)
+
+let load_baseline path =
+  match Json.of_string (In_channel.with_open_text path In_channel.input_all) with
+  | Error msg -> failwith (Printf.sprintf "%s: bad JSON: %s" path msg)
+  | Ok json -> (
+      match Json.obj_list "entries" json with
+      | None -> failwith (path ^ ": no \"entries\" field")
+      | Some entries ->
+          List.filter_map
+            (fun e ->
+              match (Json.obj_str "name" e, Json.obj_float "ns" e) with
+              | Some name, Some ns -> Some (name, ns)
+              | Some name, None ->
+                  (* report format: prefer the after numbers *)
+                  Option.map (fun ns -> (name, ns)) (Json.obj_float "after_ns" e)
+              | _ -> None)
+            entries)
+
+let to_json ~scales ~baseline results =
+  let entry (name, ns) =
+    match baseline with
+    | None -> Json.Obj [ ("name", Json.Str name); ("ns", Json.Float ns) ]
+    | Some base -> (
+        match List.assoc_opt name base with
+        | None -> Json.Obj [ ("name", Json.Str name); ("ns", Json.Float ns) ]
+        | Some before ->
+            Json.Obj
+              [
+                ("name", Json.Str name);
+                ("before_ns", Json.Float before);
+                ("after_ns", Json.Float ns);
+                ("ns", Json.Float ns);
+                ("speedup", Json.Float (before /. ns));
+              ])
+  in
+  Json.Obj
+    [
+      ("schema_version", Json.Int schema_version);
+      ("kind", Json.Str (if baseline = None then "bench-regress" else "bench-regress-report"));
+      ("workload", Json.Str "rocketfuel-like preferential attachment + rule_gen");
+      ("switches", Json.List (List.map (fun s -> Json.Int s) scales));
+      ("entries", Json.List (List.map entry results));
+    ]
+
+let pretty_ns ns =
+  if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+  else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+  else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+  else Printf.sprintf "%.0f ns" ns
+
+let print_table ~baseline results =
+  let table = Metrics.Table.create [ "kernel"; "time/run"; "baseline"; "speedup" ] in
+  List.iter
+    (fun (name, ns) ->
+      let before = Option.bind baseline (List.assoc_opt name) in
+      Metrics.Table.add_row table
+        [
+          name;
+          pretty_ns ns;
+          (match before with Some b -> pretty_ns b | None -> "-");
+          (match before with Some b -> Printf.sprintf "%.2fx" (b /. ns) | None -> "-");
+        ])
+    results;
+  Metrics.Table.print table
+
+let main args =
+  let out = ref "BENCH_3.json" in
+  let baseline = ref None in
+  let scales = ref [ 16; 50 ] in
+  let rec parse = function
+    | [] -> ()
+    | "--out" :: v :: rest ->
+        out := v;
+        parse rest
+    | "--baseline" :: v :: rest ->
+        baseline := Some (load_baseline v);
+        parse rest
+    | "--switches" :: v :: rest ->
+        scales := List.map int_of_string (String.split_on_char ',' v);
+        parse rest
+    | arg :: _ ->
+        Printf.eprintf "bench regress: unknown argument %s\n" arg;
+        exit 2
+  in
+  parse args;
+  Experiments.Exp_common.banner "bench regress";
+  let results = entries ~scales:!scales in
+  print_table ~baseline:!baseline results;
+  let json = to_json ~scales:!scales ~baseline:!baseline results in
+  Out_channel.with_open_text !out (fun oc ->
+      output_string oc (Json.to_string json);
+      output_char oc '\n');
+  Printf.printf "wrote %s\n" !out

@@ -3,11 +3,15 @@ type t = {
   adj : (int * float) list array; (* reverse insertion order *)
   mutable nedges : int;
   mutable preds : int list array option; (* cache *)
+  mutable fsucc : (int * float) list array option;
+      (* insertion-order successor cache: [succ_weighted] sits in
+         Dijkstra's relaxation loop, where a List.rev per settled vertex
+         shows up *)
 }
 
 let create n =
   if n < 0 then invalid_arg "Digraph.create: negative size";
-  { n; adj = Array.make n []; nedges = 0; preds = None }
+  { n; adj = Array.make n []; nedges = 0; preds = None; fsucc = None }
 
 let n_vertices g = g.n
 
@@ -26,16 +30,25 @@ let add_edge ?(weight = 1.0) g u v =
   if not (List.exists (fun (w, _) -> w = v) g.adj.(u)) then begin
     g.adj.(u) <- (v, weight) :: g.adj.(u);
     g.nedges <- g.nedges + 1;
-    g.preds <- None
+    g.preds <- None;
+    g.fsucc <- None
   end
 
 let weight g u v =
   check g u "Digraph.weight";
   List.assoc_opt v g.adj.(u)
 
+let fsucc_table g =
+  match g.fsucc with
+  | Some f -> f
+  | None ->
+      let f = Array.map List.rev g.adj in
+      g.fsucc <- Some f;
+      f
+
 let succ_weighted g u =
   check g u "Digraph.succ";
-  List.rev g.adj.(u)
+  (fsucc_table g).(u)
 
 let succ g u = List.map fst (succ_weighted g u)
 
@@ -74,7 +87,7 @@ let transpose g =
   t
 
 let copy g =
-  { n = g.n; adj = Array.copy g.adj; nedges = g.nedges; preds = g.preds }
+  { n = g.n; adj = Array.copy g.adj; nedges = g.nedges; preds = g.preds; fsucc = g.fsucc }
 
 let fold_vertices f acc g =
   let acc = ref acc in

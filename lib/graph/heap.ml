@@ -1,22 +1,38 @@
-type 'a entry = { key : float; value : 'a }
+(* Two parallel backing arrays: [keys] is a flat float array (no per-entry
+   box), [values] uses [None] for every slot at or beyond [size] so that
+   popped payloads are not kept reachable by the heap (the previous
+   entry-record array left them live until overwritten by later pushes —
+   or forever, on a drained heap). *)
 
-type 'a t = { mutable data : 'a entry array; mutable size : int }
+type 'a t = {
+  mutable keys : float array;
+  mutable values : 'a option array;
+  mutable size : int;
+}
 
-let create () = { data = [||]; size = 0 }
+let create () = { keys = [||]; values = [||]; size = 0 }
 
 let is_empty h = h.size = 0
+
+let clear h =
+  (* Keep the capacity, drop the payload references. *)
+  Array.fill h.values 0 h.size None;
+  h.size <- 0
 
 let size h = h.size
 
 let swap h i j =
-  let tmp = h.data.(i) in
-  h.data.(i) <- h.data.(j);
-  h.data.(j) <- tmp
+  let k = h.keys.(i) in
+  h.keys.(i) <- h.keys.(j);
+  h.keys.(j) <- k;
+  let v = h.values.(i) in
+  h.values.(i) <- h.values.(j);
+  h.values.(j) <- v
 
 let rec sift_up h i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if h.data.(i).key < h.data.(parent).key then begin
+    if h.keys.(i) < h.keys.(parent) then begin
       swap h i parent;
       sift_up h parent
     end
@@ -25,35 +41,46 @@ let rec sift_up h i =
 let rec sift_down h i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < h.size && h.data.(l).key < h.data.(!smallest).key then smallest := l;
-  if r < h.size && h.data.(r).key < h.data.(!smallest).key then smallest := r;
+  if l < h.size && h.keys.(l) < h.keys.(!smallest) then smallest := l;
+  if r < h.size && h.keys.(r) < h.keys.(!smallest) then smallest := r;
   if !smallest <> i then begin
     swap h i !smallest;
     sift_down h !smallest
   end
 
 let push h key value =
-  let entry = { key; value } in
-  if h.size >= Array.length h.data then begin
-    let ncap = max 8 (2 * Array.length h.data) in
-    let data = Array.make ncap entry in
-    Array.blit h.data 0 data 0 h.size;
-    h.data <- data
+  if h.size >= Array.length h.keys then begin
+    let ncap = max 8 (2 * Array.length h.keys) in
+    let keys = Array.make ncap 0. and values = Array.make ncap None in
+    Array.blit h.keys 0 keys 0 h.size;
+    Array.blit h.values 0 values 0 h.size;
+    h.keys <- keys;
+    h.values <- values
   end;
-  h.data.(h.size) <- entry;
+  h.keys.(h.size) <- key;
+  h.values.(h.size) <- Some value;
   h.size <- h.size + 1;
   sift_up h (h.size - 1)
 
 let pop_min h =
   if h.size = 0 then None
   else begin
-    let top = h.data.(0) in
+    let key = h.keys.(0) and value = h.values.(0) in
     h.size <- h.size - 1;
     if h.size > 0 then begin
-      h.data.(0) <- h.data.(h.size);
-      sift_down h 0
+      h.keys.(0) <- h.keys.(h.size);
+      h.values.(0) <- h.values.(h.size)
     end;
-    Some (top.key, top.value)
+    (* Clear the vacated tail slot; without this the popped (or moved)
+       payload stays reachable from the backing array. *)
+    h.values.(h.size) <- None;
+    if h.size > 0 then sift_down h 0;
+    match value with Some v -> Some (key, v) | None -> assert false
   end
 
-let peek_min h = if h.size = 0 then None else Some (h.data.(0).key, h.data.(0).value)
+let peek_min h =
+  if h.size = 0 then None
+  else
+    match h.values.(0) with
+    | Some v -> Some (h.keys.(0), v)
+    | None -> assert false

@@ -4,6 +4,10 @@ type 'a t
 
 val create : unit -> 'a t
 
+val clear : 'a t -> unit
+(** Empty the heap in place, keeping its capacity but releasing every
+    held value (no popped or pending payload stays reachable). *)
+
 val is_empty : 'a t -> bool
 
 val size : 'a t -> int

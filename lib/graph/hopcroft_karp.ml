@@ -1,4 +1,4 @@
-type matching = { match_l : int array; match_r : int array; size : int }
+type matching = { match_l : int array; match_r : int array; mutable size : int }
 
 let infinity_dist = max_int
 

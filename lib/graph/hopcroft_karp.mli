@@ -8,7 +8,10 @@
 type matching = {
   match_l : int array;  (** left vertex -> matched right vertex or -1 *)
   match_r : int array;  (** right vertex -> matched left vertex or -1 *)
-  size : int;
+  mutable size : int;
+      (** Mutable so incremental builders ({!Rand_matching.run_filtered})
+          can keep it in sync with [match_l]/[match_r] while callbacks
+          observe the partial matching. *)
 }
 
 val run : nl:int -> nr:int -> int list array -> matching

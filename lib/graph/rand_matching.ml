@@ -6,15 +6,18 @@ let run_filtered rng ~nl ~nr adj ~accept =
       (List.concat (List.init nl (fun u -> List.map (fun v -> (u, v)) adj.(u))))
   in
   Sdn_util.Prng.shuffle rng edges;
-  let size = ref 0 in
   Array.iter
     (fun (u, v) ->
       if match_l.(u) = -1 && match_r.(v) = -1 && accept m u v then begin
         match_l.(u) <- v;
         match_r.(v) <- u;
-        incr size
+        (* Update the live count in place: [accept] receives [m], so a
+           callback inspecting [m.size] must see the matched pairs
+           accumulated so far, not the 0 a final functional update used
+           to leave until return. *)
+        m.size <- m.size + 1
       end)
     edges;
-  { m with size = !size }
+  m
 
 let run rng ~nl ~nr adj = run_filtered rng ~nl ~nr adj ~accept:(fun _ _ _ -> true)

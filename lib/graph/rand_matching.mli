@@ -24,4 +24,6 @@ val run_filtered :
   Hopcroft_karp.matching
 (** Like {!run}, but each candidate edge [(u, v)] is added only when
     [accept current u v] holds — the hook the MLPC solver uses to keep
-    the growing path cover legal. *)
+    the growing path cover legal. The [current] matching passed to
+    [accept] is live: [match_l]/[match_r] {e and} [size] reflect every
+    edge added so far (historically [size] stayed 0 until return). *)

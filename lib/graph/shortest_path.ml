@@ -1,15 +1,41 @@
 type tree = { dist : float array; parent : int array }
 
-let dijkstra ?blocked_vertices ?(blocked_edges = []) g src =
+(* Reusable scratch state. Yen runs one spur Dijkstra per vertex of each
+   accepted path — hundreds of calls on the same small graph — and the
+   per-call cost there is dominated by allocating and initializing the
+   dist/parent/settled arrays and the heap, not by the search itself.
+   A workspace pays the allocation once and resets in place. *)
+type workspace = {
+  wg : Digraph.t;
+  wdist : float array;
+  wparent : int array;
+  wsettled : bool array;
+  wheap : int Heap.t;
+}
+
+let workspace g =
   let n = Digraph.n_vertices g in
-  let dist = Array.make n infinity in
-  let parent = Array.make n (-1) in
-  let settled = Array.make n false in
+  {
+    wg = g;
+    wdist = Array.make n infinity;
+    wparent = Array.make n (-1);
+    wsettled = Array.make n false;
+    wheap = Heap.create ();
+  }
+
+let dijkstra_ws ws ?blocked_vertices ?(edge_blocked = fun _ _ -> false) ?target
+    src =
+  let g = ws.wg in
+  let n = Digraph.n_vertices g in
+  let dist = ws.wdist and parent = ws.wparent and settled = ws.wsettled in
+  let heap = ws.wheap in
+  Array.fill dist 0 n infinity;
+  Array.fill parent 0 n (-1);
+  Array.fill settled 0 n false;
+  Heap.clear heap;
   let blocked v =
     match blocked_vertices with Some b -> b.(v) | None -> false
   in
-  let edge_blocked u v = List.mem (u, v) blocked_edges in
-  let heap = Heap.create () in
   dist.(src) <- 0.;
   Heap.push heap 0. src;
   let rec loop () =
@@ -18,23 +44,45 @@ let dijkstra ?blocked_vertices ?(blocked_edges = []) g src =
     | Some (d, u) ->
         if not settled.(u) && d <= dist.(u) then begin
           settled.(u) <- true;
-          List.iter
-            (fun (v, w) ->
-              if (not (blocked v)) && (not (edge_blocked u v)) && not settled.(v)
-              then begin
-                let nd = dist.(u) +. w in
-                if nd < dist.(v) then begin
-                  dist.(v) <- nd;
-                  parent.(v) <- u;
-                  Heap.push heap nd v
-                end
-              end)
-            (Digraph.succ_weighted g u)
-        end;
-        loop ()
+          (* A settled vertex has final dist/parent, as does every vertex
+             on the shortest path to it (all settled earlier) — so when
+             only [target]'s path is wanted, stop here: the rest of the
+             tree is never read. *)
+          if target = Some u then ()
+          else begin
+            List.iter
+              (fun (v, w) ->
+                if (not (blocked v)) && (not (edge_blocked u v)) && not settled.(v)
+                then begin
+                  let nd = dist.(u) +. w in
+                  if nd < dist.(v) then begin
+                    dist.(v) <- nd;
+                    parent.(v) <- u;
+                    Heap.push heap nd v
+                  end
+                end)
+              (Digraph.succ_weighted g u);
+            loop ()
+          end
+        end
+        else loop ()
   in
   loop ();
   { dist; parent }
+
+let dijkstra ?blocked_vertices ?(blocked_edges = []) ?target g src =
+  (* One-shot entry point: a fresh workspace, so the returned tree owns
+     its arrays. Blocked-edge membership goes through a hash table built
+     once — a List.mem here would run once per relaxation. *)
+  let edge_blocked =
+    match blocked_edges with
+    | [] -> fun _ _ -> false
+    | edges ->
+        let tbl = Hashtbl.create (2 * List.length edges) in
+        List.iter (fun e -> Hashtbl.replace tbl e ()) edges;
+        fun u v -> Hashtbl.mem tbl (u, v)
+  in
+  dijkstra_ws (workspace g) ?blocked_vertices ~edge_blocked ?target src
 
 let path_to tree target =
   if tree.dist.(target) = infinity then None
@@ -43,4 +91,4 @@ let path_to tree target =
     Some (build target [])
   end
 
-let shortest_path g src dst = path_to (dijkstra g src) dst
+let shortest_path g src dst = path_to (dijkstra ~target:dst g src) dst

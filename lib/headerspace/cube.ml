@@ -11,6 +11,49 @@ type t = { len : int; mask : int array; value : int array }
 
 let nchunks len = (len + chunk_bits - 1) / chunk_bits
 
+(* ------------------------------------------------------------------ *)
+(* Hashing and hash-consing.
+
+   [hash] folds over every chunk of both bit arrays. Delegating to
+   [Hashtbl.hash] would silently stop after its default meaningful-word
+   budget, collapsing long headers (>~ 10 words) into a handful of
+   buckets — fatal for the intern table below. The mixer is a
+   multiply/xor-shift round (splitmix-style) per chunk.
+
+   Every cube constructor routes its result through a weak intern table,
+   so structurally equal cubes are one physical object: [equal] and
+   [subset] get O(1) fast paths, repeated header-space algebra over the
+   same match fields stops re-allocating, and the table never pins
+   memory (entries are weak; the GC reclaims unreferenced cubes). *)
+
+let hash c =
+  let mix h x =
+    let h = (h lxor x) * 0x9e3779b1 in
+    h lxor (h lsr 29)
+  in
+  let h = ref (mix 0x50b07 c.len) in
+  for i = 0 to Array.length c.mask - 1 do
+    h := mix !h c.mask.(i);
+    h := mix !h c.value.(i)
+  done;
+  !h land max_int
+
+let structural_equal a b = a.len = b.len && a.mask = b.mask && a.value = b.value
+
+module Intern = Weak.Make (struct
+  type nonrec t = t
+
+  let equal = structural_equal
+
+  let hash = hash
+end)
+
+let intern_table = Intern.create 4096
+
+let intern c = Intern.merge intern_table c
+
+let interned_count () = Intern.count intern_table
+
 (* Mask selecting the valid bits of the last chunk. *)
 let tail_mask len =
   let r = len mod chunk_bits in
@@ -20,7 +63,7 @@ let length c = c.len
 
 let wildcard len =
   if len <= 0 then invalid_arg "Cube.wildcard: non-positive length";
-  { len; mask = Array.make (nchunks len) 0; value = Array.make (nchunks len) 0 }
+  intern { len; mask = Array.make (nchunks len) 0; value = Array.make (nchunks len) 0 }
 
 let pos k = (k / chunk_bits, 1 lsl (k mod chunk_bits))
 
@@ -45,7 +88,7 @@ let set c k bit =
   | One ->
       mask.(i) <- mask.(i) lor b;
       value.(i) <- value.(i) lor b);
-  { c with mask; value }
+  intern { c with mask; value }
 
 let of_bits bits =
   let len = Array.length bits in
@@ -61,7 +104,7 @@ let of_bits bits =
           mask.(i) <- mask.(i) lor bm;
           value.(i) <- value.(i) lor bm)
     bits;
-  { len; mask; value }
+  intern { len; mask; value }
 
 let of_string s =
   let len = String.length s in
@@ -80,17 +123,16 @@ let to_string c =
 
 let pp fmt c = Format.pp_print_string fmt (to_string c)
 
-let equal a b =
-  a.len = b.len && a.mask = b.mask && a.value = b.value
+let equal a b = a == b || structural_equal a b
 
 let compare a b =
-  let c = Stdlib.compare a.len b.len in
-  if c <> 0 then c
+  if a == b then 0
   else
-    let c = Stdlib.compare a.mask b.mask in
-    if c <> 0 then c else Stdlib.compare a.value b.value
-
-let hash c = Hashtbl.hash (c.len, c.mask, c.value)
+    let c = Stdlib.compare a.len b.len in
+    if c <> 0 then c
+    else
+      let c = Stdlib.compare a.mask b.mask in
+      if c <> 0 then c else Stdlib.compare a.value b.value
 
 let popcount x =
   let rec loop x acc = if x = 0 then acc else loop (x land (x - 1)) (acc + 1) in
@@ -108,81 +150,98 @@ let check_lengths a b name =
   if a.len <> b.len then invalid_arg (name ^ ": length mismatch")
 
 let inter a b =
-  check_lengths a b "Cube.inter";
-  let n = Array.length a.mask in
-  (* Conflict: bit fixed in both with differing values. *)
-  let rec conflict i =
-    if i >= n then false
+  if a == b then Some a
+  else begin
+    check_lengths a b "Cube.inter";
+    let n = Array.length a.mask in
+    (* Conflict: bit fixed in both with differing values. *)
+    let rec conflict i =
+      if i >= n then false
+      else
+        let both = a.mask.(i) land b.mask.(i) in
+        if (a.value.(i) lxor b.value.(i)) land both <> 0 then true
+        else conflict (i + 1)
+    in
+    if conflict 0 then None
     else
-      let both = a.mask.(i) land b.mask.(i) in
-      if (a.value.(i) lxor b.value.(i)) land both <> 0 then true
-      else conflict (i + 1)
-  in
-  if conflict 0 then None
-  else
-    let mask = Array.init n (fun i -> a.mask.(i) lor b.mask.(i)) in
-    let value = Array.init n (fun i -> a.value.(i) lor b.value.(i)) in
-    Some { len = a.len; mask; value }
+      let mask = Array.init n (fun i -> a.mask.(i) lor b.mask.(i)) in
+      let value = Array.init n (fun i -> a.value.(i) lor b.value.(i)) in
+      Some (intern { len = a.len; mask; value })
+  end
 
 let disjoint a b = inter a b = None
 
 let subset a b =
-  check_lengths a b "Cube.subset";
-  (* a ⊆ b iff every fixed bit of b is fixed in a with the same value. *)
-  let n = Array.length a.mask in
-  let rec loop i =
-    if i >= n then true
-    else if b.mask.(i) land lnot a.mask.(i) <> 0 then false
-    else if (a.value.(i) lxor b.value.(i)) land b.mask.(i) <> 0 then false
-    else loop (i + 1)
-  in
-  loop 0
+  a == b
+  || begin
+       check_lengths a b "Cube.subset";
+       (* a ⊆ b iff every fixed bit of b is fixed in a with the same value. *)
+       let n = Array.length a.mask in
+       let rec loop i =
+         if i >= n then true
+         else if b.mask.(i) land lnot a.mask.(i) <> 0 then false
+         else if (a.value.(i) lxor b.value.(i)) land b.mask.(i) <> 0 then false
+         else loop (i + 1)
+       in
+       loop 0
+     end
 
-(* a - b: standard HSA cube difference. For each bit where b is fixed,
-   emit (a ∩ {bit k = complement of b[k]}) restricted to positions where a
-   is compatible; bits processed left to right, constraining earlier bits
-   to b's value to keep the result disjoint. Empty pieces are dropped. *)
+(* a - b: standard HSA cube difference. For each bit where b is fixed
+   and a is a wildcard, emit the running prefix with that bit flipped to
+   the complement of b's value; bits processed left to right (ascending
+   chunk, ascending bit), constraining earlier bits to b's value to keep
+   the result disjoint. Bits fixed in both cubes agree (a ∩ b ≠ ∅ here)
+   and emit nothing. Works chunk-parallel on the packed arrays; only the
+   emitted pieces are interned. *)
 let diff a b =
-  check_lengths a b "Cube.diff";
-  match inter a b with
-  | None -> [ a ]
-  | Some _ ->
-      if subset a b then []
-      else
-        let acc = ref [] in
-        let prefix = ref a in
-        (try
-           for k = 0 to a.len - 1 do
-             match get b k with
-             | Any -> ()
-             | fixed ->
-                 let flipped = match fixed with Zero -> One | One -> Zero | Any -> assert false in
-                 (match get !prefix k with
-                 | Any ->
-                     acc := set !prefix k flipped :: !acc;
-                     prefix := set !prefix k fixed
-                 | pk when pk = fixed -> ()
-                 | _ ->
-                     (* a already contradicts b at k: a ∩ b = ∅, handled above;
-                        but the running prefix can contradict mid-way only if
-                        a did, so this is unreachable. *)
-                     assert false)
-           done
-         with Exit -> ());
-        List.rev !acc
+  if a == b then []
+  else begin
+    check_lengths a b "Cube.diff";
+    match inter a b with
+    | None -> [ a ]
+    | Some _ ->
+        if subset a b then []
+        else begin
+          let n = Array.length a.mask in
+          let pmask = Array.copy a.mask and pvalue = Array.copy a.value in
+          let acc = ref [] in
+          for i = 0 to n - 1 do
+            let bits = ref (b.mask.(i) land lnot a.mask.(i)) in
+            while !bits <> 0 do
+              let bit = !bits land - !bits in
+              bits := !bits land (!bits - 1);
+              (* Piece: prefix with this bit fixed to b's complement. *)
+              let m = Array.copy pmask and v = Array.copy pvalue in
+              m.(i) <- m.(i) lor bit;
+              v.(i) <- v.(i) land lnot bit lor (lnot b.value.(i) land bit);
+              acc := intern { len = a.len; mask = m; value = v } :: !acc;
+              (* Constrain the prefix to b's value at this bit. *)
+              pmask.(i) <- pmask.(i) lor bit;
+              pvalue.(i) <- pvalue.(i) land lnot bit lor (b.value.(i) land bit)
+            done
+          done;
+          List.rev !acc
+        end
+  end
+
+let is_identity_set set = Array.for_all (fun m -> m = 0) set.mask
 
 let apply_set_field ~set c =
   check_lengths set c "Cube.apply_set_field";
+  if is_identity_set set then c (* no rewrite: T(h, x^len) = h *)
+  else
   let n = Array.length c.mask in
   let mask = Array.init n (fun i -> c.mask.(i) lor set.mask.(i)) in
   let value =
     Array.init n (fun i ->
         (c.value.(i) land lnot set.mask.(i)) lor set.value.(i))
   in
-  { len = c.len; mask; value }
+  intern { len = c.len; mask; value }
 
 let inverse_set_field ~set c =
   check_lengths set c "Cube.inverse_set_field";
+  if is_identity_set set then Some c
+  else
   let n = Array.length c.mask in
   (* Conflict: a bit fixed by [set] that the target fixes differently. *)
   let rec conflict i =
@@ -196,7 +255,7 @@ let inverse_set_field ~set c =
   else
     let mask = Array.init n (fun i -> c.mask.(i) land lnot set.mask.(i)) in
     let value = Array.init n (fun i -> c.value.(i) land lnot set.mask.(i)) in
-    Some { len = c.len; mask; value }
+    Some (intern { len = c.len; mask; value })
 
 let sample rng c =
   let n = Array.length c.mask in
@@ -207,12 +266,12 @@ let sample rng c =
     mask.(i) <- valid;
     value.(i) <- (c.value.(i) lor (rand land lnot c.mask.(i))) land valid
   done;
-  { len = c.len; mask; value }
+  intern { len = c.len; mask; value }
 
 let first_member c =
   let n = Array.length c.mask in
   let mask = Array.init n (fun i -> if i = n - 1 then tail_mask c.len else -1 lsr 1) in
-  { len = c.len; mask; value = Array.copy c.value }
+  intern { len = c.len; mask; value = Array.copy c.value }
 
 let nth_member c k =
   if k < 0 then invalid_arg "Cube.nth_member: negative index";

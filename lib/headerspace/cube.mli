@@ -13,7 +13,13 @@
 
     The representation packs a cube into two bit arrays (a fixed-bit mask
     and a value), chunked into OCaml ints, so intersection and emptiness
-    tests are word-parallel. Cubes are immutable. *)
+    tests are word-parallel. Cubes are immutable and {e hash-consed}:
+    every constructor interns its result in a weak table, so structurally
+    equal cubes are one physical object. {!equal}, {!subset} and {!inter}
+    short-circuit on physical equality, and repeated header-space algebra
+    over the same match fields re-uses rather than re-allocates. The
+    intern table holds its entries weakly — unreferenced cubes are
+    reclaimed by the GC as usual. *)
 
 type t
 
@@ -45,12 +51,20 @@ val to_string : t -> string
 val pp : Format.formatter -> t -> unit
 
 val equal : t -> t -> bool
-(** Structural equality (same length, same ternary vector). *)
+(** Structural equality (same length, same ternary vector). O(1) for
+    interned cubes — physical equality decides. *)
 
 val compare : t -> t -> int
 (** Total order consistent with {!equal}. *)
 
 val hash : t -> int
+(** Chunk-fold hash over the whole bit representation. Unlike
+    [Hashtbl.hash], it never truncates: cubes differing only in late
+    chunks of a long header still spread across buckets. *)
+
+val interned_count : unit -> int
+(** Number of cubes currently alive in the intern table (weak count —
+    shrinks under GC). Exposed for metrics and tests. *)
 
 val is_concrete : t -> bool
 (** True when no position is a wildcard. *)

@@ -1,8 +1,9 @@
 type t = { len : int; cubes : Cube.t list }
 
 (* Drop cubes subsumed by another cube in the list. Quadratic, but cube
-   lists stay small in practice (match fields and their complements). *)
-let reduce cubes =
+   lists stay small in practice (match fields and their complements).
+   Keeps first-insertion order (first_member and sample depend on it). *)
+let subsume cubes =
   let rec loop kept = function
     | [] -> List.rev kept
     | c :: rest ->
@@ -23,7 +24,7 @@ let of_cubes len cubes =
     (fun c ->
       if Cube.length c <> len then invalid_arg "Hs.of_cubes: length mismatch")
     cubes;
-  { len; cubes = reduce cubes }
+  { len; cubes = subsume cubes }
 
 let cubes t = t.cubes
 
@@ -39,10 +40,10 @@ let check a b name = if a.len <> b.len then invalid_arg (name ^ ": length mismat
 
 let union a b =
   check a b "Hs.union";
-  { len = a.len; cubes = reduce (a.cubes @ b.cubes) }
+  { len = a.len; cubes = subsume (a.cubes @ b.cubes) }
 
 let inter_cube t c =
-  { len = t.len; cubes = reduce (List.filter_map (fun d -> Cube.inter d c) t.cubes) }
+  { len = t.len; cubes = subsume (List.filter_map (fun d -> Cube.inter d c) t.cubes) }
 
 let inter a b =
   check a b "Hs.inter";
@@ -51,27 +52,45 @@ let inter a b =
       (fun ca -> List.filter_map (fun cb -> Cube.inter ca cb) b.cubes)
       a.cubes
   in
-  { len = a.len; cubes = reduce pieces }
+  { len = a.len; cubes = subsume pieces }
 
 let diff_cube t c =
-  { len = t.len; cubes = reduce (List.concat_map (fun d -> Cube.diff d c) t.cubes) }
+  { len = t.len; cubes = subsume (List.concat_map (fun d -> Cube.diff d c) t.cubes) }
 
 let diff a b =
   check a b "Hs.diff";
   List.fold_left diff_cube a b.cubes
 
+(* Identity rewrites map every (interned) cube to itself; the list was
+   already subsumption-reduced at construction, so skip re-reducing. *)
 let apply_set_field ~set t =
-  { len = t.len; cubes = reduce (List.map (Cube.apply_set_field ~set) t.cubes) }
+  let mapped = List.map (Cube.apply_set_field ~set) t.cubes in
+  if List.for_all2 ( == ) mapped t.cubes then t
+  else { len = t.len; cubes = subsume mapped }
 
 let inverse_set_field ~set t =
-  { len = t.len;
-    cubes = reduce (List.filter_map (Cube.inverse_set_field ~set) t.cubes) }
+  let mapped = List.filter_map (Cube.inverse_set_field ~set) t.cubes in
+  if List.length mapped = List.length t.cubes && List.for_all2 ( == ) mapped t.cubes
+  then t
+  else { len = t.len; cubes = subsume mapped }
 
 let is_subset a b =
-  check a b "Hs.is_subset";
-  is_empty (diff a b)
+  a == b
+  || begin
+       check a b "Hs.is_subset";
+       is_empty (diff a b)
+     end
 
-let equal_sets a b = is_subset a b && is_subset b a
+let equal_sets a b = a == b || (is_subset a b && is_subset b a)
+
+(* Canonicalizing reduction. The operations above keep insertion order
+   (cheap, and {!first_member}/{!sample} are defined on it); [reduce]
+   instead produces a stable representation: cubes in {!Cube.compare}
+   order, duplicates collapsed — an O(n log n) sort, with interning
+   making the duplicate check physical — and subsumed cubes dropped.
+   Idempotent, insensitive to the input's cube order, and preserves
+   {!equal_sets}; meant for dedup keys, memo tables and goldens. *)
+let reduce t = { t with cubes = subsume (List.sort_uniq Cube.compare t.cubes) }
 
 (* Disjoint decomposition: subtract earlier cubes from later ones so
    sizes add up exactly. *)

@@ -57,6 +57,20 @@ val is_subset : t -> t -> bool
 val equal_sets : t -> t -> bool
 (** Semantic equality. *)
 
+val reduce : t -> t
+(** Canonical form of the cube list: sorted by {!Cube.compare},
+    duplicates collapsed (physical equality, thanks to cube interning),
+    cubes subsumed by another cube dropped. Idempotent, insensitive to
+    the order the space was assembled in, and {!equal_sets}-preserving.
+    The other operations deliberately keep first-insertion order (it is
+    what {!first_member} and {!sample} are defined on), so canonicalize
+    only at comparison/memoization boundaries. *)
+
+val disjoint_cubes : t -> Cube.t list
+(** Decomposition into pairwise-disjoint cubes denoting the same set
+    (later cubes minus all earlier ones), so cube sizes add up exactly;
+    the basis of {!size} and {!sample}. *)
+
 val size : t -> float
 (** Number of concrete headers (inclusion–exclusion-free upper bound is
     avoided: computed exactly by disjoint decomposition). *)

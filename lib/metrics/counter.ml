@@ -1,0 +1,27 @@
+type t = { name : string; mutable count : int }
+
+let registry : t list ref = ref [] (* reverse creation order *)
+
+let create name =
+  let c = { name; count = 0 } in
+  registry := c :: !registry;
+  c
+
+let incr c = c.count <- c.count + 1
+
+let add c n = c.count <- c.count + n
+
+let value c = c.count
+
+let name c = c.name
+
+let reset c = c.count <- 0
+
+let snapshot () = List.rev_map (fun c -> (c.name, c.count)) !registry
+
+let reset_all () = List.iter (fun c -> c.count <- 0) !registry
+
+let pp fmt () =
+  List.iter
+    (fun (name, count) -> Format.fprintf fmt "%s: %d@." name count)
+    (snapshot ())

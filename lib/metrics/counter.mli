@@ -1,0 +1,32 @@
+(** Named monotonic event counters (cache hits/misses, retries, ...).
+
+    Counters are registered globally at creation so reports can snapshot
+    every instrumented subsystem without threading handles around; they
+    are intended to be created once at module initialization. Mutation
+    is a single unboxed store — cheap enough for tight loops. *)
+
+type t
+
+val create : string -> t
+(** Create and register a counter starting at 0. Each call registers a
+    new counter; create once per site, not per use. *)
+
+val incr : t -> unit
+
+val add : t -> int -> unit
+
+val value : t -> int
+
+val name : t -> string
+
+val reset : t -> unit
+
+val snapshot : unit -> (string * int) list
+(** All registered counters with their current values, in creation
+    order. *)
+
+val reset_all : unit -> unit
+(** Zero every registered counter (the counters stay registered). *)
+
+val pp : Format.formatter -> unit -> unit
+(** One [name: value] line per registered counter. *)

@@ -5,6 +5,53 @@ module Digraph = Sdngraph.Digraph
 
 exception Cyclic_policy of int list
 
+(* Memoized header-space queries. The MLPC solvers and the L009 lint
+   audit ask for the same path spaces over and over (every candidate
+   splice re-derives its chain's injectability; Cover.all_legal
+   re-checks every recorded start space), so each graph carries keyed
+   caches:
+
+   - [start]: keyed by path {e suffix} — start_space is a backward
+     fold, so [start_space (p :: rules)] reuses the memoized
+     [start_space rules], which is exactly the shape of
+     [injection_plan]'s backward extension search;
+   - [forward]: keyed by the whole (expanded) path;
+   - [inject]: [injection_plan] results, keyed by the expanded path.
+
+   Invalidation is explicit: {!build} and {!update} install fresh
+   caches, and {!invalidate_caches} empties them in place (required if
+   the underlying network is mutated without going through [update]).
+   Hit/miss totals feed both the per-graph [cache_stats] and the global
+   {!Metrics.Counter} registry. *)
+type caches = {
+  start : (int list, Hs.t) Hashtbl.t;
+  forward : (int list, Hs.t) Hashtbl.t;
+  inject : (int list, (int list * Hs.t) option) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let fresh_caches () =
+  {
+    start = Hashtbl.create 256;
+    forward = Hashtbl.create 64;
+    inject = Hashtbl.create 64;
+    hits = 0;
+    misses = 0;
+  }
+
+let c_start_hits = Metrics.Counter.create "rulegraph.cache.start.hits"
+
+let c_start_misses = Metrics.Counter.create "rulegraph.cache.start.misses"
+
+let c_forward_hits = Metrics.Counter.create "rulegraph.cache.forward.hits"
+
+let c_forward_misses = Metrics.Counter.create "rulegraph.cache.forward.misses"
+
+let c_inject_hits = Metrics.Counter.create "rulegraph.cache.inject.hits"
+
+let c_inject_misses = Metrics.Counter.create "rulegraph.cache.inject.misses"
+
 type t = {
   network : Network.t;
   vertices : Flow_entry.t array;
@@ -15,7 +62,29 @@ type t = {
   full : Digraph.t; (* base + closure edges *)
   witness : (int * int, int list list) Hashtbl.t;
   mutable pruned : int; (* closure expansions cut by the subsumption check *)
+  caches : caches;
 }
+
+let cached caches table (chit, cmiss) key compute =
+  match Hashtbl.find_opt table key with
+  | Some v ->
+      caches.hits <- caches.hits + 1;
+      Metrics.Counter.incr chit;
+      v
+  | None ->
+      caches.misses <- caches.misses + 1;
+      Metrics.Counter.incr cmiss;
+      let v = compute () in
+      Hashtbl.add table key v;
+      v
+
+let invalidate_caches t =
+  Hashtbl.reset t.caches.start;
+  Hashtbl.reset t.caches.forward;
+  Hashtbl.reset t.caches.inject
+
+let cache_stats t =
+  [ ("space_cache_hits", t.caches.hits); ("space_cache_misses", t.caches.misses) ]
 
 let network t = t.network
 
@@ -140,6 +209,7 @@ let build ?(closure = true) ?(max_witnesses = 3) net =
       full = base;
       witness = Hashtbl.create 64;
       pruned = 0;
+      caches = fresh_caches ();
     }
   in
   if closure then { t with full = build_closure t ~max_witnesses } else t
@@ -304,6 +374,7 @@ let update ?(max_witnesses = 3) old ~changed_tables =
       full = base;
       witness = Hashtbl.create 64;
       pruned = old.pruned;
+      caches = fresh_caches ();
     }
   in
   let full = Digraph.copy base in
@@ -356,19 +427,29 @@ let forward_space t path =
   let len = Network.header_len t.network in
   match path with
   | [] -> Hs.empty len
-  | _ -> List.fold_left (fun hs v -> step t.inputs t.vertices hs v) (Hs.full len) path
+  | _ ->
+      cached t.caches t.caches.forward (c_forward_hits, c_forward_misses) path
+        (fun () ->
+          List.fold_left (fun hs v -> step t.inputs t.vertices hs v) (Hs.full len) path)
 
 let start_space t path =
   let len = Network.header_len t.network in
   match path with
   | [] -> Hs.empty len
   | _ ->
-      List.fold_right
-        (fun v after ->
-          let r = t.vertices.(v) in
-          Hs.inter t.inputs.(v)
-            (Hs.inverse_set_field ~set:r.Flow_entry.set_field after))
-        path (Hs.full len)
+      (* Memoized on suffixes: the backward fold means every cached tail
+         is reusable verbatim when the path is extended at the front. *)
+      let rec go = function
+        | [] -> Hs.full len
+        | v :: rest as key ->
+            cached t.caches t.caches.start (c_start_hits, c_start_misses) key
+              (fun () ->
+                let after = go rest in
+                let r = t.vertices.(v) in
+                Hs.inter t.inputs.(v)
+                  (Hs.inverse_set_field ~set:r.Flow_entry.set_field after))
+      in
+      go path
 
 let is_legal t path = not (Hs.is_empty (forward_space t (expand_path t path)))
 
@@ -376,22 +457,24 @@ let rec injection_plan t rules =
   match rules with
   | [] -> None
   | head :: _ ->
-      let e = t.vertices.(head) in
-      if e.Flow_entry.table = 0 then
-        let hs = start_space t rules in
-        if Hs.is_empty hs then None else Some (rules, hs)
-      else
-        (* Reach the head through its own switch's earlier tables. *)
-        List.find_map
-          (fun p ->
-            let pe = t.vertices.(p) in
-            if
-              pe.Flow_entry.switch = e.Flow_entry.switch
-              && pe.Flow_entry.table < e.Flow_entry.table
-              && not (Hs.is_empty (start_space t (p :: rules)))
-            then injection_plan t (p :: rules)
-            else None)
-          (Digraph.pred t.base head)
+      cached t.caches t.caches.inject (c_inject_hits, c_inject_misses) rules
+        (fun () ->
+          let e = t.vertices.(head) in
+          if e.Flow_entry.table = 0 then
+            let hs = start_space t rules in
+            if Hs.is_empty hs then None else Some (rules, hs)
+          else
+            (* Reach the head through its own switch's earlier tables. *)
+            List.find_map
+              (fun p ->
+                let pe = t.vertices.(p) in
+                if
+                  pe.Flow_entry.switch = e.Flow_entry.switch
+                  && pe.Flow_entry.table < e.Flow_entry.table
+                  && not (Hs.is_empty (start_space t (p :: rules)))
+                then injection_plan t (p :: rules)
+                else None)
+              (Digraph.pred t.base head))
 
 let is_injectable t path = injection_plan t (expand_path t path) <> None
 

@@ -90,6 +90,20 @@ val is_injectable : t -> int list -> bool
 val stats : t -> (string * int) list
 (** Vertices / base edges / closure edges / pruned expansions. *)
 
+val cache_stats : t -> (string * int) list
+(** Cumulative hit/miss totals of the graph's space caches
+    ([space_cache_hits] / [space_cache_misses]). Per-cache breakdowns
+    are published through the global {!Metrics.Counter} registry as
+    [rulegraph.cache.{start,forward,inject}.{hits,misses}]. *)
+
+val invalidate_caches : t -> unit
+(** Empty the memoized {!start_space} / {!forward_space} /
+    {!injection_plan} caches in place. {!build} and {!update} install
+    fresh caches, so this is only needed when the underlying network is
+    mutated {e without} going through [update] (the caches — like the
+    per-rule spaces — are otherwise valid for the network state the
+    graph was built against), or to benchmark cold-cache behavior. *)
+
 val update : ?max_witnesses:int -> t -> changed_tables:(int * int) list -> t
 (** Incremental rebuild after flow-table churn (§VIII-C: "SDNProbe can
     update the rule graph incrementally to reduce overhead"). The

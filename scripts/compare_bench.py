@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Compare two `bench regress` JSON files and gate on slowdowns.
+
+Usage:
+    dune exec bench/main.exe -- regress --switches 16 --out cur1.json
+    dune exec bench/main.exe -- regress --switches 16 --out cur2.json
+    python3 scripts/compare_bench.py BENCH_3.json cur1.json cur2.json \
+        --max-slowdown 1.25 --only-switches 16
+
+The baseline may be either a plain `bench-regress` capture (entries with
+"ns") or a `bench-regress-report` (entries with "after_ns"/"ns"); in a
+report the after-numbers are the baseline, matching what regress.ml's
+own --baseline loader does. When several current files are given, the
+per-entry minimum across them is compared — the same noise-robust
+protocol the committed baseline was captured with (docs/PERF.md), so
+always pass as many current runs as the baseline used. --only-switches
+gates only entries whose trailing /<n> matches (micro-kernels carry a
+bit-width suffix, e.g. cube.inter/64, and are left ungated — Bechamel
+estimates are too machine-sensitive for a hard CI bound). Entries
+present in only one file are reported but never fail the gate (workload
+sets may differ across machines/scales). Exits non-zero when any gated
+entry is slower than baseline by more than --max-slowdown. Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA_VERSION = 1
+
+
+def load_entries(path):
+    with open(path) as fh:
+        doc = json.load(fh)
+    version = doc.get("schema_version")
+    if version != SCHEMA_VERSION:
+        sys.exit(f"{path}: unsupported schema_version {version} (expected {SCHEMA_VERSION})")
+    entries = {}
+    for e in doc.get("entries", []):
+        ns = e.get("ns", e.get("after_ns"))
+        if e.get("name") is None or ns is None:
+            sys.exit(f"{path}: malformed entry {e!r}")
+        entries[e["name"]] = float(ns)
+    if not entries:
+        sys.exit(f"{path}: no entries")
+    return entries
+
+
+def scale_of(name):
+    """Trailing /<switches> suffix of an end-to-end entry, None for micros."""
+    _, _, suffix = name.rpartition("/")
+    return int(suffix) if suffix.isdigit() else None
+
+
+def pretty_ns(ns):
+    if ns > 1e9:
+        return f"{ns / 1e9:.2f} s"
+    if ns > 1e6:
+        return f"{ns / 1e6:.2f} ms"
+    if ns > 1e3:
+        return f"{ns / 1e3:.2f} us"
+    return f"{ns:.0f} ns"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", help="committed baseline (BENCH_3.json)")
+    ap.add_argument(
+        "current",
+        nargs="+",
+        help="freshly measured regress JSON (several files are min-merged per entry)",
+    )
+    ap.add_argument(
+        "--max-slowdown",
+        type=float,
+        default=1.25,
+        metavar="RATIO",
+        help="fail when current/baseline exceeds RATIO (default 1.25)",
+    )
+    ap.add_argument(
+        "--only-switches",
+        type=int,
+        default=None,
+        metavar="N",
+        help="gate only entries with a trailing /N scale suffix",
+    )
+    args = ap.parse_args()
+
+    base = load_entries(args.baseline)
+    cur = {}
+    for path in args.current:
+        for name, ns in load_entries(path).items():
+            cur[name] = min(ns, cur.get(name, float("inf")))
+
+    failures = []
+    print(f"{'entry':<28} {'baseline':>12} {'current':>12} {'ratio':>7}")
+    for name in sorted(set(base) | set(cur)):
+        if name not in base or name not in cur:
+            where = "baseline" if name in base else "current"
+            print(f"{name:<28} {'(only in ' + where + ')':>33}")
+            continue
+        ratio = cur[name] / base[name]
+        scale = scale_of(name)
+        gated = args.only_switches is None or scale is None or scale == args.only_switches
+        verdict = ""
+        if gated and ratio > args.max_slowdown:
+            failures.append(name)
+            verdict = "  FAIL"
+        elif not gated:
+            verdict = "  (not gated)"
+        print(
+            f"{name:<28} {pretty_ns(base[name]):>12} {pretty_ns(cur[name]):>12}"
+            f" {ratio:>6.2f}x{verdict}"
+        )
+
+    if failures:
+        sys.exit(
+            f"{len(failures)} entr{'y' if len(failures) == 1 else 'ies'} regressed "
+            f"beyond {args.max_slowdown:.2f}x: {', '.join(failures)}"
+        )
+    print(f"ok: no entry slower than {args.max_slowdown:.2f}x baseline")
+
+
+if __name__ == "__main__":
+    main()

@@ -35,6 +35,39 @@ let test_heap_empty () =
   check_bool "peek" true (Heap.peek_min h = Some (1.0, "a"));
   check_int "size 1" 1 (Heap.size h)
 
+let test_heap_clear () =
+  let h = Heap.create () in
+  List.iter (fun k -> Heap.push h k k) [ 3.; 1.; 2. ];
+  Heap.clear h;
+  check_int "cleared" 0 (Heap.size h);
+  check_bool "pop after clear" true (Heap.pop_min h = None);
+  Heap.push h 5. 5.;
+  check_bool "reusable" true (Heap.pop_min h = Some (5., 5.))
+
+(* Out-of-line so the payloads' only strong references are the heap's
+   backing array, not this test's stack frame. *)
+let[@inline never] heap_fill_weak h w =
+  let a = ref 1 and b = ref 2 in
+  Weak.set w 0 (Some a);
+  Weak.set w 1 (Some b);
+  Heap.push h 1. a;
+  Heap.push h 2. b
+
+let test_heap_pop_releases () =
+  (* Regression: pop_min used to leave the popped entry in the backing
+     array, keeping its payload reachable until overwritten (or forever
+     on a drained heap). *)
+  let h = Heap.create () in
+  let w = Weak.create 2 in
+  heap_fill_weak h w;
+  ignore (Heap.pop_min h);
+  Gc.full_major ();
+  check_bool "popped payload reclaimed" false (Weak.check w 0);
+  check_bool "pending payload still live" true (Weak.check w 1);
+  ignore (Heap.pop_min h);
+  Gc.full_major ();
+  check_bool "drained payload reclaimed" false (Weak.check w 1)
+
 (* ------------------------------------------------------------------ *)
 (* Digraph *)
 
@@ -218,6 +251,26 @@ let test_rand_matching_filtered () =
   let m = RM.run_filtered (Prng.create 3) ~nl:4 ~nr:4 adj ~accept:(fun _ _ _ -> false) in
   check_int "empty" 0 m.size
 
+let test_rand_matching_live_size () =
+  (* Regression: the matching handed to [accept] used to report size 0
+     for the whole run; it must track the edges added so far. *)
+  let adj = Array.init 5 (fun _ -> List.init 5 Fun.id) in
+  let observed = ref [] in
+  let m =
+    RM.run_filtered (Prng.create 9) ~nl:5 ~nr:5 adj ~accept:(fun cur _ _ ->
+        let live =
+          Array.fold_left (fun acc v -> if v <> -1 then acc + 1 else acc) 0 cur.HK.match_l
+        in
+        check_int "size matches match_l" live cur.HK.size;
+        observed := cur.HK.size :: !observed;
+        true)
+  in
+  check_valid_matching 5 5 adj m;
+  check_int "final size" 5 m.size;
+  (* Full bipartite graph, accept-all: exactly one call per match, so
+     accept saw the size climb 0,1,...,4. *)
+  check_bool "sizes climb" true (List.rev !observed = [ 0; 1; 2; 3; 4 ])
+
 (* ------------------------------------------------------------------ *)
 (* Shortest paths *)
 
@@ -291,6 +344,32 @@ let test_dijkstra_vs_floyd () =
     done
   done
 
+let test_dijkstra_target () =
+  (* Early exit at the target returns the same path and distance. *)
+  let g = weighted_graph () in
+  let full = SP.dijkstra g 0 in
+  for dst = 0 to 4 do
+    let early = SP.dijkstra ~target:dst g 0 in
+    check_bool "same path" true (SP.path_to full dst = SP.path_to early dst);
+    check_bool "same dist" true (full.SP.dist.(dst) = early.SP.dist.(dst))
+  done
+
+let test_dijkstra_workspace () =
+  (* A reused workspace matches one-shot runs across sources and
+     blocking configurations. *)
+  let g = weighted_graph () in
+  let ws = SP.workspace g in
+  let t1 = SP.dijkstra_ws ws 0 in
+  check_bool "first run" true (SP.path_to t1 4 = Some [ 0; 1; 2; 3; 4 ]);
+  let t2 = SP.dijkstra_ws ws ~edge_blocked:(fun u v -> u = 0 && v = 1) 0 in
+  check_bool "blocked edge, reused state" true (SP.path_to t2 3 = Some [ 0; 2; 3 ]);
+  let t3 = SP.dijkstra_ws ws 1 in
+  check_bool "new source, reused state" true (SP.path_to t3 4 = Some [ 1; 2; 3; 4 ]);
+  let blocked_vertices = Array.make 5 false in
+  blocked_vertices.(1) <- true;
+  let t4 = SP.dijkstra_ws ws ~blocked_vertices ~target:3 0 in
+  check_bool "blocked vertex + target" true (SP.path_to t4 3 = Some [ 0; 2; 3 ])
+
 (* ------------------------------------------------------------------ *)
 (* Yen *)
 
@@ -341,6 +420,52 @@ let test_yen_paths_valid () =
       paths
   done
 
+(* Exhaustive loopless-path enumeration for small graphs. *)
+let all_simple_paths g src dst =
+  let n = Digraph.n_vertices g in
+  let visited = Array.make n false in
+  let acc = ref [] in
+  let rec go u path =
+    if u = dst then acc := List.rev path :: !acc
+    else
+      List.iter
+        (fun (v, _) ->
+          if not visited.(v) then begin
+            visited.(v) <- true;
+            go v (v :: path);
+            visited.(v) <- false
+          end)
+        (Digraph.succ_weighted g u)
+  in
+  visited.(src) <- true;
+  go src [ src ];
+  !acc
+
+let prop_yen_vs_brute =
+  QCheck.Test.make ~name:"yen agrees with exhaustive k-shortest" ~count:100
+    QCheck.small_nat (fun seed ->
+      let rng = Prng.create (1 + seed) in
+      let n = 3 + Prng.int rng 4 in
+      let g = Digraph.create n in
+      for _ = 1 to 3 * n do
+        let u = Prng.int rng n and v = Prng.int rng n in
+        (* continuous weights: ties have probability ~0, so the ranking
+           is unambiguous *)
+        if u <> v then Digraph.add_edge ~weight:(0.5 +. Prng.float rng 9.) g u v
+      done;
+      let src = 0 and dst = n - 1 in
+      let k = 5 in
+      let yen = Yen.k_shortest g ~src ~dst ~k in
+      let all = all_simple_paths g src dst in
+      let weights l = List.sort compare (List.map (Yen.path_weight g) l) in
+      let expect =
+        List.filteri (fun i _ -> i < k) (weights all)
+      in
+      List.length yen = min k (List.length all)
+      && List.for_all (fun p -> List.mem p all) yen
+      && (let got = weights yen in
+          List.for_all2 (fun a b -> abs_float (a -. b) < 1e-9) got expect))
+
 (* ------------------------------------------------------------------ *)
 (* Union-find *)
 
@@ -362,6 +487,8 @@ let () =
         [
           Alcotest.test_case "sorts" `Quick test_heap_sorts;
           Alcotest.test_case "empty" `Quick test_heap_empty;
+          Alcotest.test_case "clear" `Quick test_heap_clear;
+          Alcotest.test_case "pop releases payload" `Quick test_heap_pop_releases;
         ] );
       ( "digraph",
         [
@@ -381,6 +508,7 @@ let () =
           Alcotest.test_case "random maximal" `Quick test_rand_matching_maximal;
           Alcotest.test_case "random varies" `Quick test_rand_matching_varies;
           Alcotest.test_case "random filtered" `Quick test_rand_matching_filtered;
+          Alcotest.test_case "filtered live size" `Quick test_rand_matching_live_size;
         ] );
       ( "shortest paths",
         [
@@ -388,6 +516,8 @@ let () =
           Alcotest.test_case "unreachable" `Quick test_dijkstra_unreachable;
           Alcotest.test_case "blocked" `Quick test_dijkstra_blocked;
           Alcotest.test_case "vs floyd" `Quick test_dijkstra_vs_floyd;
+          Alcotest.test_case "target early exit" `Quick test_dijkstra_target;
+          Alcotest.test_case "workspace reuse" `Quick test_dijkstra_workspace;
         ] );
       ( "yen",
         [
@@ -395,6 +525,7 @@ let () =
           Alcotest.test_case "k limit" `Quick test_yen_k_limit;
           Alcotest.test_case "no path" `Quick test_yen_no_path;
           Alcotest.test_case "paths valid" `Quick test_yen_paths_valid;
+          QCheck_alcotest.to_alcotest prop_yen_vs_brute;
         ] );
       ("union-find", [ Alcotest.test_case "basics" `Quick test_union_find ]);
     ]

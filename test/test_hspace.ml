@@ -104,6 +104,36 @@ let test_first_member () =
   check_string "zeros" "1000" (Cube.to_string (Cube.first_member c));
   check_bool "member" true (Cube.member ~header:(Cube.first_member c) c)
 
+let test_interning () =
+  (* Structurally equal cubes are one physical object, however built. *)
+  let a = Cube.of_string "0010xx1x" and b = Cube.of_string "0010xx1x" in
+  check_bool "of_string interned" true (a == b);
+  let c = Cube.set (Cube.of_string "0010xx0x") 6 Cube.One in
+  check_bool "set interned" true (a == c);
+  (match Cube.inter (Cube.of_string "0010xxxx") (Cube.of_string "xxxxxx1x") with
+  | Some d -> check_bool "inter interned" true (a == d)
+  | None -> Alcotest.fail "expected Some");
+  check_bool "table non-empty" true (Cube.interned_count () > 0)
+
+let test_hash_long_cubes () =
+  (* Regression: hashing used to go through Hashtbl.hash, which stops
+     after its meaningful-word budget — cubes differing only in late
+     chunks all collided, which the intern table turns into linear
+     scans. 64 variants differing only in the last chunk of a 620-bit
+     cube must hash apart. *)
+  let len = 620 in
+  let base = String.init len (fun i -> if i mod 2 = 0 then '0' else '1') in
+  let variants =
+    List.init 64 (fun i ->
+        let b = Bytes.of_string base in
+        for j = 0 to 5 do
+          if i land (1 lsl j) <> 0 then Bytes.set b (len - 1 - j) 'x'
+        done;
+        Cube.of_string (Bytes.to_string b))
+  in
+  let hashes = List.sort_uniq compare (List.map Cube.hash variants) in
+  check_int "distinct hashes" 64 (List.length hashes)
+
 (* ------------------------------------------------------------------ *)
 (* Hs unit tests *)
 
@@ -266,6 +296,40 @@ let prop_hs_size_additive =
       let rhs = Hs.size (Hs.diff ha hb) +. Hs.size (Hs.inter ha hb) in
       abs_float (lhs -. rhs) < 1e-6)
 
+let arb_cube_list =
+  QCheck.make
+    ~print:(fun l -> String.concat " u " (List.map Cube.to_string l))
+    QCheck.Gen.(list_size (int_range 0 6) gen_cube)
+
+let prop_reduce_canonical =
+  QCheck.Test.make ~name:"reduce: idempotent, order-insensitive, set-preserving"
+    ~count:300 arb_cube_list (fun cubes ->
+      let t = Hs.of_cubes len cubes in
+      let r = Hs.reduce t in
+      Hs.equal_sets r t
+      && List.equal Cube.equal (Hs.cubes (Hs.reduce r)) (Hs.cubes r)
+      && List.equal Cube.equal
+           (Hs.cubes (Hs.reduce (Hs.of_cubes len (List.rev cubes))))
+           (Hs.cubes r))
+
+let prop_disjoint_cubes =
+  QCheck.Test.make ~name:"disjoint_cubes: pairwise disjoint, sizes sum, same set"
+    ~count:300 arb_cube_list (fun cubes ->
+      let t = Hs.of_cubes len cubes in
+      let pieces = Hs.disjoint_cubes t in
+      let arr = Array.of_list pieces in
+      let pairwise = ref true in
+      for i = 0 to Array.length arr - 1 do
+        for j = i + 1 to Array.length arr - 1 do
+          if not (Cube.disjoint arr.(i) arr.(j)) then pairwise := false
+        done
+      done;
+      !pairwise
+      && abs_float
+           (List.fold_left (fun acc c -> acc +. Cube.size c) 0. pieces -. Hs.size t)
+         < 1e-6
+      && Hs.equal_sets (Hs.of_cubes len pieces) t)
+
 let props =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -280,6 +344,8 @@ let props =
       prop_nth_member;
       prop_hs_diff_union;
       prop_hs_size_additive;
+      prop_reduce_canonical;
+      prop_disjoint_cubes;
     ]
 
 let () =
@@ -299,6 +365,8 @@ let () =
           Alcotest.test_case "inverse set field" `Quick test_inverse_set_field;
           Alcotest.test_case "size" `Quick test_size;
           Alcotest.test_case "first member" `Quick test_first_member;
+          Alcotest.test_case "interning" `Quick test_interning;
+          Alcotest.test_case "hash beyond word budget" `Quick test_hash_long_cubes;
         ] );
       ( "hs",
         [

@@ -401,6 +401,51 @@ let test_static_shadowed () =
   check_bool "shadow reported" true
     (List.mem (SC.Shadowed_rule shadowed.FE.id) (SC.check net))
 
+(* ------------------------------------------------------------------ *)
+(* Space caches *)
+
+let test_cache_hits_and_invalidation () =
+  let f = Fixtures.figure3 () in
+  let rg = RG.build f.Fixtures.net in
+  let v e = RG.vertex_of_entry rg e.FE.id in
+  let path = List.map v [ f.Fixtures.a1; f.Fixtures.b1; f.Fixtures.c2; f.Fixtures.e1 ] in
+  let stat name rg = List.assoc name (RG.cache_stats rg) in
+  (* build itself may have consulted the caches; measure deltas *)
+  let h0 = stat "space_cache_hits" rg and m0 = stat "space_cache_misses" rg in
+  let s1 = RG.start_space rg path in
+  let m1 = stat "space_cache_misses" rg in
+  check_bool "cold query misses" true (m1 > m0);
+  let s2 = RG.start_space rg path in
+  check_bool "warm query hits" true (stat "space_cache_hits" rg > h0);
+  check_int "no new misses" m1 (stat "space_cache_misses" rg);
+  check_bool "memoized result identical" true (Hs.equal_sets s1 s2);
+  RG.invalidate_caches rg;
+  let s3 = RG.start_space rg path in
+  check_bool "invalidate forces recompute" true (stat "space_cache_misses" rg > m1);
+  check_bool "recomputed result identical" true (Hs.equal_sets s1 s3);
+  (* forward_space and injection_plan go through the same machinery *)
+  let fwd1 = RG.forward_space rg path and fwd2 = RG.forward_space rg path in
+  check_bool "forward memoized" true (Hs.equal_sets fwd1 fwd2)
+
+let test_cached_spaces_match_fresh_graph () =
+  (* Memoized answers on a warm graph = answers from a fresh build. *)
+  let rng = Sdn_util.Prng.create 17 in
+  let topo = Topogen.Topo_gen.rocketfuel_like rng ~n_switches:8 () in
+  let net = Topogen.Rule_gen.install rng topo in
+  let rg = RG.build net in
+  let cover = Mlpc.Legal_matching.solve rg in
+  let fresh = RG.build net in
+  List.iter
+    (fun (p : Mlpc.Cover.path) ->
+      let rules = p.Mlpc.Cover.rules in
+      (* second query per graph is served from cache *)
+      ignore (RG.start_space rg rules);
+      check_bool "start space stable" true
+        (Hs.equal_sets (RG.start_space rg rules) (RG.start_space fresh rules));
+      check_bool "forward space stable" true
+        (Hs.equal_sets (RG.forward_space rg rules) (RG.forward_space fresh rules)))
+    cover.Mlpc.Cover.paths
+
 let test_static_generated_clean () =
   (* The synthetic policies are loop-free and shadow-free by
      construction. *)
@@ -454,6 +499,11 @@ let () =
           Alcotest.test_case "remove rule" `Quick test_incremental_remove;
           Alcotest.test_case "random churn" `Quick test_incremental_random_churn;
           Alcotest.test_case "cycle detected" `Quick test_incremental_cycle_detected;
+        ] );
+      ( "space caches",
+        [
+          Alcotest.test_case "hits and invalidation" `Quick test_cache_hits_and_invalidation;
+          Alcotest.test_case "match fresh build" `Quick test_cached_spaces_match_fresh_graph;
         ] );
       ( "static checks",
         [
