@@ -70,6 +70,7 @@ type workload = {
   net : Openflow.Network.t;
   topo : Openflow.Topology.t;
   rg : RG.t;
+  cover : Mlpc.Cover.t;
   cover_paths : int list list; (* expanded rule sequences of the cover *)
 }
 
@@ -82,7 +83,7 @@ let make_workload scale =
   let cover_paths =
     List.map (fun (p : Mlpc.Cover.path) -> p.Mlpc.Cover.rules) cover.Mlpc.Cover.paths
   in
-  { scale; net; topo; rg; cover_paths }
+  { scale; net; topo; rg; cover; cover_paths }
 
 let invalidate rg = RG.invalidate_caches rg
 
@@ -107,6 +108,11 @@ let solve w () =
 let randomized w () =
   invalidate w.rg;
   ignore (Mlpc.Legal_matching.randomized (Sdn_util.Prng.create 3) w.rg)
+
+(* Unique-header assignment: one SAT query per cover path. Proof
+   logging is off on this default path — the entry exists to prove the
+   certification hooks (PR 4) stay free when unused. *)
+let headers_assign w () = ignore (Mlpc.Headers.assign Mlpc.Headers.Sat_unique w.cover)
 
 let yen_k8 w =
   let g = Openflow.Topology.to_digraph w.topo in
@@ -157,6 +163,7 @@ let entries ~scales =
       (Printf.sprintf "rulegraph.spaces/%d" scale, time_ns ~runs (space_queries w));
       (Printf.sprintf "mlpc.solve/%d" scale, time_ns ~runs (solve w));
       (Printf.sprintf "mlpc.randomized/%d" scale, time_ns ~runs (randomized w));
+      (Printf.sprintf "headers.assign/%d" scale, time_ns ~runs (headers_assign w));
       (Printf.sprintf "yen.k8/%d" scale, time_ns ~runs (yen_k8 w));
     ]
   in

@@ -4,7 +4,9 @@
      list        enumerate available experiments
      experiment  run one experiment (or "all")
      plan        generate a probe plan for a synthetic topology
-     detect      inject faults into a synthetic topology and localize *)
+     detect      inject faults into a synthetic topology and localize
+     lint        run the static-analysis passes over a policy
+     certify     validate a generated plan with independent checkers *)
 
 open Cmdliner
 
@@ -91,7 +93,16 @@ let plan_cmd =
   let randomized =
     Arg.(value & flag & info [ "randomized" ] ~doc:"Use Randomized SDNProbe path drawing.")
   in
-  let run switches seed randomized load save =
+  let certify =
+    Arg.(
+      value & flag
+      & info [ "certify" ]
+          ~doc:
+            "After generating the plan, validate it with the certification \
+             pipeline (SAT proofs, König matching certificate, cache-free \
+             path replay, Yen re-check) and exit non-zero on failure.")
+  in
+  let run switches seed randomized certify load save =
     let net = resolve_network ~switches ~seed load in
     (match save with
     | Some path ->
@@ -116,11 +127,18 @@ let plan_cmd =
         if i < 10 then Format.printf "  %a@." Sdnprobe.Probe.pp p)
       plan.Sdnprobe.Plan.probes;
     if Sdnprobe.Plan.size plan > 10 then
-      Format.printf "  ... (%d more)@." (Sdnprobe.Plan.size plan - 10)
+      Format.printf "  ... (%d more)@." (Sdnprobe.Plan.size plan - 10);
+    if certify then begin
+      let report = Sdnprobe.Certify.run ~seed plan in
+      Format.printf "%a" Sdnprobe.Certify.pp report;
+      if not (Sdnprobe.Certify.ok_report report) then exit 1
+    end
   in
   Cmd.v
     (Cmd.info "plan" ~doc:"Generate and summarize a test-packet plan")
-    Term.(const run $ switches_term $ seed_term $ randomized $ load_term $ save_term)
+    Term.(
+      const run $ switches_term $ seed_term $ randomized $ certify $ load_term
+      $ save_term)
 
 (* ------------------------------------------------------------------ *)
 (* detect *)
@@ -357,6 +375,78 @@ let lint_cmd =
        $ fail_on $ passes $ no_coverage))
 
 (* ------------------------------------------------------------------ *)
+(* certify *)
+
+let certify_cmd =
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the certificate report as one versioned JSON object.")
+  in
+  let campus =
+    Arg.(value & flag & info [ "campus" ] ~doc:"Certify the synthetic campus dataset.")
+  in
+  let randomized =
+    Arg.(
+      value & flag
+      & info [ "randomized" ]
+          ~doc:
+            "Certify a Randomized-SDNProbe plan (the SAT section is skipped: \
+             randomized plans draw headers uniformly).")
+  in
+  let yen_pairs =
+    Arg.(
+      value & opt int 8
+      & info [ "yen-pairs" ] ~docv:"N"
+          ~doc:"Sampled (src, dst) pairs for the Yen re-check section.")
+  in
+  let run switches seed campus randomized load json yen_pairs =
+    let net =
+      if campus then Topogen.Campus.synthesize (Sdn_util.Prng.create seed)
+      else resolve_network ~switches ~seed load
+    in
+    match
+      let mode =
+        if randomized then Sdnprobe.Plan.Randomized (Sdn_util.Prng.create seed)
+        else Sdnprobe.Plan.Static
+      in
+      Sdnprobe.Plan.generate ~mode net
+    with
+    | exception Rulegraph.Rule_graph.Cyclic_policy loop ->
+        `Error
+          ( false,
+            Format.asprintf
+              "policy has a forwarding loop through entries %a; nothing to \
+               certify (run the lint subcommand for the full diagnostic)"
+              Fmt.(list ~sep:comma int)
+              loop )
+    | plan ->
+        let report = Sdnprobe.Certify.run ~yen_pairs ~seed plan in
+        if json then
+          print_endline (Sdn_util.Json.to_string (Sdnprobe.Certify.to_json report))
+        else begin
+          Format.printf "%a@." Openflow.Network.pp_summary net;
+          Format.printf "probes: %d@." (Sdnprobe.Plan.size plan);
+          Format.printf "%a" Sdnprobe.Certify.pp report
+        end;
+        if Sdnprobe.Certify.ok_report report then `Ok () else exit 1
+  in
+  Cmd.v
+    (Cmd.info "certify"
+       ~doc:
+         "Generate a probe plan and validate it end to end with independent \
+          checkers: SAT answers against their clauses and DRUP proofs, the \
+          MLPC matching against a König vertex-cover certificate (Theorem-1 \
+          minimality), every probe path replayed cache-free through the real \
+          lookup semantics, and sampled Yen queries re-checked against \
+          Bellman-Ford")
+    Term.(
+      ret
+        (const run $ switches_term $ seed_term $ campus $ randomized $ load_term
+       $ json $ yen_pairs))
+
+(* ------------------------------------------------------------------ *)
 (* verify *)
 
 let verify_cmd =
@@ -389,4 +479,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; experiment_cmd; plan_cmd; detect_cmd; lint_cmd; verify_cmd ]))
+          [
+            list_cmd;
+            experiment_cmd;
+            plan_cmd;
+            detect_cmd;
+            lint_cmd;
+            certify_cmd;
+            verify_cmd;
+          ]))

@@ -1,0 +1,146 @@
+(* From-scratch RUP/DRUP proof checker.
+
+   Deliberately dumb: clauses are plain literal lists, propagation is a
+   repeated full scan to fixpoint, and every proof step is checked from
+   an empty assignment. No watched literals, no activity, no sharing
+   with the CDCL solver — the point is that this code has nothing in
+   common with the machinery it checks. *)
+
+type error = { step : int option; clause : int list; reason : string }
+
+let pp_clause fmt clause =
+  match clause with
+  | [] -> Format.pp_print_string fmt "(empty clause)"
+  | _ ->
+      Format.fprintf fmt "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun f () -> Format.pp_print_string f " ")
+           Format.pp_print_int)
+        clause
+
+let pp_error fmt e =
+  (match e.step with
+  | Some i -> Format.fprintf fmt "step %d %a: %s" i pp_clause e.clause e.reason
+  | None -> Format.fprintf fmt "%s" e.reason)
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+let max_var clauses =
+  List.fold_left
+    (fun acc clause -> List.fold_left (fun acc l -> max acc (abs l)) acc clause)
+    0 clauses
+
+(* Assignment: 0 unassigned, 1 true, -1 false, indexed by variable. *)
+let value assign l =
+  let a = assign.(abs l) in
+  if a = 0 then 0 else if l > 0 then a else -a
+
+let set assign l = assign.(abs l) <- (if l > 0 then 1 else -1)
+
+(* Propagate the database to fixpoint over [assign]; true iff a clause
+   is falsified. A zero-literal database clause conflicts immediately. *)
+let propagate assign db =
+  let conflict = ref false in
+  let changed = ref true in
+  while !changed && not !conflict do
+    changed := false;
+    List.iter
+      (fun clause ->
+        if not !conflict then begin
+          let satisfied = ref false in
+          let unassigned = ref 0 in
+          let unit_lit = ref 0 in
+          List.iter
+            (fun l ->
+              match value assign l with
+              | 1 -> satisfied := true
+              | 0 ->
+                  incr unassigned;
+                  unit_lit := l
+              | _ -> ())
+            clause;
+          if not !satisfied then
+            if !unassigned = 0 then conflict := true
+            else if !unassigned = 1 && value assign !unit_lit = 0 then begin
+              set assign !unit_lit;
+              changed := true
+            end
+        end)
+      db
+  done;
+  !conflict
+
+(* Is [clause] an asymmetric tautology of [db]? Assume every literal
+   false (a complementary or duplicate pair inside the clause conflicts
+   on its own) and propagate. *)
+let rup assign db clause =
+  Array.fill assign 0 (Array.length assign) 0;
+  let direct_conflict =
+    List.exists
+      (fun l ->
+        match value assign l with
+        | 1 -> true (* clause contains both l and -l *)
+        | _ ->
+            set assign (-l);
+            false)
+      clause
+  in
+  direct_conflict || propagate assign db
+
+let check ?(nvars = 0) ~clauses ~proof () =
+  let nv = max nvars (max (max_var clauses) (max_var proof)) in
+  let assign = Array.make (nv + 1) 0 in
+  let db = ref (List.rev clauses) (* newest first; order is irrelevant *) in
+  let refuted = ref false in
+  let rec steps i = function
+    | [] ->
+        if !refuted then Ok ()
+        else
+          Error
+            {
+              step = None;
+              clause = [];
+              reason =
+                Printf.sprintf
+                  "proof exhausted after %d step(s) without deriving the \
+                   empty clause"
+                  i;
+            }
+    | clause :: rest ->
+        if rup assign !db clause then begin
+          db := clause :: !db;
+          if clause = [] then refuted := true;
+          steps (i + 1) rest
+        end
+        else
+          Error
+            {
+              step = Some i;
+              clause;
+              reason = "not RUP: propagating its negation yields no conflict";
+            }
+  in
+  steps 0 proof
+
+let check_model ~clauses model =
+  let value l =
+    (* Variables beyond the model (never allocated by the solver) are
+       unconstrained; read them as false, like the solver's default
+       phase. *)
+    let v = abs l in
+    let true_ = v < Array.length model && model.(v) in
+    if l > 0 then true_ else not true_
+  in
+  let rec loop i = function
+    | [] -> Ok ()
+    | clause :: rest ->
+        if List.exists value clause then loop (i + 1) rest
+        else
+          Error
+            {
+              step = Some i;
+              clause;
+              reason = "model falsifies this problem clause";
+            }
+  in
+  loop 0 clauses

@@ -1,0 +1,35 @@
+(** Independent RUP/DRUP proof checker.
+
+    Validates the witnesses produced by {!Sat.Solver}'s proof logging
+    without sharing any code with the solver: clauses are plain literal
+    lists, propagation is a naive scan to fixpoint, and every step is
+    re-checked from an empty assignment. A [Sat] answer is checked
+    against every problem clause ({!check_model}); an [Unsat] answer is
+    checked by replaying the DRUP derivation ({!check}) — each step must
+    be RUP (assuming its negation and unit-propagating the database must
+    yield a conflict), and the proof must derive the empty clause.
+
+    Literals are DIMACS integers (non-zero; sign is polarity). *)
+
+type error = {
+  step : int option;  (** proof/clause index the check failed at *)
+  clause : int list;  (** offending clause *)
+  reason : string;
+}
+
+val pp_error : Format.formatter -> error -> unit
+
+val error_to_string : error -> string
+
+val check :
+  ?nvars:int -> clauses:int list list -> proof:int list list -> unit ->
+  (unit, error) result
+(** [check ~clauses ~proof ()] replays [proof] against the problem
+    [clauses]: every step must be RUP w.r.t. the clauses plus the
+    accepted earlier steps, and some step must be the empty clause.
+    [Ok ()] certifies the instance unsatisfiable. *)
+
+val check_model : clauses:int list list -> bool array -> (unit, error) result
+(** [check_model ~clauses model] verifies the assignment (indexed by
+    variable, entry 0 unused — {!Sat.Solver.result}'s [Sat] payload)
+    satisfies every clause. [Ok ()] certifies the instance satisfiable. *)

@@ -1,0 +1,97 @@
+(* König matching-maximality certificates.
+
+   The certificate for "M is a maximum matching of the bipartite graph
+   (L, R, E)" is a vertex cover C with |C| = |M|: every matching is at
+   most any vertex cover (matched edges are vertex-disjoint, each needs
+   its own cover vertex), so |M| = |C| pins M to the maximum and C to
+   the minimum. The checks below are linear scans over the certificate —
+   nothing of Hopcroft–Karp (or the MLPC legal-matching search) is
+   consulted. *)
+
+type t = {
+  nl : int;
+  nr : int;
+  adj : int list array;  (** left vertex -> right neighbours *)
+  match_l : int array;  (** left vertex -> matched right vertex or -1 *)
+  match_r : int array;  (** right vertex -> matched left vertex or -1 *)
+  cover_left : int list;  (** left side of the vertex cover *)
+  cover_right : int list;  (** right side of the vertex cover *)
+}
+
+let error fmt = Printf.ksprintf (fun msg -> Error msg) fmt
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let check_matching c =
+  if Array.length c.adj <> c.nl then error "adj has %d rows, nl = %d" (Array.length c.adj) c.nl
+  else if Array.length c.match_l <> c.nl then
+    error "match_l has length %d, nl = %d" (Array.length c.match_l) c.nl
+  else if Array.length c.match_r <> c.nr then
+    error "match_r has length %d, nr = %d" (Array.length c.match_r) c.nr
+  else begin
+    let rec left u =
+      if u >= c.nl then Ok ()
+      else
+        let v = c.match_l.(u) in
+        if v = -1 then left (u + 1)
+        else if v < 0 || v >= c.nr then
+          error "match_l.(%d) = %d out of range [0,%d)" u v c.nr
+        else if not (List.mem v c.adj.(u)) then
+          error "matched pair (%d, %d) is not an edge of the graph" u v
+        else if c.match_r.(v) <> u then
+          error "matching inconsistent: match_l.(%d) = %d but match_r.(%d) = %d"
+            u v v c.match_r.(v)
+        else left (u + 1)
+    in
+    let rec right v =
+      if v >= c.nr then Ok ()
+      else
+        let u = c.match_r.(v) in
+        if u = -1 then right (v + 1)
+        else if u < 0 || u >= c.nl then
+          error "match_r.(%d) = %d out of range [0,%d)" v u c.nl
+        else if c.match_l.(u) <> v then
+          error "matching inconsistent: match_r.(%d) = %d but match_l.(%d) = %d"
+            v u u c.match_l.(u)
+        else right (v + 1)
+    in
+    let* () = left 0 in
+    right 0
+  end
+
+let matching_size c =
+  Array.fold_left (fun acc v -> if v >= 0 then acc + 1 else acc) 0 c.match_l
+
+let check c =
+  let* () = check_matching c in
+  let in_cover_l = Array.make c.nl false and in_cover_r = Array.make c.nr false in
+  let rec mark side bound arr = function
+    | [] -> Ok ()
+    | v :: rest ->
+        if v < 0 || v >= bound then
+          error "cover vertex %s%d out of range [0,%d)" side v bound
+        else if arr.(v) then error "cover vertex %s%d listed twice" side v
+        else begin
+          arr.(v) <- true;
+          mark side bound arr rest
+        end
+  in
+  let* () = mark "L" c.nl in_cover_l c.cover_left in
+  let* () = mark "R" c.nr in_cover_r c.cover_right in
+  let rec edges u = function
+    | [] -> if u + 1 >= c.nl then Ok () else edges (u + 1) c.adj.(u + 1)
+    | v :: rest ->
+        if v < 0 || v >= c.nr then
+          error "edge (%d, %d): right endpoint out of range [0,%d)" u v c.nr
+        else if in_cover_l.(u) || in_cover_r.(v) then edges u rest
+        else error "edge (%d, %d) has no endpoint in the vertex cover" u v
+  in
+  let* () = if c.nl = 0 then Ok () else edges 0 c.adj.(0) in
+  let m = matching_size c in
+  let cov = List.length c.cover_left + List.length c.cover_right in
+  if m <> cov then
+    error
+      "|matching| = %d but |cover| = %d: certificate proves neither \
+       maximality nor minimality"
+      m cov
+  else Ok ()

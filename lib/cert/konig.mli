@@ -1,0 +1,37 @@
+(** König matching-maximality certificate checker.
+
+    By König's theorem, a bipartite matching [M] shipped with a vertex
+    cover [C] of the same cardinality is provably maximum: any matching
+    is bounded by any vertex cover, so [|M| = |C|] certifies both. The
+    producer is {!Sdngraph.Hopcroft_karp.konig_cover}; this checker
+    validates the pair with three linear scans (matching consistency,
+    cover hits every edge, cardinalities agree) and no reference to how
+    either was computed.
+
+    Combined with the paper's Theorem 1 (a path cover of an [n]-vertex
+    rule graph has [n − |M|] chains for its successor matching [M]),
+    a verified certificate proves the MLPC cover minimum — see
+    docs/CERTIFY.md for the full argument. *)
+
+type t = {
+  nl : int;  (** left vertices [0..nl-1] *)
+  nr : int;  (** right vertices [0..nr-1] *)
+  adj : int list array;  (** left vertex -> right neighbours *)
+  match_l : int array;  (** left vertex -> matched right vertex or -1 *)
+  match_r : int array;  (** right vertex -> matched left vertex or -1 *)
+  cover_left : int list;
+  cover_right : int list;
+}
+
+val check : t -> (unit, string) result
+(** Full certificate check: the matching is a valid matching over the
+    graph's edges, the cover vertices are in-range and duplicate-free,
+    every edge has an endpoint in the cover, and
+    [|matching| = |cover|]. [Ok ()] certifies the matching maximum and
+    the cover minimum. *)
+
+val check_matching : t -> (unit, string) result
+(** Just the matching-validity part (edges exist, [match_l]/[match_r]
+    mutually consistent). *)
+
+val matching_size : t -> int

@@ -1,0 +1,121 @@
+(* Cache-free replay of per-path legality witnesses.
+
+   A probe-plan path certificate is (rule sequence, concrete witness
+   header). Instead of trusting the rule graph's memoized start/forward
+   spaces, the checker drops the witness header into the first rule's
+   switch at table 0 and runs the actual OpenFlow lookup semantics
+   ({!Openflow.Flow_table.lookup}, set-field rewrite, output/goto
+   dispatch), asserting that the traversed entries are exactly the
+   certified sequence. Any stale cache, wrong tie-break or bogus
+   preimage computation upstream surfaces here as a concrete
+   lookup-level mismatch. *)
+
+module FE = Openflow.Flow_entry
+module Network = Openflow.Network
+module Flow_table = Openflow.Flow_table
+module Header = Hspace.Header
+module Hs = Hspace.Hs
+
+type witness = { rules : int list; header : Header.t }
+
+let error fmt = Printf.ksprintf (fun msg -> Error msg) fmt
+
+let check_path net { rules; header } =
+  match rules with
+  | [] -> Error "empty rule sequence"
+  | first :: _ -> (
+      match Network.find_entry net first with
+      | None -> error "unknown entry id %d" first
+      | Some e when e.FE.table <> 0 ->
+          error
+            "entry %d sits in table %d: a probe enters its switch at table \
+             0, so the witness sequence must start there"
+            first e.FE.table
+      | Some e when Header.length header <> Network.header_len net ->
+          ignore e;
+          error "witness header has %d bits, the network uses %d"
+            (Header.length header) (Network.header_len net)
+      | Some e ->
+          let rec walk i h sw tb = function
+            | [] -> Ok ()
+            | r :: rest -> (
+                match Flow_table.lookup (Network.table net ~switch:sw ~table:tb) h with
+                | None ->
+                    error
+                      "hop %d: header %s dies on table-miss at sw%d table %d \
+                       (expected entry %d)"
+                      i (Header.to_string h) sw tb r
+                | Some hit when hit.FE.id <> r ->
+                    error
+                      "hop %d: lookup at sw%d table %d returns entry %d, \
+                       witness claims entry %d"
+                      i sw tb hit.FE.id r
+                | Some hit -> (
+                    let h' = FE.apply hit h in
+                    if rest = [] then Ok ()
+                    else
+                      match hit.FE.action with
+                      | FE.Drop ->
+                          error
+                            "hop %d: entry %d drops the packet but the \
+                             witness continues for %d more rule(s)"
+                            i r (List.length rest)
+                      | FE.Goto_table tb' -> walk (i + 1) h' sw tb' rest
+                      | FE.Output _ -> (
+                          match Network.next_switch net hit with
+                          | None ->
+                              error
+                                "hop %d: entry %d outputs onto a link-less \
+                                 port but the witness continues"
+                                i r
+                          | Some sw' -> walk (i + 1) h' sw' 0 rest)))
+          in
+          walk 0 header e.FE.switch 0 rules)
+
+(* ------------------------------------------------------------------ *)
+(* Coverage: every testable entry (non-empty input space, recomputed
+   here from the flow tables, not read from any cache) is traversed by
+   some planned path or explicitly declared untestable. This is the
+   single implementation behind both the certification coverage check
+   and the lint engine's L009 audit, so the two can never disagree. *)
+
+let uncovered net ~probes =
+  let covered = Hashtbl.create 256 in
+  List.iter (List.iter (fun id -> Hashtbl.replace covered id ())) probes;
+  List.filter_map
+    (fun (e : FE.t) ->
+      if Hashtbl.mem covered e.id then None
+      else
+        let input = Network.input_space net e in
+        if Hs.is_empty input then None else Some (e, input))
+    (Network.all_entries net)
+
+let check_coverage net ~paths ~untestable =
+  let declared = Hashtbl.create 16 in
+  List.iter (fun id -> Hashtbl.replace declared id ()) untestable;
+  let covered = Hashtbl.create 256 in
+  List.iter (List.iter (fun id -> Hashtbl.replace covered id ())) paths;
+  let contradiction =
+    List.find_opt (Hashtbl.mem covered) untestable
+  in
+  match contradiction with
+  | Some id ->
+      error
+        "entry %d is declared untestable yet some certified path traverses \
+         it"
+        id
+  | None -> (
+      match
+        List.filter
+          (fun ((e : FE.t), _) -> not (Hashtbl.mem declared e.id))
+          (uncovered net ~probes:paths)
+      with
+      | [] -> Ok ()
+      | ((e, input) : FE.t * Hs.t) :: _ as misses ->
+          error
+            "%d testable entr%s escape the plan; first: entry %d (sw%d, \
+             prio %d), reachable by %s"
+            (List.length misses)
+            (if List.length misses = 1 then "y" else "ies")
+            e.id e.switch e.priority
+            (Format.asprintf "%a" Hs.pp input))

@@ -1,0 +1,37 @@
+(** Cache-free replay of path-legality witnesses and plan coverage.
+
+    The MLPC cover's claim "a packet with header [h] injected at the
+    first rule's switch traverses exactly the rule sequence [rs]" is
+    re-established here by running the witness header through the
+    network's real lookup semantics — highest-priority match, set-field
+    rewrite, output/goto dispatch — with no reference to the rule
+    graph, its memoized spaces, or the solvers that produced the plan. *)
+
+type witness = {
+  rules : int list;  (** entry ids in traversal order, starting at table 0 *)
+  header : Hspace.Header.t;  (** concrete injected header *)
+}
+
+val check_path : Openflow.Network.t -> witness -> (unit, string) result
+(** Simulate the witness header hop by hop; [Ok ()] certifies the rule
+    sequence is a legal, injectable path of the policy. The error names
+    the first diverging hop. *)
+
+val uncovered :
+  Openflow.Network.t -> probes:int list list -> (Openflow.Flow_entry.t * Hspace.Hs.t) list
+(** Testable entries (non-empty input space, recomputed from the flow
+    tables) traversed by no probe path, with the header space that
+    would exercise them. Shared by certification and the lint engine's
+    L009 pass — a single implementation, so they cannot disagree. *)
+
+val check_coverage :
+  Openflow.Network.t ->
+  paths:int list list ->
+  untestable:int list ->
+  (unit, string) result
+(** Coverage certificate: every testable entry is traversed by some
+    path or listed in [untestable], and no declared-untestable entry is
+    traversed (that would contradict the declaration). Note what this
+    does {e not} prove: that declared-untestable entries are truly
+    unreachable (for multi-table pipeline-dead rules that claim is the
+    planner's; see docs/CERTIFY.md). *)

@@ -1,0 +1,124 @@
+(* Certificates for K-shortest-path answers.
+
+   Yen's algorithm (array-based, with a reusable Dijkstra workspace and
+   incremental prefix filters since PR 3) is re-checked from the
+   outside: each returned path must be a real, loopless src->dst walk;
+   the list must be sorted by weight; and the first path's weight must
+   equal the true shortest distance, recomputed here with Bellman–Ford —
+   an algorithm sharing nothing with the Dijkstra machinery under
+   audit. Optimality of ranks 2..k is NOT certified (see the mli). *)
+
+module Digraph = Sdngraph.Digraph
+
+let error fmt = Printf.ksprintf (fun msg -> Error msg) fmt
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+(* Textbook Bellman-Ford: |V|-1 rounds of full edge relaxation. The
+   graphs under test have non-negative weights, so no negative-cycle
+   handling is needed; infinity marks unreachable. *)
+let bellman_ford g src =
+  let n = Digraph.n_vertices g in
+  let dist = Array.make n infinity in
+  dist.(src) <- 0.;
+  let edges = Digraph.edges g in
+  for _ = 1 to n - 1 do
+    List.iter
+      (fun (u, v) ->
+        match Digraph.weight g u v with
+        | Some w -> if dist.(u) +. w < dist.(v) then dist.(v) <- dist.(u) +. w
+        | None -> ())
+      edges
+  done;
+  dist
+
+let path_weight g path =
+  let rec loop acc = function
+    | [] | [ _ ] -> Ok acc
+    | u :: (v :: _ as rest) -> (
+        match Digraph.weight g u v with
+        | Some w -> loop (acc +. w) rest
+        | None -> error "edge (%d, %d) does not exist in the graph" u v)
+  in
+  loop 0. path
+
+let check_one g ~src ~dst rank path =
+  match path with
+  | [] -> error "path %d is empty" rank
+  | first :: _ ->
+      let last = List.nth path (List.length path - 1) in
+      if first <> src then
+        error "path %d starts at %d, not at src %d" rank first src
+      else if last <> dst then
+        error "path %d ends at %d, not at dst %d" rank last dst
+      else begin
+        let seen = Hashtbl.create 16 in
+        let rec loopfree = function
+          | [] -> Ok ()
+          | v :: rest ->
+              if Hashtbl.mem seen v then
+                error "path %d revisits vertex %d (not loopless)" rank v
+              else begin
+                Hashtbl.add seen v ();
+                loopfree rest
+              end
+        in
+        let* () = loopfree path in
+        let* w = path_weight g path in
+        Ok w
+      end
+
+let check g ~src ~dst ~k paths =
+  if List.length paths > k then
+    error "answer contains %d paths, more than the requested k = %d"
+      (List.length paths) k
+  else begin
+    let rec weights rank acc = function
+      | [] -> Ok (List.rev acc)
+      | p :: rest ->
+          let* w = check_one g ~src ~dst rank p in
+          weights (rank + 1) (w :: acc) rest
+    in
+    let* ws = weights 0 [] paths in
+    let rec sorted rank = function
+      | [] | [ _ ] -> Ok ()
+      | a :: (b :: _ as rest) ->
+          if a > b +. 1e-9 then
+            error
+              "paths %d and %d are out of order: weights %g > %g violate \
+               non-decreasing ranking"
+              rank (rank + 1) a b
+          else sorted (rank + 1) rest
+    in
+    let* () = sorted 0 ws in
+    let seen = Hashtbl.create 16 in
+    let rec distinct rank = function
+      | [] -> Ok ()
+      | p :: rest ->
+          if Hashtbl.mem seen p then error "path %d is a duplicate" rank
+          else begin
+            Hashtbl.add seen p ();
+            distinct (rank + 1) rest
+          end
+    in
+    let* () = distinct 0 paths in
+    match (paths, ws) with
+    | [], [] -> (
+        (* An empty answer certifies only if dst is truly unreachable. *)
+        let dist = bellman_ford g src in
+        if dist.(dst) = infinity then Ok ()
+        else
+          error
+            "answer is empty but dst %d is reachable from src %d (distance \
+             %g by Bellman-Ford)"
+            dst src dist.(dst))
+    | _ :: _, w0 :: _ ->
+        let dist = bellman_ford g src in
+        if abs_float (w0 -. dist.(dst)) > 1e-9 then
+          error
+            "rank-0 path weighs %g but the shortest src->dst distance is %g \
+             (independent Bellman-Ford)"
+            w0 dist.(dst)
+        else Ok ()
+    | _ -> assert false
+  end

@@ -1,0 +1,29 @@
+(** Certificate checker for K-shortest-path (Yen) answers.
+
+    A Yen answer for [(src, dst, k)] is certified when every returned
+    path is a real loopless [src]->[dst] walk of the graph, paths are
+    pairwise distinct and ranked by non-decreasing weight, at most [k]
+    are returned, and the rank-0 weight equals the true shortest
+    distance — recomputed here by Bellman–Ford, which shares no code
+    with the Dijkstra workspace inside {!Sdngraph.Yen}.
+
+    Not certified: optimality of ranks 1..k-1 (that they are the 2nd,
+    3rd, … shortest). Certifying those would require re-running a
+    k-shortest-path algorithm, defeating the point of an independent
+    checker; see docs/CERTIFY.md. *)
+
+val check :
+  Sdngraph.Digraph.t ->
+  src:int ->
+  dst:int ->
+  k:int ->
+  int list list ->
+  (unit, string) result
+
+val path_weight : Sdngraph.Digraph.t -> int list -> (float, string) result
+(** Independent recomputation of a path's weight; [Error] if some
+    consecutive pair is not an edge. *)
+
+val bellman_ford : Sdngraph.Digraph.t -> int -> float array
+(** [bellman_ford g src] is the array of shortest distances from [src]
+    ([infinity] for unreachable vertices). Exposed for tests. *)

@@ -1,0 +1,28 @@
+(** Plan certification: re-establish each pipeline answer with an
+    independent checker (see [lib/cert] and docs/CERTIFY.md).
+
+    Four sections: [sat] (proof-logged replay of the unique-header
+    queries — models checked against every clause, refutations
+    DRUP-checked, headers compared bit-for-bit with the plan's),
+    [matching] (König-certified maximum matching of the MLPC bipartite
+    graph; [|paths| = n_testable − |M|] certifies the cover minimum via
+    Theorem 1), [cover] (cache-free replay of every probe's path
+    witness plus a recomputed coverage bitmap) and [yen] (sampled
+    k-shortest-path queries re-checked against an independent
+    Bellman–Ford). *)
+
+type check = { name : string; ok : bool; detail : string }
+type section = { title : string; checks : check list }
+type report = { sections : section list }
+
+val run : ?yen_pairs:int -> ?seed:int -> Plan.t -> report
+(** Certify a generated plan. [yen_pairs] (default 8) source/destination
+    samples are drawn with [seed] (default 7) for the Yen section. *)
+
+val ok_report : report -> bool
+(** All checks of all sections hold. *)
+
+val to_json : report -> Sdn_util.Json.t
+(** Machine-readable certificate report ([schema_version] 1). *)
+
+val pp : Format.formatter -> report -> unit

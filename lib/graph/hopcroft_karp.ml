@@ -70,3 +70,41 @@ let run ~nl ~nr adj =
     done
   done;
   { match_l; match_r; size = !size }
+
+(* König construction: Z = vertices reachable from the free left
+   vertices by alternating paths (unmatched edges left->right, matched
+   edges right->left). (L \ Z) ∪ (R ∩ Z) is a vertex cover of size
+   |M| whenever M is maximum — the checkable maximality witness. *)
+let konig_cover ~nl ~nr adj m =
+  if Array.length adj <> nl then
+    invalid_arg "Hopcroft_karp.konig_cover: adj length";
+  let zl = Array.make nl false and zr = Array.make nr false in
+  let q = Queue.create () in
+  for u = 0 to nl - 1 do
+    if m.match_l.(u) = -1 then begin
+      zl.(u) <- true;
+      Queue.add u q
+    end
+  done;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    List.iter
+      (fun v ->
+        if m.match_l.(u) <> v && not zr.(v) then begin
+          zr.(v) <- true;
+          let u' = m.match_r.(v) in
+          if u' <> -1 && not zl.(u') then begin
+            zl.(u') <- true;
+            Queue.add u' q
+          end
+        end)
+      adj.(u)
+  done;
+  let cover_left = ref [] and cover_right = ref [] in
+  for u = nl - 1 downto 0 do
+    if not zl.(u) then cover_left := u :: !cover_left
+  done;
+  for v = nr - 1 downto 0 do
+    if zr.(v) then cover_right := v :: !cover_right
+  done;
+  (!cover_left, !cover_right)

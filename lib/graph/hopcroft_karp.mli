@@ -20,3 +20,12 @@ val run : nl:int -> nr:int -> int list array -> matching
 
 val greedy : nl:int -> nr:int -> int list array -> matching
 (** Simple greedy maximal matching (used as a baseline and for seeding). *)
+
+val konig_cover :
+  nl:int -> nr:int -> int list array -> matching -> int list * int list
+(** [(cover_l, cover_r)] — a vertex cover built by König's construction
+    ((L \ Z) ∪ (R ∩ Z) for Z the alternating-path closure of the free
+    left vertices). When the input matching is maximum the cover has
+    the same cardinality, which is exactly the certificate
+    {!Cert.Konig.check} validates; for a non-maximum matching the
+    construction may miss edges, and the checker will say so. *)

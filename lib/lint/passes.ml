@@ -387,23 +387,17 @@ let pass_coverage ctx =
   match ctx.probes with
   | None -> []
   | Some probes ->
-      let covered = Hashtbl.create 256 in
-      List.iter (List.iter (fun id -> Hashtbl.replace covered id ())) probes;
-      let acc = ref [] in
-      Array.iteri
-        (fun i (e : FE.t) ->
-          if (not (Hs.is_empty ctx.inputs.(i))) && not (Hashtbl.mem covered e.id)
-          then
-            acc :=
-              D.make ~check:"L009-uncovered-rule" ~severity:D.Error
-                ~switch:e.switch ~table:e.table ~entries:[ e.id ]
-                ~witness:ctx.inputs.(i)
-                (Format.asprintf
-                   "entry %d (sw%d, prio %d) is testable but no planned probe \
-                    traverses it" e.id e.switch e.priority)
-              :: !acc)
-        ctx.entries;
-      List.rev !acc
+      (* Delegate to the certification layer's coverage checker so the
+         lint audit and `sdnprobe certify` share one implementation and
+         cannot disagree on what "covered" means. *)
+      List.map
+        (fun ((e : FE.t), input) ->
+          D.make ~check:"L009-uncovered-rule" ~severity:D.Error
+            ~switch:e.switch ~table:e.table ~entries:[ e.id ] ~witness:input
+            (Format.asprintf
+               "entry %d (sw%d, prio %d) is testable but no planned probe \
+                traverses it" e.id e.switch e.priority))
+        (Cert.Replay.uncovered ctx.net ~probes)
 
 (* ------------------------------------------------------------------ *)
 (* Registry *)

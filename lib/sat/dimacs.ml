@@ -1,0 +1,112 @@
+(* DIMACS CNF reader/writer.
+
+   The format is line-oriented: optional [c ...] comment lines, one
+   [p cnf <nvars> <nclauses>] header, then whitespace-separated literals
+   with each clause terminated by 0 (clauses may span lines; several
+   zero-terminated clauses on one line are accepted, as real-world
+   instances do both). *)
+
+let to_buffer buf ?(comments = []) ~nvars clauses =
+  List.iter
+    (fun c ->
+      Buffer.add_string buf "c ";
+      Buffer.add_string buf c;
+      Buffer.add_char buf '\n')
+    comments;
+  Buffer.add_string buf
+    (Printf.sprintf "p cnf %d %d\n" nvars (List.length clauses));
+  List.iter
+    (fun clause ->
+      List.iter
+        (fun l ->
+          Buffer.add_string buf (string_of_int l);
+          Buffer.add_char buf ' ')
+        clause;
+      Buffer.add_string buf "0\n")
+    clauses
+
+let to_string ?comments ~nvars clauses =
+  let buf = Buffer.create 1024 in
+  to_buffer buf ?comments ~nvars clauses;
+  Buffer.contents buf
+
+let to_file path ?comments ~nvars clauses =
+  Out_channel.with_open_text path (fun oc ->
+      output_string oc (to_string ?comments ~nvars clauses))
+
+(* A DRUP proof file is the same literal syntax without a header;
+   deletion lines ([d ...]) are not produced by our solver. *)
+let proof_to_string steps =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun clause ->
+      List.iter
+        (fun l ->
+          Buffer.add_string buf (string_of_int l);
+          Buffer.add_char buf ' ')
+        clause;
+      Buffer.add_string buf "0\n")
+    steps;
+  Buffer.contents buf
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let header = ref None in
+  let clauses = ref [] in
+  let current = ref [] in
+  let error fmt = Printf.ksprintf (fun msg -> Error msg) fmt in
+  let exception Bad of string in
+  let fail fmt = Printf.ksprintf (fun msg -> raise (Bad msg)) fmt in
+  try
+    List.iteri
+      (fun lineno line ->
+        let line = String.trim line in
+        if line = "" || line.[0] = 'c' || line.[0] = '%' then ()
+        else if String.length line >= 1 && line.[0] = 'p' then begin
+          if !header <> None then fail "line %d: duplicate header" (lineno + 1);
+          match
+            List.filter (( <> ) "") (String.split_on_char ' ' line)
+          with
+          | [ "p"; "cnf"; nv; nc ] -> (
+              match (int_of_string_opt nv, int_of_string_opt nc) with
+              | Some nv, Some nc when nv >= 0 && nc >= 0 ->
+                  header := Some (nv, nc)
+              | _ -> fail "line %d: malformed header %S" (lineno + 1) line)
+          | _ -> fail "line %d: malformed header %S" (lineno + 1) line
+        end
+        else begin
+          if !header = None then
+            fail "line %d: literals before the p cnf header" (lineno + 1);
+          List.iter
+            (fun tok ->
+              match int_of_string_opt tok with
+              | None -> fail "line %d: bad literal %S" (lineno + 1) tok
+              | Some 0 ->
+                  clauses := List.rev !current :: !clauses;
+                  current := []
+              | Some l -> (
+                  match !header with
+                  | Some (nv, _) when abs l > nv ->
+                      fail "line %d: literal %d exceeds nvars %d" (lineno + 1)
+                        l nv
+                  | _ -> current := l :: !current))
+            (List.filter (( <> ) "") (String.split_on_char ' ' line))
+        end)
+      lines;
+    if !current <> [] then fail "unterminated clause (missing trailing 0)";
+    match !header with
+    | None -> error "no p cnf header"
+    | Some (nvars, nclauses) ->
+        let clauses = List.rev !clauses in
+        if List.length clauses <> nclauses then
+          error "header promises %d clauses, file has %d" nclauses
+            (List.length clauses)
+        else Ok (nvars, clauses)
+  with Bad msg -> Error msg
+
+let of_file path =
+  of_string (In_channel.with_open_text path In_channel.input_all)
+
+let load_into solver (nvars, clauses) =
+  ignore (nvars : int);
+  List.iter (Solver.add_clause solver) clauses

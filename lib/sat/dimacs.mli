@@ -1,0 +1,29 @@
+(** DIMACS CNF export/import.
+
+    Lets a failing SAT instance be dumped for offline minimization
+    (e.g. with [cadical]/[drat-trim] or a delta debugger) and external
+    instances be replayed through {!Solver}. Clauses use the same
+    representation as {!Solver.add_clause}: lists of non-zero DIMACS
+    literals. *)
+
+val to_string : ?comments:string list -> nvars:int -> int list list -> string
+(** Render an instance: [c] comment lines, one [p cnf] header, one
+    zero-terminated clause per line. *)
+
+val to_file :
+  string -> ?comments:string list -> nvars:int -> int list list -> unit
+
+val proof_to_string : int list list -> string
+(** Render {!Solver.proof} steps as a DRUP proof file (zero-terminated
+    clauses, no header) — the format [drat-trim] consumes. *)
+
+val of_string : string -> (int * int list list, string) result
+(** Parse one instance to [(nvars, clauses)]. Accepts comment lines,
+    clauses spanning several lines and several clauses per line; rejects
+    missing/duplicate headers, literals above [nvars], clause-count
+    mismatches, and unterminated clauses. *)
+
+val of_file : string -> (int * int list list, string) result
+
+val load_into : Solver.t -> int * int list list -> unit
+(** Feed a parsed instance to a solver via {!Solver.add_clause}. *)

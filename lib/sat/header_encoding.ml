@@ -44,5 +44,30 @@ let find_header ?(avoid = []) ?(distinct_from = []) ~inside len =
   | Solver.Unsat -> None
   | Solver.Sat model -> Some (model_to_header model len)
 
+type certified = {
+  header : Hspace.Header.t option;
+  nvars : int;
+  clauses : int list list;
+  proof : int list list;
+}
+
+let find_header_certified ?(avoid = []) ?(distinct_from = []) ~inside len =
+  let solver = Solver.create ~nvars:len () in
+  Solver.log_proof solver;
+  List.iter (encode_in_cube solver) inside;
+  List.iter (encode_not_in_cube solver) avoid;
+  List.iter (encode_differs_from solver) distinct_from;
+  let header =
+    match Solver.solve solver with
+    | Solver.Unsat -> None
+    | Solver.Sat model -> Some (model_to_header model len)
+  in
+  {
+    header;
+    nvars = max len (Solver.nvars solver);
+    clauses = Solver.logged_clauses solver;
+    proof = Solver.proof solver;
+  }
+
 let find_rule_input ~match_ ~overlaps =
   find_header ~avoid:overlaps ~inside:[ match_ ] (Cube.length match_)

@@ -40,5 +40,24 @@ val find_rule_input : match_:Hspace.Cube.t -> overlaps:Hspace.Cube.t list -> Hsp
 (** The paper's §V-A query: a header matching [match_] but none of the
     higher-priority [overlaps]. *)
 
+type certified = {
+  header : Hspace.Header.t option;  (** the answer, as {!find_header} *)
+  nvars : int;  (** at least the header bit-length *)
+  clauses : int list list;  (** the encoded instance, DIMACS literals *)
+  proof : int list list;
+      (** DRUP derivation steps; ends with [[]] iff [header = None] *)
+}
+
+val find_header_certified :
+  ?avoid:Hspace.Cube.t list ->
+  ?distinct_from:Hspace.Header.t list ->
+  inside:Hspace.Cube.t list ->
+  int ->
+  certified
+(** {!find_header} with proof logging enabled: the same answer, plus
+    everything an independent checker needs — the problem clauses for a
+    [Sat] model check, the DRUP proof for an [Unsat] refutation check
+    (see [Cert.Drup]). *)
+
 val model_to_header : bool array -> int -> Hspace.Header.t
 (** Decode a solver model into a header of the given bit-length. *)

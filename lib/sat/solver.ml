@@ -8,6 +8,17 @@
 
 type clause = { lits : int array; learnt : bool }
 
+(* DRUP proof log (opt-in, see [log_proof]). [problem] records every
+   clause handed to [add_clause] verbatim; [steps] records derived
+   clauses in derivation order — level-0 strengthenings emitted by
+   [add_clause]'s simplifier, learnt clauses from conflict analysis, and
+   the final empty clause when the instance is refuted. Each step is
+   RUP with respect to the problem clauses plus the earlier steps, so a
+   from-scratch unit-propagation checker (Cert.Drup) can validate an
+   Unsat answer without trusting any of the solver's machinery. Both
+   lists are kept in DIMACS literals, newest first. *)
+type log = { mutable problem : int list list; mutable steps : int list list }
+
 type t = {
   mutable nvars : int;
   mutable clauses : clause array;
@@ -30,6 +41,7 @@ type t = {
   mutable n_decisions : int;
   mutable n_propagations : int;
   mutable n_restarts : int;
+  mutable log : log option;
 }
 
 type result = Sat of bool array | Unsat
@@ -68,7 +80,25 @@ let create ?(nvars = 0) () =
     n_decisions = 0;
     n_propagations = 0;
     n_restarts = 0;
+    log = None;
   }
+
+let dimacs_of_lit lit = if sign lit then var_of lit else -var_of lit
+
+let log_proof t =
+  if t.nproblem > 0 || t.unsat then
+    invalid_arg "Solver.log_proof: enable logging before adding clauses";
+  if t.log = None then t.log <- Some { problem = []; steps = [] }
+
+let proof_logging t = t.log <> None
+
+let logged_clauses t =
+  match t.log with None -> [] | Some l -> List.rev l.problem
+
+let proof t = match t.log with None -> [] | Some l -> List.rev l.steps
+
+let log_step t clause =
+  match t.log with None -> () | Some l -> l.steps <- clause :: l.steps
 
 let nvars t = t.nvars
 let nclauses t = t.nproblem
@@ -266,6 +296,7 @@ let analyze t confl =
 
 (* Install a learnt clause after backjumping and assert its first literal. *)
 let record_learnt t lits =
+  log_step t (Array.to_list (Array.map dimacs_of_lit lits));
   if Array.length lits = 1 then enqueue t lits.(0) (-1)
   else begin
     let best = ref 1 in
@@ -281,7 +312,19 @@ let record_learnt t lits =
     enqueue t lits.(0) cid
   end
 
+let refute t =
+  if not t.unsat then begin
+    t.unsat <- true;
+    log_step t []
+  end
+
 let add_clause t dimacs_lits =
+  (* The proof log keeps the clause verbatim even when the solver is
+     already refuted (or about to drop it): the checker's database must
+     be the clauses the caller stated, not the solver's view of them. *)
+  (match t.log with
+  | Some l -> l.problem <- dimacs_lits :: l.problem
+  | None -> ());
   if not t.unsat then begin
     List.iter (fun l -> ensure_var t (abs l)) dimacs_lits;
     let lits = List.map lit_of_dimacs dimacs_lits in
@@ -297,13 +340,25 @@ let add_clause t dimacs_lits =
           else simplify (IS.add l seen) (l :: acc) rest
     in
     t.nproblem <- t.nproblem + 1;
+    (* Strengthened clauses (literals dropped by the simplifier) are RUP
+       against the database — duplicates negate to the same assignment,
+       and level-0-falsified literals are re-derived by the checker's own
+       propagation — so they are sound DRUP steps. Logging them keeps the
+       checker's database in sync with the clauses the solver actually
+       resolves on. *)
+    let log_strengthened ls =
+      if List.compare_lengths ls dimacs_lits <> 0 then
+        log_step t (List.rev_map dimacs_of_lit ls)
+    in
     match simplify IS.empty [] lits with
     | None -> ()
-    | Some [] -> t.unsat <- true
+    | Some [] -> refute t
     | Some [ l ] ->
+        log_strengthened [ l ];
         enqueue t l (-1);
-        if propagate t >= 0 then t.unsat <- true
+        if propagate t >= 0 then refute t
     | Some ls ->
+        log_strengthened ls;
         let arr = Array.of_list ls in
         let cid = push_clause t { lits = arr; learnt = false } in
         watch t arr.(0) cid;
@@ -341,7 +396,7 @@ let solve ?(assumptions = []) t =
   if t.unsat then Unsat
   else begin
     cancel_until t 0;
-    if propagate t >= 0 then t.unsat <- true;
+    if propagate t >= 0 then refute t;
     if t.unsat then Unsat
     else begin
       List.iter (fun l -> ensure_var t (abs l)) assumptions;
@@ -356,7 +411,7 @@ let solve ?(assumptions = []) t =
         if confl >= 0 then begin
           t.n_conflicts <- t.n_conflicts + 1;
           if decision_level t = 0 then begin
-            t.unsat <- true;
+            refute t;
             status := -1
           end
           else if decision_level t <= nassum then

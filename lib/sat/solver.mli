@@ -47,3 +47,36 @@ val solve : ?assumptions:int list -> t -> result
 
 val stats : t -> (string * int) list
 (** Counters: conflicts, decisions, propagations, restarts, learnt. *)
+
+(** {2 DRUP proof logging}
+
+    Opt-in witness production for certification (see {!Cert.Drup} for
+    the independent checker). When enabled, the solver records every
+    problem clause verbatim and every clause it derives — level-0
+    strengthenings, learnt clauses, and the final empty clause on an
+    (assumption-free) refutation. Each derived clause is RUP (reverse
+    unit propagation) with respect to the problem clauses plus the
+    earlier derivations, so the sequence is a standard DRUP proof.
+
+    Logging is off by default and costs nothing when off (a single
+    [option] test per derived clause on the conflict path). An Unsat
+    under [solve ~assumptions] is {e not} an absolute refutation and
+    does not produce an empty-clause step. *)
+
+val log_proof : t -> unit
+(** Start recording clauses and derivations. Must be called before the
+    first {!add_clause}; raises [Invalid_argument] otherwise.
+    Idempotent. *)
+
+val proof_logging : t -> bool
+
+val logged_clauses : t -> int list list
+(** The problem clauses exactly as given to {!add_clause}, in order
+    (including clauses the simplifier dropped — the proof refutes the
+    caller's instance, not the solver's view of it). Empty when logging
+    is off. *)
+
+val proof : t -> int list list
+(** The DRUP derivation steps so far, in order. Ends with the empty
+    clause [[]] iff the instance is refuted without assumptions. Empty
+    when logging is off. *)
