@@ -114,7 +114,7 @@ let randomized w () =
    certification hooks (PR 4) stay free when unused. *)
 let headers_assign w () = ignore (Mlpc.Headers.assign Mlpc.Headers.Sat_unique w.cover)
 
-let yen_k8 w =
+let yen_k8 ?pool w =
   let g = Openflow.Topology.to_digraph w.topo in
   let n = Sdngraph.Digraph.n_vertices g in
   let rng = Sdn_util.Prng.create 7 in
@@ -124,10 +124,36 @@ let yen_k8 w =
         let d = Sdn_util.Prng.int rng n in
         (s, (if d = s then (d + 1) mod n else d)))
   in
+  fun () -> ignore (Sdngraph.Yen.k_shortest_pairs ?pool g ~pairs ~k:8)
+
+(* Parallel (/par4) variants of the four planning stages, through the
+   same public entry points the pipeline uses with [Config.pool]. *)
+
+let space_queries_par w pool () =
+  invalidate w.rg;
+  for _ = 1 to 3 do
+    ignore (RG.spaces ~pool w.rg w.cover_paths)
+  done
+
+let solve_par w pool () =
+  invalidate w.rg;
+  ignore (Mlpc.Legal_matching.solve ~pool w.rg)
+
+let headers_assign_par w pool () =
+  ignore (Mlpc.Headers.assign ~pool Mlpc.Headers.Sat_unique w.cover)
+
+(* Ten probing rounds of the full static plan on a clean emulator —
+   the detection loop's steady-state cost. With [domains > 1] and
+   retransmissions off, the round's sends run on the pool. *)
+let runner_rounds w ~domains =
+  let config =
+    Sdnprobe.Config.with_domains domains
+      (Sdnprobe.Config.with_max_rounds 10 Sdnprobe.Config.default)
+  in
+  let plan = Sdnprobe.Plan.generate w.net in
   fun () ->
-    List.iter
-      (fun (src, dst) -> ignore (Sdngraph.Yen.k_shortest g ~src ~dst ~k:8))
-      pairs
+    let emu = Dataplane.Emulator.create w.net in
+    ignore (Sdnprobe.Runner.execute ~config ~emulator:emu plan)
 
 let micro_tests () =
   let open Bechamel in
@@ -142,11 +168,22 @@ let micro_tests () =
     Hspace.Cube.of_string
       (String.concat "" (List.init 80 (fun i -> if i mod 7 = 0 then "0x10x1xx" else "00101xx1")))
   in
+  (* Constructors are the only interning sites since the selective-
+     interning fix; this micro is what distinguishes the sharded and
+     domain-local table backends (SDNPROBE_INTERN, docs/PARALLEL.md). *)
+  let bits =
+    Array.init 64 (fun i ->
+        if i mod 7 = 0 then Hspace.Cube.Any
+        else if i mod 3 = 0 then Hspace.Cube.One
+        else Hspace.Cube.Zero)
+  in
   [
     Test.make ~name:"cube.inter/64"
       (Staged.stage (fun () -> ignore (Hspace.Cube.inter cube_a cube_b)));
     Test.make ~name:"cube.diff/64"
       (Staged.stage (fun () -> ignore (Hspace.Cube.diff cube_a cube_b)));
+    Test.make ~name:"cube.of_bits/64"
+      (Staged.stage (fun () -> ignore (Hspace.Cube.of_bits bits)));
     Test.make ~name:"cube.hash/640"
       (Staged.stage (fun () -> ignore (Hspace.Cube.hash long)));
   ]
@@ -155,19 +192,43 @@ let micro_tests () =
 
 let entries ~scales =
   let micros = bechamel_ns (micro_tests ()) in
-  let per_scale scale =
-    let w = make_workload scale in
-    let runs = if scale >= 50 then 3 else 5 in
-    [
-      (Printf.sprintf "rulegraph.build/%d" scale, time_ns ~runs (fun () -> ignore (RG.build w.net)));
-      (Printf.sprintf "rulegraph.spaces/%d" scale, time_ns ~runs (space_queries w));
-      (Printf.sprintf "mlpc.solve/%d" scale, time_ns ~runs (solve w));
-      (Printf.sprintf "mlpc.randomized/%d" scale, time_ns ~runs (randomized w));
-      (Printf.sprintf "headers.assign/%d" scale, time_ns ~runs (headers_assign w));
-      (Printf.sprintf "yen.k8/%d" scale, time_ns ~runs (yen_k8 w));
-    ]
+  let ws = List.map (fun scale -> (scale, make_workload scale)) scales in
+  let runs_of scale = if scale >= 50 then 3 else 5 in
+  (* All sequential entries are measured before any pool exists: OCaml 5
+     minor collections are stop-the-world across *all* live domains, so
+     even idle pool workers tax allocation-heavy serial code (severely
+     so on a single-core host — measured ~2.5x on rulegraph.build).
+     Sequential users run with no pool; the bench must measure that. *)
+  let serial =
+    List.concat_map
+      (fun (scale, w) ->
+        let runs = runs_of scale in
+        [
+          (Printf.sprintf "rulegraph.build/%d" scale, time_ns ~runs (fun () -> ignore (RG.build w.net)));
+          (Printf.sprintf "rulegraph.spaces/%d" scale, time_ns ~runs (space_queries w));
+          (Printf.sprintf "mlpc.solve/%d" scale, time_ns ~runs (solve w));
+          (Printf.sprintf "mlpc.randomized/%d" scale, time_ns ~runs (randomized w));
+          (Printf.sprintf "headers.assign/%d" scale, time_ns ~runs (headers_assign w));
+          (Printf.sprintf "yen.k8/%d" scale, time_ns ~runs (yen_k8 w));
+          (Printf.sprintf "runner.round10/%d" scale, time_ns ~runs (runner_rounds w ~domains:1));
+        ])
+      ws
   in
-  micros @ List.concat_map per_scale scales
+  let pool = Sdn_parallel.pool ~domains:4 in
+  let par =
+    List.concat_map
+      (fun (scale, w) ->
+        let runs = runs_of scale in
+        [
+          (Printf.sprintf "rulegraph.spaces/%d/par4" scale, time_ns ~runs (space_queries_par w pool));
+          (Printf.sprintf "mlpc.solve/%d/par4" scale, time_ns ~runs (solve_par w pool));
+          (Printf.sprintf "headers.assign/%d/par4" scale, time_ns ~runs (headers_assign_par w pool));
+          (Printf.sprintf "yen.k8/%d/par4" scale, time_ns ~runs (yen_k8 ~pool w));
+          (Printf.sprintf "runner.round10/%d/par4" scale, time_ns ~runs (runner_rounds w ~domains:4));
+        ])
+      ws
+  in
+  micros @ serial @ par
 
 (* ------------------------------------------------------------------ *)
 (* Report assembly. *)
@@ -212,6 +273,9 @@ let to_json ~scales ~baseline results =
       ("kind", Json.Str (if baseline = None then "bench-regress" else "bench-regress-report"));
       ("workload", Json.Str "rocketfuel-like preferential attachment + rule_gen");
       ("switches", Json.List (List.map (fun s -> Json.Int s) scales));
+      (* /par4 numbers only mean a speedup when the host has the cores;
+         scaling tables must be read against this field (docs/PERF.md). *)
+      ("host_cores", Json.Int (Domain.recommended_domain_count ()));
       ("entries", Json.List (List.map entry results));
     ]
 
@@ -237,7 +301,7 @@ let print_table ~baseline results =
   Metrics.Table.print table
 
 let main args =
-  let out = ref "BENCH_3.json" in
+  let out = ref "BENCH_5.json" in
   let baseline = ref None in
   let scales = ref [ 16; 50 ] in
   let rec parse = function

@@ -86,6 +86,13 @@ let resolve_network ~switches ~seed = function
           prerr_endline ("cannot load policy: " ^ msg);
           exit 1)
 
+(* Planning pool from SDNPROBE_DOMAINS (docs/PARALLEL.md): detection
+   already resolves it through Config; these direct Plan.generate
+   callers must resolve it themselves. *)
+let env_pool () =
+  if Sdn_parallel.default_domains () > 1 then Some (Sdn_parallel.default_pool ())
+  else None
+
 (* ------------------------------------------------------------------ *)
 (* plan *)
 
@@ -113,7 +120,7 @@ let plan_cmd =
       if randomized then Sdnprobe.Plan.Randomized (Sdn_util.Prng.create seed)
       else Sdnprobe.Plan.Static
     in
-    let plan = Sdnprobe.Plan.generate ~mode net in
+    let plan = Sdnprobe.Plan.generate ?pool:(env_pool ()) ~mode net in
     Format.printf "%a@." Openflow.Network.pp_summary net;
     Format.printf "probes: %d (generated in %.3fs)@." (Sdnprobe.Plan.size plan)
       plan.Sdnprobe.Plan.generation_s;
@@ -411,7 +418,7 @@ let certify_cmd =
         if randomized then Sdnprobe.Plan.Randomized (Sdn_util.Prng.create seed)
         else Sdnprobe.Plan.Static
       in
-      Sdnprobe.Plan.generate ~mode net
+      Sdnprobe.Plan.generate ?pool:(env_pool ()) ~mode net
     with
     | exception Rulegraph.Rule_graph.Cyclic_policy loop ->
         `Error

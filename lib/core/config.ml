@@ -11,6 +11,7 @@ type t = {
   timeout_base_us : int;
   timeout_per_hop_us : int;
   suspicion_decay : int;
+  domains : int;
 }
 
 let positive what v =
@@ -22,7 +23,8 @@ let non_negative what v =
 let make ?(threshold = 3) ?(send_rate_bytes_per_s = 250_000) ?(probe_size_bytes = 100)
     ?(per_hop_latency_us = 500) ?(per_round_overhead_us = 50_000) ?(max_rounds = 200)
     ?(max_retries = 0) ?(retry_backoff_us = 10_000) ?(backoff_factor = 2)
-    ?(timeout_base_us = 20_000) ?(timeout_per_hop_us = 2_000) ?(suspicion_decay = 0) () =
+    ?(timeout_base_us = 20_000) ?(timeout_per_hop_us = 2_000) ?(suspicion_decay = 0)
+    ?(domains = Sdn_parallel.default_domains ()) () =
   positive "threshold" threshold;
   positive "send_rate_bytes_per_s" send_rate_bytes_per_s;
   positive "probe_size_bytes" probe_size_bytes;
@@ -35,6 +37,7 @@ let make ?(threshold = 3) ?(send_rate_bytes_per_s = 250_000) ?(probe_size_bytes 
   non_negative "timeout_base_us" timeout_base_us;
   non_negative "timeout_per_hop_us" timeout_per_hop_us;
   non_negative "suspicion_decay" suspicion_decay;
+  if domains < 1 || domains > 128 then invalid_arg "Config: domains outside [1, 128]";
   {
     threshold;
     send_rate_bytes_per_s;
@@ -48,6 +51,7 @@ let make ?(threshold = 3) ?(send_rate_bytes_per_s = 250_000) ?(probe_size_bytes 
     timeout_base_us;
     timeout_per_hop_us;
     suspicion_decay;
+    domains;
   }
 
 let default = make ()
@@ -97,6 +101,12 @@ let with_timeout_per_hop_us timeout_per_hop_us t =
 let with_suspicion_decay suspicion_decay t =
   non_negative "suspicion_decay" suspicion_decay;
   { t with suspicion_decay }
+
+let with_domains domains t =
+  if domains < 1 || domains > 128 then invalid_arg "Config: domains outside [1, 128]";
+  { t with domains }
+
+let pool t = if t.domains = 1 then None else Some (Sdn_parallel.pool ~domains:t.domains)
 
 let serialization_us t ~packets =
   let bytes = packets * t.probe_size_bytes in

@@ -55,6 +55,12 @@ type t = private {
           when its probe passes a re-test, levels (default 0 = seed
           behaviour; 1 suppresses suspicion accumulated from transient
           loss) *)
+  domains : int;
+      (** degree of parallelism for the planning/probing pipeline, in
+          domains (default: the [SDNPROBE_DOMAINS] environment variable,
+          else 1). Every stage is deterministic in the domain count —
+          reports are byte-identical at any value (docs/PARALLEL.md) —
+          so this knob only trades wall-clock for cores. *)
 }
 
 val make :
@@ -70,6 +76,7 @@ val make :
   ?timeout_base_us:int ->
   ?timeout_per_hop_us:int ->
   ?suspicion_decay:int ->
+  ?domains:int ->
   unit ->
   t
 (** Build a configuration; every omitted knob takes the default listed
@@ -108,6 +115,12 @@ val with_timeout_base_us : int -> t -> t
 val with_timeout_per_hop_us : int -> t -> t
 
 val with_suspicion_decay : int -> t -> t
+
+val with_domains : int -> t -> t
+
+val pool : t -> Sdn_parallel.Pool.t option
+(** The process-wide pool matching [t.domains]: [None] when
+    [domains = 1] (stages then take their inline sequential path). *)
 
 (** {2 Derived quantities} *)
 

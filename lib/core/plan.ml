@@ -12,30 +12,32 @@ type t = {
   mode : mode;
 }
 
-let of_cover net rg ~policy cover =
-  let assigned = Mlpc.Headers.assign policy cover in
+let of_cover ?pool net rg ~policy cover =
+  let assigned = Mlpc.Headers.assign ?pool policy cover in
   List.mapi
     (fun i ((p : Mlpc.Cover.path), header) ->
       let rules = List.map (fun v -> (RG.vertex_entry rg v).FE.id) p.Mlpc.Cover.rules in
       Probe.make net ~id:i ~rules ~header)
     assigned
 
-let generate ?(mode = Static) network =
+let generate ?pool ?(mode = Static) network =
   let t0 = Unix.gettimeofday () in
   let rulegraph = RG.build network in
   let cover, policy =
     match mode with
-    | Static -> (Mlpc.Legal_matching.solve rulegraph, Mlpc.Headers.Sat_unique)
+    | Static -> (Mlpc.Legal_matching.solve ?pool rulegraph, Mlpc.Headers.Sat_unique)
     | Randomized rng ->
-        (Mlpc.Legal_matching.randomized rng rulegraph, Mlpc.Headers.Random rng)
+        (Mlpc.Legal_matching.randomized ?pool rng rulegraph, Mlpc.Headers.Random rng)
   in
-  let probes = of_cover network rulegraph ~policy cover in
+  let probes = of_cover ?pool network rulegraph ~policy cover in
   { network; rulegraph; cover; probes; generation_s = Unix.gettimeofday () -. t0; mode }
 
-let redraw t rng =
+let redraw ?pool t rng =
   let t0 = Unix.gettimeofday () in
-  let cover = Mlpc.Legal_matching.randomized rng t.rulegraph in
-  let probes = of_cover t.network t.rulegraph ~policy:(Mlpc.Headers.Random rng) cover in
+  let cover = Mlpc.Legal_matching.randomized ?pool rng t.rulegraph in
+  let probes =
+    of_cover ?pool t.network t.rulegraph ~policy:(Mlpc.Headers.Random rng) cover
+  in
   {
     t with
     cover;

@@ -24,15 +24,19 @@ type t = {
           {!Runner.execute} *)
 }
 
-val generate : ?mode:mode -> Openflow.Network.t -> t
-(** Build the full pipeline. [mode] defaults to [Static]. Raises
+val generate : ?pool:Sdn_parallel.Pool.t -> ?mode:mode -> Openflow.Network.t -> t
+(** Build the full pipeline. [mode] defaults to [Static]. With [pool]
+    the matching's legality warm-up and the header assignment run in
+    parallel; the plan is byte-identical for any domain count (see
+    {!Mlpc.Legal_matching.solve} and {!Mlpc.Headers.assign}). Raises
     {!Rulegraph.Rule_graph.Cyclic_policy} on looping policies. *)
 
-val redraw : t -> Sdn_util.Prng.t -> t
+val redraw : ?pool:Sdn_parallel.Pool.t -> t -> Sdn_util.Prng.t -> t
 (** New randomized paths + headers over the existing rule graph (used
     between detection cycles by Randomized SDNProbe). *)
 
 val of_cover :
+  ?pool:Sdn_parallel.Pool.t ->
   Openflow.Network.t ->
   Rulegraph.Rule_graph.t ->
   policy:Mlpc.Headers.policy ->

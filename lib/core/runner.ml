@@ -38,8 +38,8 @@ type round_counters = {
    probe passes iff its trap captured it AND the echo arrived within
    the per-probe timeout (nominal flight time plus any impairment
    jitter the packet accumulated). *)
-let attempt_passes emu ~config (p : Probe.t) =
-  let result = Emulator.inject emu ~at:p.inject_switch p.header in
+let attempt_passes ?now_us emu ~config (p : Probe.t) =
+  let result = Emulator.inject ?now_us emu ~at:p.inject_switch p.header in
   let returned =
     match result.Emulator.outcome with
     | Emulator.Returned { probe; _ } -> probe = p.id
@@ -104,15 +104,49 @@ let engine ?(stop = stop_never) ?redraw ?(name = "sdnprobe") ~config ~emulator
     let probes_this_round = !active in
     let counters = { sent = 0; retries = 0; lost_attempts = 0; failed_probes = 0 } in
     install_traps emulator probes_this_round;
-    (* Send serially at the controller rate; each probe sees the clock
-       at its own send instant (intermittent faults depend on it). *)
+    (* Send at the controller rate; each probe sees the clock at its own
+       send instant (intermittent faults depend on it). Probe [i] of the
+       serial schedule injects at [t0 + (i+1) * per_packet_us], so when
+       nothing else moves the clock mid-round — no retransmission state
+       machine and no order-dependent impairment draws — the sends are
+       independent events at known instants and can run concurrently,
+       each probe injecting at its own virtual timestamp. Outside that
+       gate the serial loop below is the semantics. *)
+    let order_free =
+      config.Config.max_retries = 0
+      &&
+      match Emulator.impairment emulator with
+      | None -> true
+      | Some imp -> Dataplane.Impairment.order_independent imp
+    in
     let results =
-      List.map
-        (fun p ->
-          ( p,
-            send_probe ~config ~emulator ~clock ~per_packet_us ~packets_sent
-              ~counters p ))
-        probes_this_round
+      match Config.pool config with
+      | Some pool when order_free && Sdn_parallel.Pool.domains pool > 1 ->
+          let t0 = Clock.now_us clock in
+          let arr = Array.of_list probes_this_round in
+          let res =
+            Sdn_parallel.Pool.map pool
+              (fun (i, p) ->
+                let now_us = t0 + ((i + 1) * per_packet_us) in
+                (p, attempt_passes ~now_us emulator ~config p))
+              (Array.mapi (fun i p -> (i, p)) arr)
+          in
+          let n = Array.length arr in
+          Clock.advance_us clock (n * per_packet_us);
+          packets_sent := !packets_sent + n;
+          counters.sent <- counters.sent + n;
+          Array.iter
+            (fun (_, passed) ->
+              if not passed then counters.lost_attempts <- counters.lost_attempts + 1)
+            res;
+          Array.to_list res
+      | _ ->
+          List.map
+            (fun p ->
+              ( p,
+                send_probe ~config ~emulator ~clock ~per_packet_us ~packets_sent
+                  ~counters p ))
+            probes_this_round
     in
     (* Flight time of the slowest probe, plus controller processing. *)
     let max_hops =
@@ -205,13 +239,14 @@ let engine ?(stop = stop_never) ?redraw ?(name = "sdnprobe") ~config ~emulator
   }
 
 let execute ?stop ?name ~config ~emulator (plan : Plan.t) =
+  let pool = Config.pool config in
   let name, redraw =
     match (name, plan.Plan.mode) with
     | Some n, Plan.Static -> (n, None)
     | None, Plan.Static -> ("sdnprobe", None)
     | name, Plan.Randomized rng ->
         ( Option.value ~default:"randomized-sdnprobe" name,
-          Some (fun ~cycle:_ -> (Plan.redraw plan rng).Plan.probes) )
+          Some (fun ~cycle:_ -> (Plan.redraw ?pool plan rng).Plan.probes) )
   in
   engine ?stop ?redraw ~name ~config ~emulator ~generation_s:plan.Plan.generation_s
     plan.Plan.probes
@@ -220,5 +255,5 @@ let run ?stop ?redraw ?name ~config ~emulator ~generation_s probes =
   engine ?stop ?redraw ?name ~config ~emulator ~generation_s probes
 
 let detect ?stop ?(mode = Plan.Static) ~config emulator =
-  let plan = Plan.generate ~mode (Emulator.network emulator) in
+  let plan = Plan.generate ?pool:(Config.pool config) ~mode (Emulator.network emulator) in
   execute ?stop ~config ~emulator plan

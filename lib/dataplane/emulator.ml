@@ -29,6 +29,7 @@ type t = {
   traps : (trap_key, int) Hashtbl.t; (* -> probe id *)
   clk : Clock.t;
   counters : (int, int) Hashtbl.t; (* entry -> packets processed *)
+  counters_m : Mutex.t; (* injects may run concurrently (Runner) *)
   mutable impairment : Impairment.t option;
 }
 
@@ -41,6 +42,7 @@ let create net =
     traps = Hashtbl.create 64;
     clk = Clock.create ();
     counters = Hashtbl.create 256;
+    counters_m = Mutex.create ();
     impairment = None;
   }
 
@@ -87,15 +89,30 @@ let remove_probe_traps t ~probe =
 
 let clear_traps t = Hashtbl.reset t.traps
 
-let flow_count t ~entry = Option.value ~default:0 (Hashtbl.find_opt t.counters entry)
+let flow_count t ~entry =
+  Mutex.lock t.counters_m;
+  let c = Option.value ~default:0 (Hashtbl.find_opt t.counters entry) in
+  Mutex.unlock t.counters_m;
+  c
 
 let flow_counts t =
-  Hashtbl.fold (fun e c acc -> (e, c) :: acc) t.counters [] |> List.sort compare
+  Mutex.lock t.counters_m;
+  let cs = Hashtbl.fold (fun e c acc -> (e, c) :: acc) t.counters [] in
+  Mutex.unlock t.counters_m;
+  List.sort compare cs
 
-let reset_flow_counts t = Hashtbl.reset t.counters
+let reset_flow_counts t =
+  Mutex.lock t.counters_m;
+  Hashtbl.reset t.counters;
+  Mutex.unlock t.counters_m
 
+(* Per-entry totals are sums, so concurrent injects of one round bump
+   them in any order to the same final counts. *)
 let bump_counter t entry =
-  Hashtbl.replace t.counters entry (1 + Option.value ~default:0 (Hashtbl.find_opt t.counters entry))
+  Mutex.lock t.counters_m;
+  Hashtbl.replace t.counters entry
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.counters entry));
+  Mutex.unlock t.counters_m
 
 (* Process a packet at one switch, chasing goto-table chains, and decide
    where it goes next. *)
@@ -104,8 +121,8 @@ type step =
   | Teleport of int * Header.t (* detour tunnel to a switch *)
   | Final of outcome
 
-let inject t ~at header =
-  let now_us = Clock.now_us t.clk in
+let inject ?now_us t ~at header =
+  let now_us = match now_us with Some n -> n | None -> Clock.now_us t.clk in
   let trace = ref [] in
   let jitter = ref 0 in
   let record switch entry header_out = trace := { switch; entry; header_out } :: !trace in

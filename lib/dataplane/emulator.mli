@@ -91,9 +91,12 @@ val remove_probe_traps : t -> probe:int -> unit
 
 val clear_traps : t -> unit
 
-val inject : t -> at:int -> Hspace.Header.t -> result
+val inject : ?now_us:int -> t -> at:int -> Hspace.Header.t -> result
 (** Hand a packet to switch [at] for processing and follow it to its
-    fate. The emulator clock is read (not advanced). *)
+    fate. The emulator clock is read (not advanced); [?now_us]
+    substitutes a virtual send instant for the clock reading, letting
+    the probe runner inject a round's packets concurrently, each at the
+    time the serial schedule would have sent it. *)
 
 val flow_count : t -> entry:int -> int
 (** OpenFlow per-entry packet counter: how many packets this flow entry

@@ -42,23 +42,32 @@ type stats = {
 type t = {
   s : spec;
   counters : (int, int) Hashtbl.t; (* stream key -> draws so far *)
-  mutable link_losses : int;
-  mutable flap_drops : int;
-  mutable churn_misses : int;
-  mutable jitter_total_us : int;
+  link_losses : int Atomic.t;
+  flap_drops : int Atomic.t;
+  churn_misses : int Atomic.t;
+  jitter_total_us : int Atomic.t;
 }
 
 let create s =
   {
     s;
     counters = Hashtbl.create 64;
-    link_losses = 0;
-    flap_drops = 0;
-    churn_misses = 0;
-    jitter_total_us = 0;
+    link_losses = Atomic.make 0;
+    flap_drops = Atomic.make 0;
+    churn_misses = Atomic.make 0;
+    jitter_total_us = Atomic.make 0;
   }
 
 let spec_of t = t.s
+
+(* Loss and jitter draw through the per-entity counters: their outcome
+   depends on how many draws for that entity happened {e before} —
+   i.e. on global send order. Flaps and churn are salted by the clock
+   window alone, so two probes asking about the same instant get the
+   same answer in any order. The probe runner only parallelizes a round
+   when this holds (stats are atomic sums, so they are order-blind
+   too). *)
+let order_independent t = t.s.loss_rate = 0. && t.s.jitter_max_us = 0
 
 (* Stream separation constants: keep loss, flap, churn and jitter draws
    statistically independent even for coinciding entity ids. *)
@@ -92,7 +101,7 @@ let lose_on_link t ~sw_a ~sw_b ~now_us:_ =
   let entity = link_key ~sw_a ~sw_b in
   let salt = next_count t ~stream:loss_stream ~entity in
   let lost = draw t ~stream:loss_stream ~entity ~salt < t.s.loss_rate in
-  if lost then t.link_losses <- t.link_losses + 1;
+  if lost then ignore (Atomic.fetch_and_add t.link_losses 1);
   lost
 
 let link_down t ~sw_a ~sw_b ~now_us =
@@ -102,7 +111,7 @@ let link_down t ~sw_a ~sw_b ~now_us =
       let window = now_us / flap_window_us in
       let entity = link_key ~sw_a ~sw_b in
       let down = draw t ~stream:flap_stream ~entity ~salt:window < down_ratio in
-      if down then t.flap_drops <- t.flap_drops + 1;
+      if down then ignore (Atomic.fetch_and_add t.flap_drops 1);
       down
 
 let rule_out t ~entry ~now_us =
@@ -111,7 +120,7 @@ let rule_out t ~entry ~now_us =
   | Some { churn_window_us; out_ratio } ->
       let window = now_us / churn_window_us in
       let out = draw t ~stream:churn_stream ~entity:entry ~salt:window < out_ratio in
-      if out then t.churn_misses <- t.churn_misses + 1;
+      if out then ignore (Atomic.fetch_and_add t.churn_misses 1);
       out
 
 let jitter_us t ~switch ~now_us:_ =
@@ -124,20 +133,20 @@ let jitter_us t ~switch ~now_us:_ =
         *. float_of_int (t.s.jitter_max_us + 1))
     in
     let j = min j t.s.jitter_max_us in
-    t.jitter_total_us <- t.jitter_total_us + j;
+    ignore (Atomic.fetch_and_add t.jitter_total_us j);
     j
   end
 
 let stats t =
   {
-    link_losses = t.link_losses;
-    flap_drops = t.flap_drops;
-    churn_misses = t.churn_misses;
-    jitter_total_us = t.jitter_total_us;
+    link_losses = Atomic.get t.link_losses;
+    flap_drops = Atomic.get t.flap_drops;
+    churn_misses = Atomic.get t.churn_misses;
+    jitter_total_us = Atomic.get t.jitter_total_us;
   }
 
 let reset_stats t =
-  t.link_losses <- 0;
-  t.flap_drops <- 0;
-  t.churn_misses <- 0;
-  t.jitter_total_us <- 0
+  Atomic.set t.link_losses 0;
+  Atomic.set t.flap_drops 0;
+  Atomic.set t.churn_misses 0;
+  Atomic.set t.jitter_total_us 0

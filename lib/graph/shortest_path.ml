@@ -23,6 +23,22 @@ let workspace g =
     wheap = Heap.create ();
   }
 
+(* One cached workspace per domain, keyed by the graph it was built for
+   (physical equality): parallel Yen runs one task per (src, dst) pair,
+   and every task on a domain reuses that domain's scratch arrays
+   instead of allocating fresh ones per pair. *)
+let ws_key : workspace option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let local_workspace g =
+  let cell = Domain.DLS.get ws_key in
+  match !cell with
+  | Some ws when ws.wg == g -> ws
+  | _ ->
+      let ws = workspace g in
+      cell := Some ws;
+      ws
+
 let dijkstra_ws ws ?blocked_vertices ?(edge_blocked = fun _ _ -> false) ?target
     src =
   let g = ws.wg in

@@ -20,11 +20,28 @@ let nchunks len = (len + chunk_bits - 1) / chunk_bits
    buckets — fatal for the intern table below. The mixer is a
    multiply/xor-shift round (splitmix-style) per chunk.
 
-   Every cube constructor routes its result through a weak intern table,
-   so structurally equal cubes are one physical object: [equal] and
-   [subset] get O(1) fast paths, repeated header-space algebra over the
-   same match fields stops re-allocating, and the table never pins
-   memory (entries are weak; the GC reclaims unreferenced cubes). *)
+   Hash-consing is selective: the cubes that live long and get compared
+   often — match fields, set fields, wildcards, anything built through
+   [of_bits]/[of_string]/[wildcard] — are interned in a weak table, so
+   they are one physical object and [equal]/[subset] short-circuit on
+   identity. The header-space algebra ([inter], [diff],
+   [apply_set_field], [inverse_set_field], [sample], ...) returns its
+   results uninterned: intermediates are short-lived, rarely compared,
+   and routing every one through the table made [inter] ~2.4x slower
+   (the cube.inter/64 regression in BENCH_3.json) — [equal] keeps its
+   structural fallback, so correctness never depends on identity.
+
+   The table itself must be domain-safe (the planning stages run cube
+   algebra from a domain pool, see docs/PARALLEL.md). Two backends,
+   selected once at startup via SDNPROBE_INTERN:
+
+   - "sharded" (default): 16 weak tables, each behind its own mutex,
+     picked by cube hash — cross-domain sharing, one uncontended
+     lock/unlock per intern;
+   - "local": one weak table per domain in domain-local storage — no
+     locks, but cubes interned on different domains are distinct
+     physical objects (structural equality still holds, so outputs are
+     unaffected; only [==] fast-path hit rates differ). *)
 
 let hash c =
   let mix h x =
@@ -48,11 +65,47 @@ module Intern = Weak.Make (struct
   let hash = hash
 end)
 
-let intern_table = Intern.create 4096
+type intern_mode = Sharded | Domain_local
 
-let intern c = Intern.merge intern_table c
+let intern_mode =
+  match Sys.getenv_opt "SDNPROBE_INTERN" with
+  | Some "local" -> Domain_local
+  | Some "sharded" | Some "" | None -> Sharded
+  | Some other ->
+      Printf.eprintf "SDNPROBE_INTERN=%s ignored (want sharded|local)\n%!" other;
+      Sharded
 
-let interned_count () = Intern.count intern_table
+let n_shards = 16 (* power of two: shard index is a hash mask *)
+
+type shard = { sm : Mutex.t; tbl : Intern.t }
+
+let shards =
+  Array.init n_shards (fun _ -> { sm = Mutex.create (); tbl = Intern.create 1024 })
+
+let local_table : Intern.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Intern.create 1024)
+
+let intern c =
+  match intern_mode with
+  | Domain_local -> Intern.merge (Domain.DLS.get local_table) c
+  | Sharded ->
+      let s = shards.(hash c land (n_shards - 1)) in
+      Mutex.lock s.sm;
+      let c = Intern.merge s.tbl c in
+      Mutex.unlock s.sm;
+      c
+
+let interned_count () =
+  match intern_mode with
+  | Domain_local -> Intern.count (Domain.DLS.get local_table)
+  | Sharded ->
+      Array.fold_left
+        (fun acc s ->
+          Mutex.lock s.sm;
+          let n = Intern.count s.tbl in
+          Mutex.unlock s.sm;
+          acc + n)
+        0 shards
 
 (* Mask selecting the valid bits of the last chunk. *)
 let tail_mask len =
@@ -88,7 +141,7 @@ let set c k bit =
   | One ->
       mask.(i) <- mask.(i) lor b;
       value.(i) <- value.(i) lor b);
-  intern { c with mask; value }
+  { c with mask; value }
 
 let of_bits bits =
   let len = Array.length bits in
@@ -166,7 +219,7 @@ let inter a b =
     else
       let mask = Array.init n (fun i -> a.mask.(i) lor b.mask.(i)) in
       let value = Array.init n (fun i -> a.value.(i) lor b.value.(i)) in
-      Some (intern { len = a.len; mask; value })
+      Some { len = a.len; mask; value }
   end
 
 let disjoint a b = inter a b = None
@@ -191,8 +244,7 @@ let subset a b =
    the complement of b's value; bits processed left to right (ascending
    chunk, ascending bit), constraining earlier bits to b's value to keep
    the result disjoint. Bits fixed in both cubes agree (a ∩ b ≠ ∅ here)
-   and emit nothing. Works chunk-parallel on the packed arrays; only the
-   emitted pieces are interned. *)
+   and emit nothing. Works chunk-parallel on the packed arrays. *)
 let diff a b =
   if a == b then []
   else begin
@@ -214,7 +266,7 @@ let diff a b =
               let m = Array.copy pmask and v = Array.copy pvalue in
               m.(i) <- m.(i) lor bit;
               v.(i) <- v.(i) land lnot bit lor (lnot b.value.(i) land bit);
-              acc := intern { len = a.len; mask = m; value = v } :: !acc;
+              acc := { len = a.len; mask = m; value = v } :: !acc;
               (* Constrain the prefix to b's value at this bit. *)
               pmask.(i) <- pmask.(i) lor bit;
               pvalue.(i) <- pvalue.(i) land lnot bit lor (b.value.(i) land bit)
@@ -236,7 +288,7 @@ let apply_set_field ~set c =
     Array.init n (fun i ->
         (c.value.(i) land lnot set.mask.(i)) lor set.value.(i))
   in
-  intern { len = c.len; mask; value }
+  { len = c.len; mask; value }
 
 let inverse_set_field ~set c =
   check_lengths set c "Cube.inverse_set_field";
@@ -255,7 +307,7 @@ let inverse_set_field ~set c =
   else
     let mask = Array.init n (fun i -> c.mask.(i) land lnot set.mask.(i)) in
     let value = Array.init n (fun i -> c.value.(i) land lnot set.mask.(i)) in
-    Some (intern { len = c.len; mask; value })
+    Some { len = c.len; mask; value }
 
 let sample rng c =
   let n = Array.length c.mask in
@@ -266,12 +318,12 @@ let sample rng c =
     mask.(i) <- valid;
     value.(i) <- (c.value.(i) lor (rand land lnot c.mask.(i))) land valid
   done;
-  intern { len = c.len; mask; value }
+  { len = c.len; mask; value }
 
 let first_member c =
   let n = Array.length c.mask in
   let mask = Array.init n (fun i -> if i = n - 1 then tail_mask c.len else -1 lsr 1) in
-  intern { len = c.len; mask; value = Array.copy c.value }
+  { len = c.len; mask; value = Array.copy c.value }
 
 let nth_member c k =
   if k < 0 then invalid_arg "Cube.nth_member: negative index";

@@ -13,13 +13,20 @@
 
     The representation packs a cube into two bit arrays (a fixed-bit mask
     and a value), chunked into OCaml ints, so intersection and emptiness
-    tests are word-parallel. Cubes are immutable and {e hash-consed}:
-    every constructor interns its result in a weak table, so structurally
-    equal cubes are one physical object. {!equal}, {!subset} and {!inter}
-    short-circuit on physical equality, and repeated header-space algebra
-    over the same match fields re-uses rather than re-allocates. The
-    intern table holds its entries weakly — unreferenced cubes are
-    reclaimed by the GC as usual. *)
+    tests are word-parallel. Cubes are immutable and {e selectively
+    hash-consed}: long-lived cubes built through {!of_bits} /
+    {!of_string} / {!wildcard} (match fields, set fields, full spaces)
+    are interned in a weak table, so structurally equal ones are a
+    single physical object and {!equal} / {!subset} short-circuit on
+    identity. Algebra results ({!inter}, {!diff}, {!apply_set_field},
+    ...) are {e not} interned — intermediates are short-lived, and the
+    table round-trip dominated the kernels (the cube.inter/64
+    regression); {!equal} falls back to a structural comparison, so no
+    correctness depends on identity. The intern table holds entries
+    weakly (the GC reclaims unreferenced cubes) and is domain-safe:
+    sharded mutex-guarded tables by default, or one table per domain
+    with [SDNPROBE_INTERN=local] (see docs/PARALLEL.md for the
+    tradeoff). *)
 
 type t
 
@@ -64,7 +71,8 @@ val hash : t -> int
 
 val interned_count : unit -> int
 (** Number of cubes currently alive in the intern table (weak count —
-    shrinks under GC). Exposed for metrics and tests. *)
+    shrinks under GC; under [SDNPROBE_INTERN=local], the calling
+    domain's table only). Exposed for metrics and tests. *)
 
 val is_concrete : t -> bool
 (** True when no position is a wildcard. *)

@@ -1,25 +1,40 @@
-type t = { name : string; mutable count : int }
+type t = { name : string; count : int Atomic.t }
+
+(* Counters are bumped from pool workers (rule-graph cache hits, SAT
+   solves, probe sends), so the count is an [Atomic.t] and the registry
+   is mutex-guarded. Registration still happens once per site at module
+   init; the hot path is the fetch-and-add. *)
 
 let registry : t list ref = ref [] (* reverse creation order *)
 
+let registry_m = Mutex.create ()
+
 let create name =
-  let c = { name; count = 0 } in
+  let c = { name; count = Atomic.make 0 } in
+  Mutex.lock registry_m;
   registry := c :: !registry;
+  Mutex.unlock registry_m;
   c
 
-let incr c = c.count <- c.count + 1
+let incr c = ignore (Atomic.fetch_and_add c.count 1)
 
-let add c n = c.count <- c.count + n
+let add c n = ignore (Atomic.fetch_and_add c.count n)
 
-let value c = c.count
+let value c = Atomic.get c.count
 
 let name c = c.name
 
-let reset c = c.count <- 0
+let reset c = Atomic.set c.count 0
 
-let snapshot () = List.rev_map (fun c -> (c.name, c.count)) !registry
+let registered () =
+  Mutex.lock registry_m;
+  let cs = !registry in
+  Mutex.unlock registry_m;
+  cs
 
-let reset_all () = List.iter (fun c -> c.count <- 0) !registry
+let snapshot () = List.rev_map (fun c -> (c.name, Atomic.get c.count)) (registered ())
+
+let reset_all () = List.iter (fun c -> Atomic.set c.count 0) (registered ())
 
 let pp fmt () =
   List.iter

@@ -3,7 +3,8 @@
     Counters are registered globally at creation so reports can snapshot
     every instrumented subsystem without threading handles around; they
     are intended to be created once at module initialization. Mutation
-    is a single unboxed store — cheap enough for tight loops. *)
+    is an atomic fetch-and-add — cheap enough for tight loops and safe
+    to bump from pool worker domains (see docs/PARALLEL.md). *)
 
 type t
 

@@ -54,13 +54,65 @@ let header_for_path ?(distinct_from = []) policy (p : Cover.path) =
       | Some h -> Some h
       | None -> random_pick rng ~distinct_from p.Cover.start_space)
 
-let assign policy (cover : Cover.t) =
-  let _, chosen =
-    List.fold_left
-      (fun (seen, acc) p ->
-        match header_for_path ~distinct_from:seen policy p with
-        | Some h -> (h :: seen, (p, h) :: acc)
-        | None -> (seen, acc))
-      ([], []) cover.Cover.paths
+(* Per-path PRNG streams: one generator per path, seeded from a single
+   draw of the master generator and the path index (golden-ratio Weyl
+   step, as inside splitmix64 itself). Draws for path [i] then depend
+   only on (master state, i) — not on how many paths were assigned
+   before it or on which domain ran it. *)
+let stream_of salt i =
+  Sdn_util.Prng.create
+    (Int64.to_int (Int64.add salt (Int64.mul (Int64.of_int (i + 1)) 0x9E3779B97F4A7C15L)))
+
+let assign ?pool policy (cover : Cover.t) =
+  (* Split randomized policies into per-path streams (see [stream_of]);
+     [Deterministic] / [Sat_unique] are shared as-is. The array is
+     materialized once so the speculation and reconciliation phases see
+     the same stream objects. *)
+  let per_path =
+    match policy with
+    | Deterministic | Sat_unique -> fun _ -> policy
+    | Random master ->
+        let salt = Sdn_util.Prng.bits64 master in
+        fun i -> Random (stream_of salt i)
+    | Traffic_weighted (traffic, master) ->
+        let salt = Sdn_util.Prng.bits64 master in
+        fun i -> Traffic_weighted (traffic, stream_of salt i)
   in
-  List.rev chosen
+  let pols =
+    Array.of_list cover.Cover.paths |> Array.mapi (fun i p -> (p, per_path i))
+  in
+  (* Phase 1 — speculation: pick every path's header with no
+     distinctness constraint, in parallel. For [Sat_unique] the solver
+     (lowest-index branching over zeroed activities, false-first phase)
+     returns the lexicographically least member of the space, and adding
+     distinct-from clauses that model already satisfies cannot deflect
+     the search (no clause ever conflicts with a prefix of the canonical
+     model), so the unconstrained answer {e is} the constrained answer
+     whenever it is not already taken. *)
+  let speculate (p, pol) = header_for_path ~distinct_from:[] pol p in
+  let spec =
+    match pool with
+    | Some pl when Sdn_parallel.Pool.domains pl > 1 -> Sdn_parallel.Pool.map pl speculate pols
+    | _ -> Array.map speculate pols
+  in
+  (* Phase 2 — sequential reconciliation in path order: accept the
+     speculative header unless a previous path took it; only then fall
+     back to the constrained query (exactly the query the sequential
+     fold would have run). Output is therefore identical for any domain
+     count, and for [Sat_unique] identical to the sequential fold. *)
+  let seen = ref [] and chosen = ref [] in
+  Array.iteri
+    (fun i (p, pol) ->
+      let taken h = List.exists (Header.equal h) !seen in
+      let h =
+        match spec.(i) with
+        | Some h when not (taken h) -> Some h
+        | _ -> header_for_path ~distinct_from:!seen pol p
+      in
+      match h with
+      | Some h ->
+          seen := h :: !seen;
+          chosen := (p, h) :: !chosen
+      | None -> ())
+    pols;
+  List.rev !chosen

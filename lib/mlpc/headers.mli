@@ -23,12 +23,23 @@ type policy =
           traffic); falls back to a uniform draw on paths without
           observed traffic. *)
 
-val assign : policy -> Cover.t -> (Cover.path * Hspace.Header.t) list
+val assign :
+  ?pool:Sdn_parallel.Pool.t -> policy -> Cover.t -> (Cover.path * Hspace.Header.t) list
 (** One header per path. Paths whose start space is empty are skipped
     (cannot happen for covers produced by the solvers — their paths are
     legal). With [Sat_unique] and [Random], headers are pairwise
     distinct whenever the spaces admit it; if a space is exhausted the
-    path reuses a duplicate header rather than being dropped. *)
+    path reuses a duplicate header rather than being dropped.
+
+    Parallelism is {e speculative}: every path's header is first picked
+    with no distinctness constraint (in parallel under [pool]), then a
+    sequential reconciliation pass in path order accepts the pick or —
+    only when an earlier path already took it — re-runs the constrained
+    query. For [Sat_unique] the SAT solver's canonical
+    (lexicographically least) model makes this exactly the sequential
+    fold's output; randomized policies draw from per-path streams
+    seeded by [(master draw, path index)], so every policy's output is
+    byte-identical for any domain count. *)
 
 val header_for_path :
   ?distinct_from:Hspace.Header.t list ->

@@ -17,14 +17,23 @@
     brute-force minima on randomized small instances — see the test
     suite). *)
 
-val solve : Rulegraph.Rule_graph.t -> Cover.t
-(** Minimum legal path cover via legal augmenting paths. *)
+val solve : ?pool:Sdn_parallel.Pool.t -> Rulegraph.Rule_graph.t -> Cover.t
+(** Minimum legal path cover via legal augmenting paths. With [pool],
+    the edge-legality spaces every splice decision reads are warmed in
+    parallel first ({!Rulegraph.Rule_graph.warm_injection} over all
+    candidate 2-chains — the suffix-keyed cache then serves the deep
+    chains too); the augmentation search itself stays sequential, so
+    the cover is identical for any domain count. *)
 
-val solve_successors : Rulegraph.Rule_graph.t -> int array
+val solve_successors : ?pool:Sdn_parallel.Pool.t -> Rulegraph.Rule_graph.t -> int array
 (** The raw successor function, for callers that post-process chains. *)
 
 val randomized :
-  ?dropout:float -> Sdn_util.Prng.t -> Rulegraph.Rule_graph.t -> Cover.t
+  ?pool:Sdn_parallel.Pool.t ->
+  ?dropout:float ->
+  Sdn_util.Prng.t ->
+  Rulegraph.Rule_graph.t ->
+  Cover.t
 (** Randomized SDNProbe's variant (§V-C): randomized greedy matching
     (Dyer–Frieze) over the same bipartite graph, restricted to legal
     splices, with [dropout] probability (default 0.15) of skipping a

@@ -1,0 +1,61 @@
+(** Fixed-size domain pool with deterministic combinators.
+
+    A pool owns [domains - 1] worker domains (the calling domain is the
+    remaining worker: it participates in every combinator, so a pool of
+    size 1 spawns nothing and runs inline). Work items are claimed
+    dynamically — an atomic cursor over the input indices — but results
+    are always joined {e in input order}, so for a pure per-element
+    function the output is bit-for-bit identical for any pool size and
+    any scheduling. That determinism contract is what lets the planning
+    pipeline run the same golden-digest tests at every domain count
+    (docs/PARALLEL.md).
+
+    Combinators are not reentrant: a call from inside a task (or while
+    another combinator runs on the same pool) falls back to inline
+    sequential execution rather than deadlocking.
+
+    If a task raises, the remaining items still run; the exception
+    raised to the caller is the one from the {e lowest} input index
+    (again for determinism). Tasks are expected to be pure per element —
+    side effects of items after a sequential-raise point may or may not
+    have happened. *)
+
+type t
+
+val create : domains:int -> t
+(** Spawn a pool running on [domains] domains ([domains - 1] workers
+    plus the caller). Raises [Invalid_argument] unless
+    [1 <= domains <= 128]. *)
+
+val domains : t -> int
+(** The size the pool was created with. *)
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map pool f a] is [Array.map f a], elements evaluated in parallel,
+    result in input order. *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map] over a list, preserving order. *)
+
+val mapi_list : t -> (int -> 'a -> 'b) -> 'a list -> 'b list
+(** [map_list] with the input index passed to [f]. *)
+
+val map_reduce :
+  t -> map:('a -> 'b) -> combine:('c -> 'b -> 'c) -> init:'c -> 'a array -> 'c
+(** [map_reduce pool ~map ~combine ~init a]: evaluate [map] on every
+    element in parallel, then fold [combine] over the results
+    {e sequentially, left to right, in input order} — equivalent to
+    [Array.fold_left combine init (Array.map map a)] for pure [map]. *)
+
+val iter_chunked : ?chunk:int -> t -> (int -> 'a -> unit) -> 'a array -> unit
+(** [iter_chunked ~chunk pool f a] runs [f i a.(i)] for every index,
+    scheduling contiguous blocks of [chunk] indices (default 16) as one
+    task — for cheap per-element work where a per-index atomic claim
+    would dominate. [f]'s effects on distinct indices must be
+    independent (e.g. each writes its own slot of a result buffer);
+    under that contract the net effect is schedule-independent. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains. Further combinator calls run
+    inline; idempotent. Pools obtained from {!Sdn_parallel.pool} are
+    shut down automatically at exit. *)

@@ -1,0 +1,57 @@
+module Pool = Pool
+
+(* Process-wide degree of parallelism. Resolution order: an explicit
+   [set_default_domains], else the SDNPROBE_DOMAINS environment
+   variable, else 1 — so every entry point (CLI, tests, benches) is
+   sequential unless asked otherwise, and a single env var switches the
+   whole pipeline over (e.g. [SDNPROBE_DOMAINS=4 dune runtest]). *)
+
+let env_domains () =
+  match Sys.getenv_opt "SDNPROBE_DOMAINS" with
+  | None | Some "" -> 1
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 && n <= 128 -> n
+      | _ ->
+          Printf.eprintf "SDNPROBE_DOMAINS=%s ignored (want an int in [1, 128])\n%!" s;
+          1)
+
+let override = ref None
+
+let default_domains () =
+  match !override with Some n -> n | None -> env_domains ()
+
+let set_default_domains n =
+  if n < 1 || n > 128 then invalid_arg "set_default_domains: outside [1, 128]";
+  override := Some n
+
+(* One cached pool per size, shut down at exit (worker domains block on
+   a condition variable; the runtime joins every domain before the
+   process can exit, so leaving them running would hang termination).
+   Size-1 pools spawn no domains and run inline. *)
+let pools : (int, Pool.t) Hashtbl.t = Hashtbl.create 4
+
+let pools_m = Mutex.create ()
+
+let () =
+  at_exit (fun () ->
+      Mutex.lock pools_m;
+      let ps = Hashtbl.fold (fun _ p acc -> p :: acc) pools [] in
+      Hashtbl.reset pools;
+      Mutex.unlock pools_m;
+      List.iter Pool.shutdown ps)
+
+let pool ~domains =
+  Mutex.lock pools_m;
+  let p =
+    match Hashtbl.find_opt pools domains with
+    | Some p -> p
+    | None ->
+        let p = Pool.create ~domains in
+        Hashtbl.add pools domains p;
+        p
+  in
+  Mutex.unlock pools_m;
+  p
+
+let default_pool () = pool ~domains:(default_domains ())

@@ -22,13 +22,25 @@ exception Cyclic_policy of int list
    caches, and {!invalidate_caches} empties them in place (required if
    the underlying network is mutated without going through [update]).
    Hit/miss totals feed both the per-graph [cache_stats] and the global
-   {!Metrics.Counter} registry. *)
+   {!Metrics.Counter} registry.
+
+   Concurrency: the shared tables are plain [Hashtbl]s, so they are
+   never written from pool workers. Batch queries ({!spaces},
+   {!warm_injection}) give each task a {e view} — reads check a
+   task-local table first, then the shared one (frozen for the duration
+   of the batch); writes go to the local table only. After the
+   deterministic input-order join the local tables are merged back into
+   the shared ones. Every cached value is a pure function of its key,
+   so merge order cannot change cache contents — only the hit/miss
+   tallies vary with the domain count (two tasks may both miss a key
+   the sequential fold would compute once). *)
+type stats = { mutable hits : int; mutable misses : int }
+
 type caches = {
   start : (int list, Hs.t) Hashtbl.t;
   forward : (int list, Hs.t) Hashtbl.t;
   inject : (int list, (int list * Hs.t) option) Hashtbl.t;
-  mutable hits : int;
-  mutable misses : int;
+  stats : stats;
 }
 
 let fresh_caches () =
@@ -36,8 +48,7 @@ let fresh_caches () =
     start = Hashtbl.create 256;
     forward = Hashtbl.create 64;
     inject = Hashtbl.create 64;
-    hits = 0;
-    misses = 0;
+    stats = { hits = 0; misses = 0 };
   }
 
 let c_start_hits = Metrics.Counter.create "rulegraph.cache.start.hits"
@@ -65,18 +76,68 @@ type t = {
   caches : caches;
 }
 
-let cached caches table (chit, cmiss) key compute =
-  match Hashtbl.find_opt table key with
+(* A cache view: the tables a query reads first and writes to, plus the
+   shared graph caches it may fall back to. The sequential entry points
+   use the {e direct} view (local tables = the shared ones, no
+   fallback); batch workers use task-local views. *)
+type view = {
+  vstart : (int list, Hs.t) Hashtbl.t;
+  vforward : (int list, Hs.t) Hashtbl.t;
+  vinject : (int list, (int list * Hs.t) option) Hashtbl.t;
+  vstats : stats;
+  fallback : caches option; (* read-only during a batch *)
+}
+
+let direct_view caches =
+  {
+    vstart = caches.start;
+    vforward = caches.forward;
+    vinject = caches.inject;
+    vstats = caches.stats;
+    fallback = None;
+  }
+
+let local_view caches =
+  {
+    vstart = Hashtbl.create 64;
+    vforward = Hashtbl.create 16;
+    vinject = Hashtbl.create 16;
+    vstats = { hits = 0; misses = 0 };
+    fallback = Some caches;
+  }
+
+let cached view table shared (chit, cmiss) key compute =
+  let found =
+    match Hashtbl.find_opt table key with
+    | Some _ as v -> v
+    | None -> (
+        match view.fallback with
+        | None -> None
+        | Some c -> Hashtbl.find_opt (shared c) key)
+  in
+  match found with
   | Some v ->
-      caches.hits <- caches.hits + 1;
+      view.vstats.hits <- view.vstats.hits + 1;
       Metrics.Counter.incr chit;
       v
   | None ->
-      caches.misses <- caches.misses + 1;
+      view.vstats.misses <- view.vstats.misses + 1;
       Metrics.Counter.incr cmiss;
       let v = compute () in
       Hashtbl.add table key v;
       v
+
+(* Fold a task-local view back into the shared caches (single-domain
+   code: called after the pool join, in task order). *)
+let merge_view t v =
+  let into dst src =
+    Hashtbl.iter (fun k x -> if not (Hashtbl.mem dst k) then Hashtbl.add dst k x) src
+  in
+  into t.caches.start v.vstart;
+  into t.caches.forward v.vforward;
+  into t.caches.inject v.vinject;
+  t.caches.stats.hits <- t.caches.stats.hits + v.vstats.hits;
+  t.caches.stats.misses <- t.caches.stats.misses + v.vstats.misses
 
 let invalidate_caches t =
   Hashtbl.reset t.caches.start;
@@ -84,7 +145,10 @@ let invalidate_caches t =
   Hashtbl.reset t.caches.inject
 
 let cache_stats t =
-  [ ("space_cache_hits", t.caches.hits); ("space_cache_misses", t.caches.misses) ]
+  [
+    ("space_cache_hits", t.caches.stats.hits);
+    ("space_cache_misses", t.caches.stats.misses);
+  ]
 
 let network t = t.network
 
@@ -423,16 +487,20 @@ let expand_path t = function
       in
       first :: loop path
 
-let forward_space t path =
+let forward_space_v t view path =
   let len = Network.header_len t.network in
   match path with
   | [] -> Hs.empty len
   | _ ->
-      cached t.caches t.caches.forward (c_forward_hits, c_forward_misses) path
+      cached view view.vforward
+        (fun c -> c.forward)
+        (c_forward_hits, c_forward_misses) path
         (fun () ->
           List.fold_left (fun hs v -> step t.inputs t.vertices hs v) (Hs.full len) path)
 
-let start_space t path =
+let forward_space t path = forward_space_v t (direct_view t.caches) path
+
+let start_space_v t view path =
   let len = Network.header_len t.network in
   match path with
   | [] -> Hs.empty len
@@ -442,7 +510,9 @@ let start_space t path =
       let rec go = function
         | [] -> Hs.full len
         | v :: rest as key ->
-            cached t.caches t.caches.start (c_start_hits, c_start_misses) key
+            cached view view.vstart
+              (fun c -> c.start)
+              (c_start_hits, c_start_misses) key
               (fun () ->
                 let after = go rest in
                 let r = t.vertices.(v) in
@@ -451,17 +521,21 @@ let start_space t path =
       in
       go path
 
+let start_space t path = start_space_v t (direct_view t.caches) path
+
 let is_legal t path = not (Hs.is_empty (forward_space t (expand_path t path)))
 
-let rec injection_plan t rules =
+let rec injection_plan_v t view rules =
   match rules with
   | [] -> None
   | head :: _ ->
-      cached t.caches t.caches.inject (c_inject_hits, c_inject_misses) rules
+      cached view view.vinject
+        (fun c -> c.inject)
+        (c_inject_hits, c_inject_misses) rules
         (fun () ->
           let e = t.vertices.(head) in
           if e.Flow_entry.table = 0 then
-            let hs = start_space t rules in
+            let hs = start_space_v t view rules in
             if Hs.is_empty hs then None else Some (rules, hs)
           else
             (* Reach the head through its own switch's earlier tables. *)
@@ -471,12 +545,63 @@ let rec injection_plan t rules =
                 if
                   pe.Flow_entry.switch = e.Flow_entry.switch
                   && pe.Flow_entry.table < e.Flow_entry.table
-                  && not (Hs.is_empty (start_space t (p :: rules)))
-                then injection_plan t (p :: rules)
+                  && not (Hs.is_empty (start_space_v t view (p :: rules)))
+                then injection_plan_v t view (p :: rules)
                 else None)
               (Digraph.pred t.base head))
 
+let injection_plan t rules = injection_plan_v t (direct_view t.caches) rules
+
 let is_injectable t path = injection_plan t (expand_path t path) <> None
+
+(* Batch queries: contiguous blocks of paths, one task and one local
+   view per block — items inside a block share subproblems (the
+   suffix-keyed start spaces especially) through the view instead of
+   each recomputing them cold. Views are merged back after the
+   input-order join; cached values are pure functions of their keys, so
+   neither the block boundaries nor the merge order can show in the
+   output. With no pool (or one domain) this is exactly the sequential
+   fold over the shared caches. *)
+let batch ?pool t f paths =
+  let seq () =
+    let v = direct_view t.caches in
+    List.map (f v) paths
+  in
+  match pool with
+  | None -> seq ()
+  | Some p when Sdn_parallel.Pool.domains p = 1 -> seq ()
+  | Some p ->
+      let arr = Array.of_list paths in
+      let n = Array.length arr in
+      let blocks = min n (2 * Sdn_parallel.Pool.domains p) in
+      if blocks = 0 then []
+      else begin
+        let size = (n + blocks - 1) / blocks in
+        let spans =
+          List.filter
+            (fun (lo, hi) -> lo < hi)
+            (List.init blocks (fun b -> (b * size, min n ((b + 1) * size))))
+        in
+        Sdn_parallel.Pool.map_list p
+          (fun (lo, hi) ->
+            let v = local_view t.caches in
+            let rec go i acc =
+              if i >= hi then List.rev acc else go (i + 1) (f v arr.(i) :: acc)
+            in
+            (go lo [], v))
+          spans
+        |> List.concat_map (fun (rs, v) ->
+               merge_view t v;
+               rs)
+      end
+
+let spaces ?pool t paths =
+  batch ?pool t (fun v path -> (start_space_v t v path, forward_space_v t v path)) paths
+
+let warm_injection ?pool t pathlists =
+  ignore
+    (batch ?pool t (fun v rules -> ignore (injection_plan_v t v rules)) pathlists
+      : unit list)
 
 let stats t =
   [

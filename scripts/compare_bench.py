@@ -23,6 +23,7 @@ entry is slower than baseline by more than --max-slowdown. Stdlib only.
 """
 
 import argparse
+import fnmatch
 import json
 import sys
 
@@ -47,7 +48,12 @@ def load_entries(path):
 
 
 def scale_of(name):
-    """Trailing /<switches> suffix of an end-to-end entry, None for micros."""
+    """Trailing /<switches> suffix of an end-to-end entry, None for micros.
+
+    A variant suffix like /par4 (the 4-domain pool entries) is stripped
+    first, so rulegraph.spaces/16/par4 gates with the /16 scale."""
+    if name.endswith("/par4"):
+        name = name[: -len("/par4")]
     _, _, suffix = name.rpartition("/")
     return int(suffix) if suffix.isdigit() else None
 
@@ -84,6 +90,22 @@ def main():
         metavar="N",
         help="gate only entries with a trailing /N scale suffix",
     )
+    ap.add_argument(
+        "--gate-entry",
+        action="append",
+        default=[],
+        metavar="GLOB",
+        help="force-gate entries matching GLOB even when --only-switches "
+        "excludes them (e.g. cube.inter/64 to hold the interning fix)",
+    )
+    ap.add_argument(
+        "--write-merged",
+        default=None,
+        metavar="PATH",
+        help="write the min-merged current entries as a bench-regress JSON "
+        "(with before_ns/speedup against the baseline) — the min-of-N "
+        "capture protocol for committed BENCH_<n>.json files",
+    )
     args = ap.parse_args()
 
     base = load_entries(args.baseline)
@@ -91,6 +113,30 @@ def main():
     for path in args.current:
         for name, ns in load_entries(path).items():
             cur[name] = min(ns, cur.get(name, float("inf")))
+
+    if args.write_merged:
+        entries = []
+        for name in sorted(cur):
+            e = {"name": name, "ns": cur[name]}
+            if name in base:
+                e["before_ns"] = base[name]
+                e["speedup"] = base[name] / cur[name]
+            entries.append(e)
+        with open(args.current[0]) as fh:
+            first = json.load(fh)
+        merged = {
+            "schema_version": SCHEMA_VERSION,
+            "kind": "bench-regress-report",
+            "workload": first.get("workload", ""),
+            "switches": first.get("switches", []),
+            "host_cores": first.get("host_cores"),
+            "merged_of": len(args.current),
+            "entries": entries,
+        }
+        with open(args.write_merged, "w") as fh:
+            json.dump(merged, fh, indent=1)
+            fh.write("\n")
+        print(f"wrote min-of-{len(args.current)} merge to {args.write_merged}")
 
     failures = []
     print(f"{'entry':<28} {'baseline':>12} {'current':>12} {'ratio':>7}")
@@ -101,7 +147,12 @@ def main():
             continue
         ratio = cur[name] / base[name]
         scale = scale_of(name)
-        gated = args.only_switches is None or scale is None or scale == args.only_switches
+        gated = (
+            args.only_switches is None
+            or scale is None
+            or scale == args.only_switches
+            or any(fnmatch.fnmatch(name, g) for g in args.gate_entry)
+        )
         verdict = ""
         if gated and ratio > args.max_slowdown:
             failures.append(name)
