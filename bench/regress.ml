@@ -155,6 +155,42 @@ let runner_rounds w ~domains =
     let emu = Dataplane.Emulator.create w.net in
     ignore (Sdnprobe.Runner.execute ~config ~emulator:emu plan)
 
+(* Full symbolic invariant verification from scratch: plumbing build +
+   closure for every source (loop-free forces all of them) + leak scan.
+   This is the cost `verify.edit` amortizes away. *)
+let verify_check w () =
+  let engine = Verify.Engine.create w.net in
+  ignore (Verify.Engine.check engine Verify.Engine.default_invariants)
+
+(* Amortized per-edit incremental re-verification: [edits_per_run]
+   remove-then-reinstall cycles, each followed by a full re-check
+   through Engine.update's patch path. Reported ns is per edit (two
+   edits per cycle), the number scripts/check_verify_ratio.py compares
+   against verify.closure. *)
+let verify_edits_per_run = 4
+
+let verify_edit w =
+  let module N = Openflow.Network in
+  let module FE = Openflow.Flow_entry in
+  let engine = Verify.Engine.create w.net in
+  let invs = Verify.Engine.default_invariants in
+  ignore (Verify.Engine.check engine invs);
+  fun () ->
+    for i = 0 to verify_edits_per_run - 1 do
+      let entries = N.all_entries w.net in
+      let victim = List.nth entries (i * 97 mod List.length entries) in
+      let tables = [ (victim.FE.switch, victim.FE.table) ] in
+      N.remove_entry w.net victim.FE.id;
+      Verify.Engine.update engine ~changed_tables:tables;
+      ignore (Verify.Engine.check engine invs);
+      ignore
+        (N.add_entry w.net ~switch:victim.FE.switch ~table:victim.FE.table
+           ~priority:victim.FE.priority ~match_:victim.FE.match_
+           ~set_field:victim.FE.set_field victim.FE.action);
+      Verify.Engine.update engine ~changed_tables:tables;
+      ignore (Verify.Engine.check engine invs)
+    done
+
 let micro_tests () =
   let open Bechamel in
   let cube_a =
@@ -211,6 +247,9 @@ let entries ~scales =
           (Printf.sprintf "headers.assign/%d" scale, time_ns ~runs (headers_assign w));
           (Printf.sprintf "yen.k8/%d" scale, time_ns ~runs (yen_k8 w));
           (Printf.sprintf "runner.round10/%d" scale, time_ns ~runs (runner_rounds w ~domains:1));
+          (Printf.sprintf "verify.closure/%d" scale, time_ns ~runs (verify_check w));
+          ( Printf.sprintf "verify.edit/%d" scale,
+            time_ns ~runs (verify_edit w) /. float_of_int (2 * verify_edits_per_run) );
         ])
       ws
   in
@@ -301,7 +340,7 @@ let print_table ~baseline results =
   Metrics.Table.print table
 
 let main args =
-  let out = ref "BENCH_5.json" in
+  let out = ref "BENCH_6.json" in
   let baseline = ref None in
   let scales = ref [ 16; 50 ] in
   let rec parse = function

@@ -6,6 +6,7 @@
      plan        generate a probe plan for a synthetic topology
      detect      inject faults into a synthetic topology and localize
      lint        run the static-analysis passes over a policy
+     verify      check declarative invariants with certified counterexamples
      certify     validate a generated plan with independent checkers *)
 
 open Cmdliner
@@ -460,25 +461,162 @@ let verify_cmd =
   let campus =
     Arg.(value & flag & info [ "campus" ] ~doc:"Check the synthetic campus dataset.")
   in
-  let run switches seed campus load =
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the report as one JSON object. Deterministic (work counters, \
+             no clocks) unless $(b,--timings) is also given.")
+  in
+  let timings =
+    Arg.(
+      value & flag
+      & info [ "timings" ] ~doc:"Include wall-clock phase timings in the output.")
+  in
+  let fail_on =
+    let fail_conv =
+      Arg.enum
+        [
+          ("error", Verify.Report.Fail_error);
+          ("warning", Verify.Report.Fail_warning);
+          ("never", Verify.Report.Fail_never);
+        ]
+    in
+    Arg.(
+      value
+      & opt fail_conv Verify.Report.Fail_error
+      & info [ "fail-on" ] ~docv:"SEVERITY"
+          ~doc:
+            "Exit non-zero when a violation of this severity (or worse) is \
+             present: $(b,error) (default), $(b,warning), or $(b,never).")
+  in
+  let invariants =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "invariant"; "i" ] ~docv:"INV"
+          ~doc:
+            "An invariant to check (repeatable): $(b,reach A B), \
+             $(b,isolated A B), $(b,loop-free), $(b,no-blackhole) or \
+             $(b,waypoint A W B). Default: loop-free and no-blackhole.")
+  in
+  let spec =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "spec" ] ~docv:"FILE"
+          ~doc:
+            "Read invariants from a spec file (one per line, $(b,#) comments); \
+             combined with $(b,--invariant).")
+  in
+  let edits =
+    Arg.(
+      value & opt int 0
+      & info [ "edits" ] ~docv:"K"
+          ~doc:
+            "After the initial check, apply $(docv) random single-rule edits \
+             (remove one entry, reinstall it) and re-verify incrementally after \
+             each — the delta worklist path the bench suite measures.")
+  in
+  let run switches seed campus load invs spec json timings fail_on edits =
     let net =
       if campus then Topogen.Campus.synthesize (Sdn_util.Prng.create seed)
       else resolve_network ~switches ~seed load
     in
-    Format.printf "%a@." Openflow.Network.pp_summary net;
-    match Rulegraph.Static_checks.check net with
-    | [] ->
-        Format.printf "policy is clean: no loops, blackholes or shadowed rules@."
-    | issues ->
-        List.iter
-          (fun i -> Format.printf "  %a@." (Rulegraph.Static_checks.pp_issue net) i)
-          issues;
-        Format.printf "%d issue(s) found@." (List.length issues)
+    let parsed =
+      let from_flags =
+        List.fold_left
+          (fun acc s ->
+            Result.bind acc (fun acc ->
+                Result.map (fun i -> i :: acc) (Verify.Invariant.of_string s)))
+          (Ok []) invs
+        |> Result.map List.rev
+      in
+      let from_spec =
+        match spec with
+        | None -> Ok []
+        | Some path -> (
+            let ic = open_in_bin path in
+            let text = really_input_string ic (in_channel_length ic) in
+            close_in ic;
+            match Verify.Invariant.parse_spec text with
+            | Ok invs -> Ok invs
+            | Error msg -> Error (path ^ ": " ^ msg))
+      in
+      Result.bind from_flags (fun a -> Result.map (fun b -> a @ b) from_spec)
+    in
+    match parsed with
+    | Error msg -> `Error (false, msg)
+    | Ok parsed -> (
+        let invariants =
+          if parsed = [] then Verify.Engine.default_invariants else parsed
+        in
+        let bad =
+          List.filter_map
+            (fun inv ->
+              match
+                Verify.Invariant.validate
+                  ~n_switches:(Openflow.Network.n_switches net) inv
+              with
+              | Ok () -> None
+              | Error msg -> Some msg)
+            invariants
+        in
+        match bad with
+        | msg :: _ -> `Error (false, msg)
+        | [] ->
+            let engine = Verify.Engine.create ?pool:(env_pool ()) net in
+            let report = ref (Verify.Engine.check engine invariants) in
+            if edits > 0 then begin
+              (* Deterministic churn: remove a random entry, reinstall
+                 it (fresh id, same semantics), re-propagating after
+                 each mutation — two delta updates per edit. *)
+              let rng = Sdn_util.Prng.create (seed + 7919) in
+              for _ = 1 to edits do
+                let entries = Openflow.Network.all_entries net in
+                let victim =
+                  List.nth entries (Sdn_util.Prng.int rng (List.length entries))
+                in
+                let open Openflow.Flow_entry in
+                Openflow.Network.remove_entry net victim.id;
+                Verify.Engine.update engine
+                  ~changed_tables:[ (victim.switch, victim.table) ];
+                ignore
+                  (Openflow.Network.add_entry net ~switch:victim.switch
+                     ~table:victim.table ~priority:victim.priority
+                     ~match_:victim.match_ ~set_field:victim.set_field
+                     victim.action);
+                Verify.Engine.update engine
+                  ~changed_tables:[ (victim.switch, victim.table) ]
+              done;
+              report := Verify.Engine.check engine invariants
+            end;
+            let report = !report in
+            if json then print_endline (Verify.Report.to_json ~timings report)
+            else begin
+              Format.printf "%a@." Openflow.Network.pp_summary net;
+              if edits > 0 then
+                Format.printf "re-verified incrementally after %d edit%s@." edits
+                  (if edits = 1 then "" else "s");
+              Format.printf "%a" Verify.Report.pp_text report;
+              if timings then
+                List.iter
+                  (fun (phase, s) -> Format.printf "# %-12s %.6fs@." phase s)
+                  report.Verify.Report.timings
+            end;
+            exit (Verify.Report.exit_code ~fail_on report))
   in
   Cmd.v
     (Cmd.info "verify"
-       ~doc:"Statically check a policy for loops, blackholes and shadowed rules")
-    Term.(const run $ switches_term $ seed_term $ campus $ load_term)
+       ~doc:
+         "Check declarative invariants (reachability, isolation, loop freedom, \
+          blackholes, waypoints) symbolically against the plumbing graph; every \
+          violation carries a replay-certified counterexample")
+    Term.(
+      ret
+        (const run $ switches_term $ seed_term $ campus $ load_term $ invariants
+       $ spec $ json $ timings $ fail_on $ edits))
 
 let () =
   let doc = "SDNProbe: lightweight SDN fault localization (ICDCS'18 reproduction)" in

@@ -4,8 +4,9 @@ module FE = Openflow.Flow_entry
 module Flow_table = Openflow.Flow_table
 module Network = Openflow.Network
 module Topology = Openflow.Topology
-module Digraph = Sdngraph.Digraph
 module D = Diagnostic
+
+module Plumbing = Verify.Plumbing
 
 type ctx = {
   net : Network.t;
@@ -14,6 +15,9 @@ type ctx = {
   inputs : Hs.t array;
   outputs : Hs.t array;
   probes : int list list option;
+  plumbing : Plumbing.t Lazy.t;
+      (* the verifier's reachability substrate; L001/L002 read their
+         facts off it so lint and [sdnprobe verify] cannot disagree *)
 }
 
 let make_ctx ?probes net =
@@ -27,6 +31,7 @@ let make_ctx ?probes net =
     inputs = Array.map (Network.input_space net) entries;
     outputs = Array.map (Network.output_space net) entries;
     probes;
+    plumbing = lazy (Plumbing.build net);
   }
 
 let network ctx = ctx.net
@@ -36,68 +41,29 @@ let probes ctx = ctx.probes
 let table_entries ctx ~switch ~table =
   Flow_table.entries (Network.table ctx.net ~switch ~table)
 
-(* Successor candidates of a rule: the entries its action hands the
-   packet to (next switch's table 0, or this switch's goto target). *)
-let successor_entries ctx (r : FE.t) =
-  match r.action with
-  | FE.Drop -> []
-  | FE.Output _ -> (
-      match Network.next_switch ctx.net r with
-      | None -> []
-      | Some sw -> table_entries ctx ~switch:sw ~table:0)
-  | FE.Goto_table tb -> table_entries ctx ~switch:r.switch ~table:tb
-
 (* ------------------------------------------------------------------ *)
 (* L001: forwarding loops.
 
-   Build the base rule graph edge set (the same construction as
-   Rule_graph step 1, but without rejecting cycles) and report a cycle
-   if one exists. The witness is the header space at the loop head that
-   survives a full traversal of the cycle (backward preimage, as in
-   Rule_graph.start_space); when per-edge compatibility does not
+   Delegates to the verifier's plumbing graph (the same construction
+   this pass historically built inline: base rule-graph edges kept when
+   the hand-off space is non-empty, in the same iteration order, so the
+   reported cycle and witness are unchanged — test_lint pins this).
+   The witness is the header space at the loop head that survives a
+   full traversal of the cycle; when per-edge compatibility does not
    compose into a global round trip, the first edge's hand-off space is
    the witness instead — the cycle still violates SDNProbe's DAG
    precondition either way. *)
 
-let base_edges ctx =
-  let n = Array.length ctx.entries in
-  let g = Digraph.create n in
-  Array.iteri
-    (fun i (r : FE.t) ->
-      List.iter
-        (fun (q : FE.t) ->
-          let j = Hashtbl.find ctx.index_of q.id in
-          if not (Hs.is_empty (Hs.inter ctx.outputs.(i) ctx.inputs.(j))) then
-            Digraph.add_edge g i j)
-        (successor_entries ctx r))
-    ctx.entries;
-  g
-
-let backward_space ctx path =
-  let len = Network.header_len ctx.net in
-  List.fold_right
-    (fun v after ->
-      let r = ctx.entries.(v) in
-      Hs.inter ctx.inputs.(v) (Hs.inverse_set_field ~set:r.FE.set_field after))
-    path (Hs.full len)
-
 let pass_forwarding_loop ctx =
-  match Digraph.find_cycle (base_edges ctx) with
+  let plumbing = Lazy.force ctx.plumbing in
+  match Plumbing.find_cycle plumbing with
   | None -> []
   | Some cycle ->
-      let head = List.hd cycle in
-      let round_trip = backward_space ctx (cycle @ [ head ]) in
-      let witness =
-        if not (Hs.is_empty round_trip) then round_trip
-        else
-          match cycle with
-          | a :: b :: _ -> Hs.inter ctx.outputs.(a) ctx.inputs.(b)
-          | [ a ] -> Hs.inter ctx.outputs.(a) ctx.inputs.(a)
-          | [] -> assert false
-      in
-      let ids = List.map (fun v -> ctx.entries.(v).FE.id) cycle in
+      let witness = Plumbing.cycle_witness plumbing cycle in
+      let entry v = Plumbing.vertex_entry plumbing v in
+      let ids = List.map (fun v -> (entry v).FE.id) cycle in
       let switches =
-        List.sort_uniq compare (List.map (fun v -> ctx.entries.(v).FE.switch) cycle)
+        List.sort_uniq compare (List.map (fun v -> (entry v).FE.switch) cycle)
       in
       [
         D.make ~check:"L001-forwarding-loop" ~severity:D.Error
@@ -112,35 +78,20 @@ let pass_forwarding_loop ctx =
 (* ------------------------------------------------------------------ *)
 (* L002: blackholes — the part of a forwarding rule's output space no
    entry of the next hop's first table matches (traffic silently dies
-   on table-miss). Witness: the leaked space. *)
+   on table-miss). Witness: the leaked space. Delegates to the
+   verifier's plumbing graph, whose [leaks] computes the exact fold
+   this pass historically ran inline (same lookup order, same diff by
+   raw match), so witness cube lists are bit-identical. *)
 
 let pass_blackhole ctx =
-  let acc = ref [] in
-  Array.iteri
-    (fun i (r : FE.t) ->
-      match r.action with
-      | FE.Output _ -> (
-          match Network.next_switch ctx.net r with
-          | None -> ()
-          | Some sw ->
-              let leaked =
-                List.fold_left
-                  (fun space (q : FE.t) -> Hs.diff_cube space q.match_)
-                  ctx.outputs.(i)
-                  (table_entries ctx ~switch:sw ~table:0)
-              in
-              if not (Hs.is_empty leaked) then
-                acc :=
-                  D.make ~check:"L002-blackhole" ~severity:D.Warning ~switch:sw
-                    ~table:0 ~entries:[ r.id ] ~witness:leaked
-                    (Format.asprintf
-                       "entry %d (sw%d, prio %d) forwards %a to sw%d, where no \
-                        entry matches it"
-                       r.id r.switch r.priority Hs.pp leaked sw)
-                  :: !acc)
-      | FE.Drop | FE.Goto_table _ -> ())
-    ctx.entries;
-  List.rev !acc
+  Plumbing.leaks (Lazy.force ctx.plumbing)
+  |> List.map (fun ((r : FE.t), sw, leaked) ->
+         D.make ~check:"L002-blackhole" ~severity:D.Warning ~switch:sw ~table:0
+           ~entries:[ r.id ] ~witness:leaked
+           (Format.asprintf
+              "entry %d (sw%d, prio %d) forwards %a to sw%d, where no entry \
+               matches it"
+              r.id r.switch r.priority Hs.pp leaked sw))
 
 (* ------------------------------------------------------------------ *)
 (* L003: fully-shadowed rules — empty input space: higher-precedence

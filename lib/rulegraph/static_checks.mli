@@ -20,8 +20,13 @@
     This module is now a thin compatibility shim over the {!Lint}
     engine, which generalizes these three checks into a full diagnostic
     framework (severities, stable check ids, header-space witnesses,
-    more passes — see [docs/LINT.md] and [sdnprobe lint]). Existing
-    callers keep the historical [issue] API and results. *)
+    more passes — see [docs/LINT.md] and [sdnprobe lint]). The loop and
+    blackhole walks themselves live one layer further down, in the
+    invariant verifier's plumbing graph ([Verify.Plumbing], see
+    [docs/VERIFY.md] and [sdnprobe verify]), which also answers
+    reachability, isolation and waypoint queries with replay-certified
+    counterexamples and re-verifies incrementally after table edits.
+    Existing callers keep the historical [issue] API and results. *)
 
 type issue =
   | Forwarding_loop of int list

@@ -1,0 +1,85 @@
+(** Worklist dataflow over the plumbing graph: the symbolic
+    reachability closure of one injection source.
+
+    A {!state} answers "which header spaces, injected at switch
+    [source]'s table 0, can reach which flow entries, and along which
+    rule paths?". Flows are propagated edge by edge ([arriving = hs ∩
+    label], then the target's set-field rewrite), pruned when subsumed
+    by the headers already known to reach a vertex, and carry a
+    provenance chain so every reached space can be expanded back into a
+    concrete (header, entry-id path) counterexample witness. A flow
+    whose next vertex already occurs in its own provenance closes a
+    forwarding loop; it is recorded in {!loops} and not extended, which
+    also bounds every provenance chain by the vertex count.
+
+    Pruning drops a flow only when its space is contained in the union
+    of spaces already at the vertex, so the per-vertex {e reachable
+    header sets} and the {e set of reached vertices} are exact; the
+    surviving flow (path) list is a representative subset. The
+    [avoid >= 0] variant skips every vertex of one switch — the
+    path-sensitive query behind waypoint checking.
+
+    {!update} re-propagates a state incrementally after a
+    {!Plumbing.patch}: only flows whose provenance chain passes through
+    an affected (changed-table or inserted) or deleted vertex are
+    discarded — everything else is still a valid derivation, because
+    edges between unaffected vertices are unchanged — and the worklist
+    is re-primed from injection seeds at affected vertices plus the
+    surviving flows one edge upstream of the affected/damaged region.
+    The resulting reachable sets equal a from-scratch {!compute}'s;
+    flow-list order may differ (docs/VERIFY.md). *)
+
+type flow = {
+  entry : int;  (** entry id (stable across incremental patches) *)
+  hs : Hspace.Hs.t;  (** headers at this vertex's output, along this path *)
+  parent : flow option;  (** provenance; [None] = injected at table 0 *)
+  depth : int;  (** path length in rules *)
+  serial : int;
+      (** per-state creation rank — deterministic, and unique within
+          the state; {!update} keys its chain-validity memo on it *)
+}
+
+type state
+
+type tally = {
+  mutable cubes : int;  (** cubes propagated into node states *)
+  mutable iterations : int;  (** worklist pops *)
+  mutable pruned : int;  (** flows dropped by subsumption *)
+}
+
+val compute : Plumbing.t -> source:int -> ?avoid:int -> unit -> state
+(** Full propagation from every table-0 entry of [source] with a
+    non-empty input space. [avoid] (a switch index) skips that switch's
+    vertices entirely. *)
+
+val update : Plumbing.t -> Plumbing.patch -> state -> [ `Hit | `Recomputed ]
+(** Delta re-propagation after [patch] (whose [plumbing] must be the
+    first argument). [`Hit] means nothing changed: no flow was deleted
+    and none was added — the state was only re-indexed. Stale loop
+    records (paths touching affected or deleted vertices) are dropped
+    and rediscovered by the re-propagation. *)
+
+val source : state -> int
+
+val avoid : state -> int
+(** The avoided switch, [-1] for none. *)
+
+val tally : state -> tally
+
+val flows_at : state -> int -> flow list
+(** Flows at a vertex (current plumbing indices), in arrival order. *)
+
+val acc_at : state -> int -> Hspace.Hs.t
+(** Union of all spaces that arrived at the vertex (exact reachable
+    header set at its output). *)
+
+val reached : state -> int list
+(** Vertices with at least one flow, ascending. *)
+
+val loops : state -> flow list
+(** Loop-closing flows, in discovery order: [flow.entry] occurs again
+    in the provenance chain. *)
+
+val path_of : flow -> int list
+(** Entry ids from injection to the flow's vertex, in traversal
+    order. *)

@@ -1,0 +1,89 @@
+type t =
+  | Reach of int * int
+  | Isolated of int * int
+  | Loop_free
+  | No_blackhole
+  | Waypoint of int * int * int
+
+let equal a b = a = b
+
+let compare = Stdlib.compare
+
+let to_string = function
+  | Reach (a, b) -> Printf.sprintf "reach %d %d" a b
+  | Isolated (a, b) -> Printf.sprintf "isolated %d %d" a b
+  | Loop_free -> "loop-free"
+  | No_blackhole -> "no-blackhole"
+  | Waypoint (a, w, b) -> Printf.sprintf "waypoint %d %d %d" a w b
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let of_string s =
+  let tokens =
+    String.split_on_char ' ' (String.trim s)
+    |> List.filter (fun tok -> tok <> "")
+  in
+  let int_arg name tok k =
+    match int_of_string_opt tok with
+    | Some n when n >= 0 -> k n
+    | _ -> Error (Printf.sprintf "%s: switch argument %S is not a non-negative integer" name tok)
+  in
+  match tokens with
+  | [ "loop-free" ] -> Ok Loop_free
+  | [ "no-blackhole" ] -> Ok No_blackhole
+  | [ "reach"; a; b ] ->
+      int_arg "reach" a (fun a -> int_arg "reach" b (fun b -> Ok (Reach (a, b))))
+  | [ "isolated"; a; b ] ->
+      int_arg "isolated" a (fun a ->
+          int_arg "isolated" b (fun b -> Ok (Isolated (a, b))))
+  | [ "waypoint"; a; w; b ] ->
+      int_arg "waypoint" a (fun a ->
+          int_arg "waypoint" w (fun w ->
+              int_arg "waypoint" b (fun b -> Ok (Waypoint (a, w, b)))))
+  | kw :: _ ->
+      Error
+        (Printf.sprintf
+           "unknown invariant %S (expected reach A B | isolated A B | \
+            loop-free | no-blackhole | waypoint A W B)"
+           kw)
+  | [] -> Error "empty invariant"
+
+let parse_spec text =
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        let line =
+          match String.index_opt line '#' with
+          | Some i -> String.sub line 0 i
+          | None -> line
+        in
+        if String.trim line = "" then go (lineno + 1) acc rest
+        else
+          match of_string line with
+          | Ok inv -> go (lineno + 1) (inv :: acc) rest
+          | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg))
+  in
+  go 1 [] lines
+
+let validate ~n_switches t =
+  let check name sw =
+    if sw >= 0 && sw < n_switches then Ok ()
+    else
+      Error
+        (Printf.sprintf "%s: switch %d out of range (network has %d switches)"
+           name sw n_switches)
+  in
+  let ( let* ) = Result.bind in
+  match t with
+  | Loop_free | No_blackhole -> Ok ()
+  | Reach (a, b) ->
+      let* () = check "reach" a in
+      check "reach" b
+  | Isolated (a, b) ->
+      let* () = check "isolated" a in
+      check "isolated" b
+  | Waypoint (a, w, b) ->
+      let* () = check "waypoint" a in
+      let* () = check "waypoint" w in
+      check "waypoint" b

@@ -1,0 +1,47 @@
+(** The verifier's declarative invariant language.
+
+    An invariant is one network-wide property of the routing policy,
+    checked symbolically against the plumbing graph's reachability
+    closure (see {!Engine} and docs/VERIFY.md):
+
+    - [reach a b] — some packet injected at switch [a] can traverse a
+      rule of switch [b];
+    - [isolated a b] — no packet injected at [a] ever reaches [b];
+    - [loop-free] — no cycle of flow entries a packet can circulate
+      through (SDNProbe's DAG precondition, lint's L001);
+    - [no-blackhole] — no forwarding rule leaks part of its output
+      space into a next hop that drops it on table-miss (lint's L002);
+    - [waypoint a w b] — every packet from [a] that reaches [b] passes
+      through a rule of switch [w].
+
+    The concrete syntax is exactly the constructor list above, one
+    invariant per line; [#] starts a comment. Switch arguments are
+    0-based indices into the network's topology. *)
+
+type t =
+  | Reach of int * int
+  | Isolated of int * int
+  | Loop_free
+  | No_blackhole
+  | Waypoint of int * int * int  (** [Waypoint (a, w, b)] *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val to_string : t -> string
+(** Concrete syntax, e.g. ["reach 0 5"], ["waypoint 0 3 5"]. *)
+
+val of_string : string -> (t, string) result
+(** Parse one invariant; inverse of {!to_string}. Accepts surrounding
+    whitespace; the error names the offending token. *)
+
+val parse_spec : string -> (t list, string) result
+(** Parse a whole spec: one invariant per line, blank lines and [#]
+    comments ignored. The error is prefixed with the 1-based line
+    number. *)
+
+val validate : n_switches:int -> t -> (unit, string) result
+(** Check every switch argument is in range [\[0, n_switches)]. *)
+
+val pp : Format.formatter -> t -> unit

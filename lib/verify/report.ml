@@ -1,0 +1,143 @@
+module Json = Sdn_util.Json
+
+type severity = Error | Warning
+
+let severity_to_string = function Error -> "error" | Warning -> "warning"
+
+type violation = {
+  invariant : Invariant.t;
+  severity : severity;
+  message : string;
+  witness : Witness.t;
+  kind : Witness.kind;
+  certificate : Witness.certificate;
+}
+
+type status = Holds | Violated of violation list
+
+type t = {
+  results : (Invariant.t * status) list;
+  metrics : (string * int) list;
+  timings : (string * float) list;
+}
+
+let violations t =
+  List.concat_map
+    (fun (_, st) -> match st with Holds -> [] | Violated vs -> vs)
+    t.results
+
+let ok t = violations t = []
+
+let count t sev = List.length (List.filter (fun v -> v.severity = sev) (violations t))
+
+let worst t =
+  if count t Error > 0 then Some Error
+  else if count t Warning > 0 then Some Warning
+  else None
+
+type fail_on = Fail_never | Fail_error | Fail_warning
+
+let exit_code ~fail_on t =
+  match (worst t, fail_on) with
+  | Some Error, (Fail_error | Fail_warning) -> 2
+  | Some Warning, Fail_warning -> 1
+  | _ -> 0
+
+let pp_witness fmt (w : Witness.t) =
+  (match w.rules with
+  | [] -> Format.pp_print_string fmt "(no path)"
+  | rules ->
+      Format.fprintf fmt "path [%a]"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " ")
+           Format.pp_print_int)
+        rules);
+  match w.header with
+  | Some h -> Format.fprintf fmt " header %s" (Hspace.Header.to_string h)
+  | None -> ()
+
+let pp_text fmt t =
+  List.iter
+    (fun (inv, st) ->
+      match st with
+      | Holds -> Format.fprintf fmt "ok    %a@." Invariant.pp inv
+      | Violated vs ->
+          List.iter
+            (fun v ->
+              Format.fprintf fmt "%-7s %a: %s@;<1 8>witness %a (certificate: %s)@."
+                (severity_to_string v.severity)
+                Invariant.pp inv v.message pp_witness v.witness
+                (Witness.certificate_name v.certificate))
+            vs)
+    t.results;
+  List.iter (fun (k, n) -> Format.fprintf fmt "# %s = %d@." k n) t.metrics;
+  let e = count t Error and w = count t Warning in
+  Format.fprintf fmt "%d invariant%s checked: %d error%s, %d warning%s@."
+    (List.length t.results)
+    (if List.length t.results = 1 then "" else "s")
+    e
+    (if e = 1 then "" else "s")
+    w
+    (if w = 1 then "" else "s")
+
+let witness_json (w : Witness.t) =
+  Json.Obj
+    [
+      ("rules", Json.List (List.map (fun id -> Json.Int id) w.rules));
+      ( "header",
+        match w.header with
+        | Some h -> Json.Str (Hspace.Header.to_string h)
+        | None -> Json.Null );
+    ]
+
+let violation_json v =
+  Json.Obj
+    [
+      ("severity", Json.Str (severity_to_string v.severity));
+      ("message", Json.Str v.message);
+      ("kind", Json.Str (Format.asprintf "%a" Witness.pp_kind v.kind));
+      ("witness", witness_json v.witness);
+      ("certificate", Json.Str (Witness.certificate_name v.certificate));
+    ]
+
+let to_json ?(timings = false) t =
+  let results =
+    List.map
+      (fun (inv, st) ->
+        Json.Obj
+          [
+            ("invariant", Json.Str (Invariant.to_string inv));
+            ( "status",
+              Json.Str (match st with Holds -> "holds" | Violated _ -> "violated") );
+            ( "violations",
+              Json.List
+                (match st with
+                | Holds -> []
+                | Violated vs -> List.map violation_json vs) );
+          ])
+      t.results
+  in
+  let fields =
+    [
+      ("schema_version", Json.Int 1);
+      ("results", Json.List results);
+      ( "summary",
+        Json.Obj
+          [
+            ("checked", Json.Int (List.length t.results));
+            ("errors", Json.Int (count t Error));
+            ("warnings", Json.Int (count t Warning));
+          ] );
+      ("metrics", Json.Obj (List.map (fun (k, n) -> (k, Json.Int n)) t.metrics));
+    ]
+  in
+  let fields =
+    if timings then
+      fields
+      @ [
+          ( "timings",
+            Json.Obj (List.map (fun (k, s) -> (k, Json.Float s)) t.timings) );
+        ]
+    else fields
+  in
+  Json.to_string (Json.Obj fields)

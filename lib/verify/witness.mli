@@ -1,0 +1,62 @@
+(** Counterexample witnesses and their independent certification.
+
+    A witness is the concrete evidence attached to every invariant
+    violation: a rule path (entry ids in traversal order) and, when the
+    path is injectable, a concrete header that traverses it. {!certify}
+    re-establishes the evidence with no reference to the plumbing graph
+    or the closure engine: paths with headers are replayed through the
+    network's real lookup semantics by {!Cert.Replay.check_path}, then
+    the invariant-specific postcondition is checked on concrete values;
+    path-free witnesses get a structural recheck computed fresh from
+    the flow tables. The engine refuses to report a violation whose
+    witness does not certify (docs/VERIFY.md). *)
+
+type t = {
+  rules : int list;  (** entry ids in traversal order; [[]] only for vacuous witnesses *)
+  header : Hspace.Header.t option;
+      (** injected header; [None] for structural (non-replayable) witnesses *)
+}
+
+(** What the witness claims — fixes the postcondition {!certify} checks
+    after replay. *)
+type kind =
+  | Path_reaches of { src : int; dst : int }
+      (** the replayed path starts at [src]'s table 0 and traverses a
+          rule of [dst] (an [isolated src dst] violation, or [reach]'s
+          positive evidence) *)
+  | Path_avoids of { src : int; waypoint : int; dst : int }
+      (** additionally, no rule of [waypoint] occurs on the path *)
+  | Loop_unrolled
+      (** the replayed path revisits a flow entry: some id occurs twice *)
+  | Structural_cycle
+      (** non-replayable cycle: consecutive hand-off spaces (recomputed
+          from the flow tables) are all non-empty, but no injectable
+          packet drives the loop *)
+  | Leak of { rule : int; next_switch : int }
+      (** the replayed path ends at [rule] and the header it forwards
+          to [next_switch] matches nothing in that switch's table 0 *)
+  | Leak_unexercised of { rule : int; next_switch : int }
+      (** non-replayable blackhole: [rule] leaks (recomputed fresh) but
+          no injection reaches it — a pipeline-dead rule *)
+  | Deepest_path of { src : int }
+      (** evidence for a failed [reach src dst]: the longest path the
+          closure found from [src]; replayable but not a violation
+          proof on its own *)
+  | Vacuous_source of { src : int }
+      (** a failed [reach] with nothing injectable: every table-0 entry
+          of [src] has an empty input space (rechecked fresh) *)
+
+type certificate =
+  | Replayed
+      (** {!Cert.Replay.check_path} accepted the (header, rules) pair
+          and the kind's concrete postcondition held *)
+  | Structural
+      (** path-free recheck recomputed from the flow tables passed *)
+
+val certificate_name : certificate -> string
+
+val pp_kind : Format.formatter -> kind -> unit
+
+val certify : Openflow.Network.t -> kind -> t -> (certificate, string) result
+(** Check the witness against the network. The error says which
+    replay hop or postcondition failed. *)

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Gate the verifier's incremental speedup on a bench capture.
+
+    python3 scripts/check_verify_ratio.py BENCH_6.json --switches 50 --min-ratio 10
+
+Reads verify.closure/<n> (full recompute: plumbing + closure +
+invariant checks from scratch) and verify.edit/<n> (amortized
+per-edit cost: patch + delta re-propagation + re-check after a single
+rule remove/re-add) from a bench-regress JSON and fails unless
+closure/edit >= --min-ratio. This is the ISSUE acceptance bound: after
+one rule edit, re-verification must be at least 10x faster than full
+recomputation at 50 switches. Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("capture", help="bench-regress JSON (e.g. BENCH_6.json)")
+    ap.add_argument("--switches", type=int, default=50, metavar="N")
+    ap.add_argument("--min-ratio", type=float, default=10.0, metavar="R")
+    args = ap.parse_args()
+
+    with open(args.capture) as fh:
+        doc = json.load(fh)
+    entries = {}
+    for e in doc.get("entries", []):
+        ns = e.get("ns", e.get("after_ns"))
+        if e.get("name") and ns is not None:
+            entries[e["name"]] = float(ns)
+
+    full_name = f"verify.closure/{args.switches}"
+    edit_name = f"verify.edit/{args.switches}"
+    missing = [n for n in (full_name, edit_name) if n not in entries]
+    if missing:
+        sys.exit(f"{args.capture}: missing entries: {', '.join(missing)}")
+
+    full, edit = entries[full_name], entries[edit_name]
+    ratio = full / edit
+    print(
+        f"{full_name}: {full / 1e6:.2f} ms  {edit_name}: {edit / 1e6:.2f} ms"
+        f"  ratio: {ratio:.1f}x (required >= {args.min_ratio:.1f}x)"
+    )
+    if ratio < args.min_ratio:
+        sys.exit(
+            f"incremental re-verification only {ratio:.1f}x faster than full "
+            f"recompute at {args.switches} switches (need {args.min_ratio:.1f}x)"
+        )
+    print("ok")
+
+
+if __name__ == "__main__":
+    main()

@@ -18,8 +18,13 @@ gates only entries whose trailing /<n> matches (micro-kernels carry a
 bit-width suffix, e.g. cube.inter/64, and are left ungated — Bechamel
 estimates are too machine-sensitive for a hard CI bound). Entries
 present in only one file are reported but never fail the gate (workload
-sets may differ across machines/scales). Exits non-zero when any gated
-entry is slower than baseline by more than --max-slowdown. Stdlib only.
+sets may differ across machines/scales). When every current capture
+reports host_cores: 1, the */par4 entries are not gated either: a
+4-domain pool on a single core measures scheduler contention, not the
+code, so any par4 ratio against a baseline is a false regression
+signal (--gate-entry still force-gates them). Exits non-zero when any
+gated entry is slower than baseline by more than --max-slowdown.
+Stdlib only.
 """
 
 import argparse
@@ -31,6 +36,7 @@ SCHEMA_VERSION = 1
 
 
 def load_entries(path):
+    """Entries of a capture, plus the host_cores it reports (None if absent)."""
     with open(path) as fh:
         doc = json.load(fh)
     version = doc.get("schema_version")
@@ -44,7 +50,7 @@ def load_entries(path):
         entries[e["name"]] = float(ns)
     if not entries:
         sys.exit(f"{path}: no entries")
-    return entries
+    return entries, doc.get("host_cores")
 
 
 def scale_of(name):
@@ -108,11 +114,20 @@ def main():
     )
     args = ap.parse_args()
 
-    base = load_entries(args.baseline)
+    base, _ = load_entries(args.baseline)
     cur = {}
+    cur_cores = []
     for path in args.current:
-        for name, ns in load_entries(path).items():
+        entries, cores = load_entries(path)
+        cur_cores.append(cores)
+        for name, ns in entries.items():
             cur[name] = min(ns, cur.get(name, float("inf")))
+    # par4 numbers only mean anything when the candidate host actually
+    # has the cores; a capture missing host_cores is assumed multi-core
+    # (old-format captures predate the field).
+    single_core = all(c == 1 for c in cur_cores) and cur_cores != []
+    if single_core:
+        print("candidate reports host_cores: 1 — */par4 entries not gated")
 
     if args.write_merged:
         entries = []
@@ -147,12 +162,15 @@ def main():
             continue
         ratio = cur[name] / base[name]
         scale = scale_of(name)
+        forced = any(fnmatch.fnmatch(name, g) for g in args.gate_entry)
         gated = (
             args.only_switches is None
             or scale is None
             or scale == args.only_switches
-            or any(fnmatch.fnmatch(name, g) for g in args.gate_entry)
+            or forced
         )
+        if single_core and name.endswith("/par4") and not forced:
+            gated = False
         verdict = ""
         if gated and ratio > args.max_slowdown:
             failures.append(name)

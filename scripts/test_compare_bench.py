@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Unit tests for compare_bench.py's gating, in particular the
+host_cores: 1 rule: a candidate captured on a single core must not
+fail the gate on */par4 entries (a 4-domain pool on one core measures
+scheduler contention, not the code), while serial entries keep gating
+and --gate-entry still force-gates par4. Stdlib only:
+
+    python3 scripts/test_compare_bench.py
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)), "compare_bench.py")
+
+
+def capture(entries, host_cores):
+    doc = {
+        "schema_version": 1,
+        "kind": "bench-regress",
+        "workload": "synthetic",
+        "switches": [16],
+        "entries": [{"name": n, "ns": ns} for n, ns in entries.items()],
+    }
+    if host_cores is not None:
+        doc["host_cores"] = host_cores
+    fd, path = tempfile.mkstemp(suffix=".json")
+    with os.fdopen(fd, "w") as fh:
+        json.dump(doc, fh)
+    return path
+
+
+def run(baseline, current, *extra):
+    proc = subprocess.run(
+        [sys.executable, SCRIPT, baseline, current, *extra],
+        capture_output=True,
+        text=True,
+    )
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+BASE = {
+    "mlpc.solve/16": 100e6,
+    "mlpc.solve/16/par4": 40e6,
+    "verify.closure/16": 50e6,
+}
+
+
+class TestSingleCorePar4Skip(unittest.TestCase):
+    def setUp(self):
+        self.paths = []
+
+    def tearDown(self):
+        for p in self.paths:
+            os.unlink(p)
+
+    def cap(self, entries, host_cores):
+        p = capture(entries, host_cores)
+        self.paths.append(p)
+        return p
+
+    def test_par4_regression_skipped_on_one_core(self):
+        # par4 3x slower, but the candidate host has one core: pass.
+        base = self.cap(BASE, 1)
+        cur = self.cap({**BASE, "mlpc.solve/16/par4": 120e6}, 1)
+        code, out = run(base, cur)
+        self.assertEqual(code, 0, out)
+        self.assertIn("host_cores: 1", out)
+        self.assertIn("(not gated)", out)
+
+    def test_par4_regression_fails_on_multicore(self):
+        # Same regression with 4 cores: the gate must trip.
+        base = self.cap(BASE, 1)
+        cur = self.cap({**BASE, "mlpc.solve/16/par4": 120e6}, 4)
+        code, out = run(base, cur)
+        self.assertNotEqual(code, 0, out)
+        self.assertIn("mlpc.solve/16/par4", out)
+
+    def test_serial_regression_still_fails_on_one_core(self):
+        # One core skips par4 only — serial entries keep gating.
+        base = self.cap(BASE, 1)
+        cur = self.cap({**BASE, "verify.closure/16": 200e6}, 1)
+        code, out = run(base, cur)
+        self.assertNotEqual(code, 0, out)
+        self.assertIn("verify.closure/16", out)
+
+    def test_gate_entry_forces_par4_even_on_one_core(self):
+        base = self.cap(BASE, 1)
+        cur = self.cap({**BASE, "mlpc.solve/16/par4": 120e6}, 1)
+        code, out = run(base, cur, "--gate-entry", "*/par4")
+        self.assertNotEqual(code, 0, out)
+
+    def test_missing_host_cores_is_treated_as_multicore(self):
+        # Old-format captures predate the field; don't silently skip.
+        base = self.cap(BASE, 1)
+        cur = self.cap({**BASE, "mlpc.solve/16/par4": 120e6}, None)
+        code, out = run(base, cur)
+        self.assertNotEqual(code, 0, out)
+
+    def test_all_current_files_must_be_one_core(self):
+        # Min-merge of a 1-core and a 4-core capture: par4 stays gated.
+        base = self.cap(BASE, 1)
+        cur1 = self.cap({**BASE, "mlpc.solve/16/par4": 120e6}, 1)
+        cur2 = self.cap({**BASE, "mlpc.solve/16/par4": 130e6}, 4)
+        code, out = run(base, cur1, cur2)
+        self.assertNotEqual(code, 0, out)
+
+    def test_clean_run_passes(self):
+        base = self.cap(BASE, 1)
+        cur = self.cap(BASE, 1)
+        code, out = run(base, cur)
+        self.assertEqual(code, 0, out)
+
+
+if __name__ == "__main__":
+    unittest.main()
