@@ -67,7 +67,7 @@ let tests () =
       (Staged.stage (fun () ->
            ignore (Mlpc.Legal_matching.randomized (Sdn_util.Prng.create 3) rg)));
     Test.make ~name:"plan.generate campus (§VIII-A)"
-      (Staged.stage (fun () -> ignore (Sdnprobe.Plan.generate campus)));
+      (Staged.stage (fun () -> ignore (Pipeline.create campus)));
     Test.make ~name:"lint.full-registry (50-sw rocketfuel)"
       (Staged.stage
          (let net, probes = Lazy.force lint_workload in
@@ -82,7 +82,7 @@ let tests () =
     Test.make ~name:"emulator.inject (fig8b/8c delay)"
       (Staged.stage
          (let emu = Dataplane.Emulator.create net in
-          let probe = List.hd (Sdnprobe.Plan.generate net).Sdnprobe.Plan.probes in
+          let probe = List.hd (Pipeline.plan (Pipeline.create net)).Sdnprobe.Plan.probes in
           fun () ->
             ignore
               (Dataplane.Emulator.inject emu ~at:probe.Sdnprobe.Probe.inject_switch

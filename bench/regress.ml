@@ -150,10 +150,61 @@ let runner_rounds w ~domains =
     Sdnprobe.Config.with_domains domains
       (Sdnprobe.Config.with_max_rounds 10 Sdnprobe.Config.default)
   in
-  let plan = Sdnprobe.Plan.generate w.net in
+  let plan = Pipeline.plan (Pipeline.create w.net) in
   fun () ->
     let emu = Dataplane.Emulator.create w.net in
     ignore (Sdnprobe.Runner.execute ~config ~emulator:emu plan)
+
+(* Full static plan from scratch, everything Pipeline.create does:
+   rule graph + MLPC cover + unique headers + probes. This is the cost
+   `plan.edit` amortizes away. *)
+let plan_full w () = ignore (Pipeline.create w.net)
+
+(* Amortized per-edit incremental re-planning: batches of
+   [plan_edit_pairs] remove-then-reinstall pairs pushed through one
+   long-lived session with [Pipeline.apply] (steady state: the session
+   and its caches persist across runs). Reported ns is per edit op
+   (two ops per pair) — the number scripts/check_plan_ratio.py
+   compares against plan.full. *)
+let plan_edit_pairs = 4
+
+let plan_edit w =
+  let module N = Openflow.Network in
+  let module FE = Openflow.Flow_entry in
+  let session = ref (Pipeline.create w.net) in
+  let counter = ref 0 in
+  fun () ->
+    let entries = Array.of_list (N.all_entries w.net) in
+    let n = Array.length entries in
+    let victims = ref [] in
+    while List.length !victims < plan_edit_pairs do
+      incr counter;
+      let v = entries.(!counter * 97 mod n) in
+      if not (List.memq v !victims) then victims := v :: !victims
+    done;
+    let batch =
+      List.concat_map
+        (fun (v : FE.t) ->
+          [
+            Sdn_util.Edits.Remove v.FE.id;
+            Sdn_util.Edits.Add
+              {
+                Sdn_util.Edits.switch = v.FE.switch;
+                table = v.FE.table;
+                priority = v.FE.priority;
+                match_ = Hspace.Cube.to_string v.FE.match_;
+                set_field = Some (Hspace.Cube.to_string v.FE.set_field);
+                action =
+                  (match v.FE.action with
+                  | FE.Drop -> Sdn_util.Edits.Drop
+                  | FE.Output p -> Sdn_util.Edits.Output p
+                  | FE.Goto_table t -> Sdn_util.Edits.Goto_table t);
+              };
+          ])
+        !victims
+    in
+    let s, _patch = Pipeline.apply !session batch in
+    session := s
 
 (* Full symbolic invariant verification from scratch: plumbing build +
    closure for every source (loop-free forces all of them) + leak scan.
@@ -247,6 +298,9 @@ let entries ~scales =
           (Printf.sprintf "headers.assign/%d" scale, time_ns ~runs (headers_assign w));
           (Printf.sprintf "yen.k8/%d" scale, time_ns ~runs (yen_k8 w));
           (Printf.sprintf "runner.round10/%d" scale, time_ns ~runs (runner_rounds w ~domains:1));
+          (Printf.sprintf "plan.full/%d" scale, time_ns ~runs (plan_full w));
+          ( Printf.sprintf "plan.edit/%d" scale,
+            time_ns ~runs (plan_edit w) /. float_of_int (2 * plan_edit_pairs) );
           (Printf.sprintf "verify.closure/%d" scale, time_ns ~runs (verify_check w));
           ( Printf.sprintf "verify.edit/%d" scale,
             time_ns ~runs (verify_edit w) /. float_of_int (2 * verify_edits_per_run) );
@@ -340,7 +394,7 @@ let print_table ~baseline results =
   Metrics.Table.print table
 
 let main args =
-  let out = ref "BENCH_6.json" in
+  let out = ref "BENCH_7.json" in
   let baseline = ref None in
   let scales = ref [ 16; 50 ] in
   let rec parse = function

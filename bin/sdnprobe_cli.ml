@@ -3,7 +3,11 @@
    Subcommands:
      list        enumerate available experiments
      experiment  run one experiment (or "all")
-     plan        generate a probe plan for a synthetic topology
+     plan        generate a probe plan (optionally re-planned
+                 incrementally over an edit stream with --delta)
+     watch       long-running mode: consume a rule-update stream,
+                 emit plan patches (and certificates) per batch
+     edits       emit a deterministic synthetic edit stream
      detect      inject faults into a synthetic topology and localize
      lint        run the static-analysis passes over a policy
      verify      check declarative invariants with certified counterexamples
@@ -88,11 +92,22 @@ let resolve_network ~switches ~seed = function
           exit 1)
 
 (* Planning pool from SDNPROBE_DOMAINS (docs/PARALLEL.md): detection
-   already resolves it through Config; these direct Plan.generate
-   callers must resolve it themselves. *)
+   already resolves it through Config; these direct planning callers
+   must resolve it themselves. *)
 let env_pool () =
   if Sdn_parallel.default_domains () > 1 then Some (Sdn_parallel.default_pool ())
   else None
+
+(* Shared by plan --delta, watch and verify --edits FILE: read and
+   parse an edit stream ("-" = stdin). *)
+let read_edit_batches path =
+  let text =
+    if path = "-" then In_channel.input_all In_channel.stdin
+    else In_channel.with_open_bin path In_channel.input_all
+  in
+  match Sdn_util.Edits.parse text with
+  | Ok batches -> Ok batches
+  | Error msg -> Error (Printf.sprintf "%s: %s" (if path = "-" then "stdin" else path) msg)
 
 (* ------------------------------------------------------------------ *)
 (* plan *)
@@ -110,43 +125,383 @@ let plan_cmd =
              pipeline (SAT proofs, König matching certificate, cache-free \
              path replay, Yen re-check) and exit non-zero on failure.")
   in
-  let run switches seed randomized certify load save =
+  let delta =
+    Arg.(
+      value & flag
+      & info [ "delta" ]
+          ~doc:
+            "Re-plan incrementally: generate the initial plan, then push the \
+             edit batches of $(b,--edits) through the planning session one \
+             batch at a time, printing each batch's plan patch. The patched \
+             plan is byte-identical to a from-scratch re-plan of the edited \
+             policy.")
+  in
+  let edits_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "edits" ] ~docv:"FILE"
+          ~doc:
+            "Edit stream for $(b,--delta) ($(b,-) = stdin): $(b,remove ID) / \
+             $(b,add ...) lines with $(b,commit) batch separators (see the \
+             $(b,edits) subcommand).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "With $(b,--delta): emit one JSON object per batch (the full plan \
+             patch) instead of text summaries.")
+  in
+  let run switches seed randomized certify delta edits_file json load save =
     let net = resolve_network ~switches ~seed load in
     (match save with
     | Some path ->
         Openflow.Serial.save net ~path;
         Format.printf "policy saved to %s@." path
     | None -> ());
-    let mode =
-      if randomized then Sdnprobe.Plan.Randomized (Sdn_util.Prng.create seed)
-      else Sdnprobe.Plan.Static
-    in
-    let plan = Sdnprobe.Plan.generate ?pool:(env_pool ()) ~mode net in
-    Format.printf "%a@." Openflow.Network.pp_summary net;
-    Format.printf "probes: %d (generated in %.3fs)@." (Sdnprobe.Plan.size plan)
-      plan.Sdnprobe.Plan.generation_s;
-    let cover = plan.Sdnprobe.Plan.cover in
-    Format.printf "cover: mean path length %.2f, max %d, untestable rules %d@."
-      (Mlpc.Cover.mean_path_length cover)
-      (Mlpc.Cover.max_path_length cover)
-      (List.length cover.Mlpc.Cover.untestable);
-    List.iteri
-      (fun i (p : Sdnprobe.Probe.t) ->
-        if i < 10 then Format.printf "  %a@." Sdnprobe.Probe.pp p)
-      plan.Sdnprobe.Plan.probes;
-    if Sdnprobe.Plan.size plan > 10 then
-      Format.printf "  ... (%d more)@." (Sdnprobe.Plan.size plan - 10);
-    if certify then begin
-      let report = Sdnprobe.Certify.run ~seed plan in
-      Format.printf "%a" Sdnprobe.Certify.pp report;
-      if not (Sdnprobe.Certify.ok_report report) then exit 1
+    if randomized && delta then
+      `Error (false, "--delta re-plans the static scheme; drop --randomized")
+    else if delta && edits_file = None then
+      `Error (false, "--delta needs an edit stream (--edits FILE, or --edits -)")
+    else begin
+      let pool = env_pool () in
+      let static_session =
+        if randomized then None else Some (Pipeline.create ?pool net)
+      in
+      let plan =
+        match static_session with
+        | Some s -> Pipeline.plan s
+        | None ->
+            (Sdnprobe.Plan.generate [@alert "-deprecated"]) ?pool
+              ~mode:(Sdnprobe.Plan.Randomized (Sdn_util.Prng.create seed)) net
+      in
+      if not (delta && json) then begin
+        Format.printf "%a@." Openflow.Network.pp_summary net;
+        Format.printf "probes: %d (generated in %.3fs)@." (Sdnprobe.Plan.size plan)
+          plan.Sdnprobe.Plan.generation_s;
+        let cover = plan.Sdnprobe.Plan.cover in
+        Format.printf "cover: mean path length %.2f, max %d, untestable rules %d@."
+          (Mlpc.Cover.mean_path_length cover)
+          (Mlpc.Cover.max_path_length cover)
+          (List.length cover.Mlpc.Cover.untestable);
+        List.iteri
+          (fun i (p : Sdnprobe.Probe.t) ->
+            if i < 10 then Format.printf "  %a@." Sdnprobe.Probe.pp p)
+          plan.Sdnprobe.Plan.probes;
+        if Sdnprobe.Plan.size plan > 10 then
+          Format.printf "  ... (%d more)@." (Sdnprobe.Plan.size plan - 10)
+      end;
+      if certify && not delta then begin
+        let report = Sdnprobe.Certify.run ~seed plan in
+        Format.printf "%a" Sdnprobe.Certify.pp report;
+        if not (Sdnprobe.Certify.ok_report report) then exit 1
+      end;
+      if not delta then `Ok ()
+      else
+        match read_edit_batches (Option.get edits_file) with
+        | Error msg -> `Error (false, msg)
+        | Ok batches -> (
+            let session = ref (Option.get static_session) in
+            let all_ok = ref true in
+            try
+              List.iteri
+                (fun i batch ->
+                  let before = (Pipeline.plan !session).Sdnprobe.Plan.probes in
+                  let t0 = Unix.gettimeofday () in
+                  let session', patch = Pipeline.apply !session batch in
+                  let apply_s = Unix.gettimeofday () -. t0 in
+                  session := session';
+                  let after = Pipeline.plan !session in
+                  let certified =
+                    if not certify then None
+                    else begin
+                      let event =
+                        Sdnprobe.Report.patch_event_of_patch ~batch:(i + 1)
+                          ~plan_size_after:(Sdnprobe.Plan.size after) ~apply_s
+                          patch
+                      in
+                      let report =
+                        Sdnprobe.Certify.run_patch ~seed ~event ~before ~patch
+                          after
+                      in
+                      let ok = Sdnprobe.Certify.ok_report report in
+                      if not ok then all_ok := false;
+                      Some (report, ok)
+                    end
+                  in
+                  if json then
+                    print_endline
+                      (Sdn_util.Json.to_string
+                         (Sdn_util.Json.Obj
+                            ([
+                               ("batch", Sdn_util.Json.Int (i + 1));
+                               ("apply_s", Sdn_util.Json.Float apply_s);
+                               ( "plan_size",
+                                 Sdn_util.Json.Int (Sdnprobe.Plan.size after) );
+                               ("patch", Sdnprobe.Plan.patch_to_json patch);
+                             ]
+                            @
+                            match certified with
+                            | None -> []
+                            | Some (report, _) ->
+                                [ ("certificate", Sdnprobe.Certify.to_json report) ])))
+                  else begin
+                    Format.printf
+                      "batch %d: %d op(s) → +%d −%d ~%d probes (plan %d, %.3fs)@."
+                      (i + 1) (List.length batch)
+                      (List.length patch.Sdnprobe.Plan.added)
+                      (List.length patch.Sdnprobe.Plan.removed)
+                      (List.length patch.Sdnprobe.Plan.rewritten)
+                      (Sdnprobe.Plan.size after) apply_s;
+                    match certified with
+                    | Some (_, ok) ->
+                        Format.printf "  certificate: %s@."
+                          (if ok then "PASS" else "FAIL")
+                    | None -> ()
+                  end)
+                batches;
+              if not json then
+                Format.printf "final plan: %d probes after %d batch(es)@."
+                  (Sdnprobe.Plan.size (Pipeline.plan !session))
+                  (List.length batches);
+              if !all_ok then `Ok () else exit 1
+            with
+            | Pipeline.Edit_error msg -> `Error (false, "edit stream: " ^ msg)
+            | Rulegraph.Rule_graph.Cyclic_policy loop ->
+                `Error
+                  ( false,
+                    Format.asprintf
+                      "edit stream introduces a forwarding loop through \
+                       entries %a"
+                      Fmt.(list ~sep:comma int)
+                      loop ))
     end
   in
   Cmd.v
-    (Cmd.info "plan" ~doc:"Generate and summarize a test-packet plan")
+    (Cmd.info "plan"
+       ~doc:
+         "Generate and summarize a test-packet plan; with $(b,--delta), keep \
+          the planning session open and re-plan incrementally over an edit \
+          stream")
     Term.(
-      const run $ switches_term $ seed_term $ randomized $ certify $ load_term
-      $ save_term)
+      ret
+        (const run $ switches_term $ seed_term $ randomized $ certify $ delta
+       $ edits_file $ json $ load_term $ save_term))
+
+(* ------------------------------------------------------------------ *)
+(* watch *)
+
+let watch_cmd =
+  let edits_file =
+    Arg.(
+      value & opt string "-"
+      & info [ "edits" ] ~docv:"FILE"
+          ~doc:
+            "Rule-update stream to consume (default $(b,-) = stdin): \
+             $(b,remove)/$(b,add) lines, $(b,commit) ends a batch (see the \
+             $(b,edits) subcommand). Each batch is absorbed incrementally and \
+             answered with a plan patch.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit one JSON object per batch (patch + certificate verdict) and \
+             a final summary object, one per line.")
+  in
+  let no_certify =
+    Arg.(
+      value & flag
+      & info [ "no-certify" ]
+          ~doc:
+            "Skip per-batch certification (patch accounting + full \
+             certification of the patched plan); batches are then only \
+             re-planned.")
+  in
+  let run switches seed load edits_file json no_certify =
+    let net = resolve_network ~switches ~seed load in
+    match read_edit_batches edits_file with
+    | Error msg -> `Error (false, msg)
+    | Ok batches -> (
+        let pool = env_pool () in
+        let session = ref (Pipeline.create ?pool net) in
+        if not json then
+          Format.printf "watch: initial plan %d probes (%.3fs), %d batch(es) queued@."
+            (Sdnprobe.Plan.size (Pipeline.plan !session))
+            (Pipeline.plan !session).Sdnprobe.Plan.generation_s
+            (List.length batches);
+        let events = ref [] in
+        let all_ok = ref true in
+        try
+          List.iteri
+            (fun i batch ->
+              let before = (Pipeline.plan !session).Sdnprobe.Plan.probes in
+              let t0 = Unix.gettimeofday () in
+              let session', patch = Pipeline.apply !session batch in
+              let apply_s = Unix.gettimeofday () -. t0 in
+              session := session';
+              let after = Pipeline.plan !session in
+              let event =
+                Sdnprobe.Report.patch_event_of_patch ~batch:(i + 1)
+                  ~plan_size_after:(Sdnprobe.Plan.size after) ~apply_s patch
+              in
+              events := event :: !events;
+              let certified =
+                if no_certify then None
+                else begin
+                  let report =
+                    Sdnprobe.Certify.run_patch ~seed ~event ~before ~patch after
+                  in
+                  let ok = Sdnprobe.Certify.ok_report report in
+                  if not ok then all_ok := false;
+                  Some ok
+                end
+              in
+              if json then
+                print_endline
+                  (Sdn_util.Json.to_string
+                     (Sdn_util.Json.Obj
+                        ([
+                           ("batch", Sdn_util.Json.Int (i + 1));
+                           ("ops", Sdn_util.Json.Int (List.length batch));
+                           ("apply_s", Sdn_util.Json.Float apply_s);
+                           ("plan_size", Sdn_util.Json.Int (Sdnprobe.Plan.size after));
+                           ("patch", Sdnprobe.Plan.patch_to_json patch);
+                         ]
+                        @
+                        match certified with
+                        | None -> []
+                        | Some ok -> [ ("certified", Sdn_util.Json.Bool ok) ])))
+              else begin
+                Format.printf
+                  "batch %d: %d op(s) → +%d −%d ~%d probes (plan %d, %.3fs)%s@."
+                  (i + 1) (List.length batch)
+                  (List.length patch.Sdnprobe.Plan.added)
+                  (List.length patch.Sdnprobe.Plan.removed)
+                  (List.length patch.Sdnprobe.Plan.rewritten)
+                  (Sdnprobe.Plan.size after) apply_s
+                  (match certified with
+                  | None -> ""
+                  | Some true -> " [certified]"
+                  | Some false -> " [CERTIFICATION FAILED]")
+              end)
+            batches;
+          let events = List.rev !events in
+          if json then
+            print_endline
+              (Sdn_util.Json.to_string
+                 (Sdn_util.Json.Obj
+                    [
+                      ("schema_version", Sdn_util.Json.Int Sdnprobe.Report.schema_version);
+                      ("batches", Sdn_util.Json.Int (List.length batches));
+                      ( "plan_size",
+                        Sdn_util.Json.Int (Sdnprobe.Plan.size (Pipeline.plan !session)) );
+                      ("certified", Sdn_util.Json.Bool (!all_ok && not no_certify));
+                      ( "patch_events",
+                        Sdn_util.Json.List
+                          (List.map Sdnprobe.Report.patch_event_to_json events) );
+                    ]))
+          else
+            Format.printf "watch: done, %d probes after %d batch(es)%s@."
+              (Sdnprobe.Plan.size (Pipeline.plan !session))
+              (List.length batches)
+              (if no_certify then ""
+               else if !all_ok then ", every patch certified"
+               else ", CERTIFICATION FAILURES above");
+          if !all_ok then `Ok () else exit 1
+        with
+        | Pipeline.Edit_error msg -> `Error (false, "edit stream: " ^ msg)
+        | Rulegraph.Rule_graph.Cyclic_policy loop ->
+            `Error
+              ( false,
+                Format.asprintf
+                  "edit stream introduces a forwarding loop through entries %a"
+                  Fmt.(list ~sep:comma int)
+                  loop ))
+  in
+  Cmd.v
+    (Cmd.info "watch"
+       ~doc:
+         "Long-running incremental planning: keep a session open, consume a \
+          rule-update stream batch by batch, and answer each batch with a \
+          plan patch plus a re-verification of the patched plan")
+    Term.(
+      ret
+        (const run $ switches_term $ seed_term $ load_term $ edits_file $ json
+       $ no_certify))
+
+(* ------------------------------------------------------------------ *)
+(* edits: deterministic churn-stream generator (CI and bench food) *)
+
+let edits_cmd =
+  let batches =
+    Arg.(value & opt int 3 & info [ "batches" ] ~docv:"B" ~doc:"Number of batches.")
+  in
+  let ops =
+    Arg.(
+      value & opt int 4
+      & info [ "ops" ] ~docv:"K"
+          ~doc:"Edit operations per batch (a remove and a matching reinstall \
+                count as two).")
+  in
+  let run switches seed load batches ops =
+    let net = resolve_network ~switches ~seed load in
+    (* Remove-then-reinstall churn, mirrored from verify --edits K: the
+       stream is generated against a private copy of the network so
+       entry ids stay in lockstep with any consumer that builds the
+       same policy (same --switches/--seed/--load) and applies the
+       stream — fresh ids are assigned by the same deterministic
+       counter on both sides. *)
+    let rng = Sdn_util.Prng.create (seed + 7919) in
+    let buf = Buffer.create 1024 in
+    for _ = 1 to batches do
+      for _ = 1 to ops / 2 do
+        let entries = Openflow.Network.all_entries net in
+        let victim =
+          List.nth entries (Sdn_util.Prng.int rng (List.length entries))
+        in
+        let open Openflow.Flow_entry in
+        Buffer.add_string buf
+          (Sdn_util.Edits.op_to_line (Sdn_util.Edits.Remove victim.id));
+        Buffer.add_char buf '\n';
+        let add =
+          {
+            Sdn_util.Edits.switch = victim.switch;
+            table = victim.table;
+            priority = victim.priority;
+            match_ = Hspace.Cube.to_string victim.match_;
+            set_field = Some (Hspace.Cube.to_string victim.set_field);
+            action =
+              (match victim.action with
+              | Drop -> Sdn_util.Edits.Drop
+              | Output p -> Sdn_util.Edits.Output p
+              | Goto_table t -> Sdn_util.Edits.Goto_table t);
+          }
+        in
+        Buffer.add_string buf (Sdn_util.Edits.op_to_line (Sdn_util.Edits.Add add));
+        Buffer.add_char buf '\n';
+        (* Keep the private copy in sync so later batches pick live ids. *)
+        Openflow.Network.remove_entry net victim.id;
+        ignore
+          (Openflow.Network.add_entry net ~switch:victim.switch
+             ~table:victim.table ~priority:victim.priority ~match_:victim.match_
+             ~set_field:victim.set_field victim.action)
+      done;
+      Buffer.add_string buf "commit\n"
+    done;
+    print_string (Buffer.contents buf)
+  in
+  Cmd.v
+    (Cmd.info "edits"
+       ~doc:
+         "Emit a deterministic synthetic rule-update stream (remove + \
+          reinstall churn) for the same policy the other subcommands build \
+          from --switches/--seed — pipe it into $(b,watch) or $(b,plan \
+          --delta)")
+    Term.(const run $ switches_term $ seed_term $ load_term $ batches $ ops)
 
 (* ------------------------------------------------------------------ *)
 (* detect *)
@@ -415,11 +770,10 @@ let certify_cmd =
       else resolve_network ~switches ~seed load
     in
     match
-      let mode =
-        if randomized then Sdnprobe.Plan.Randomized (Sdn_util.Prng.create seed)
-        else Sdnprobe.Plan.Static
-      in
-      Sdnprobe.Plan.generate ?pool:(env_pool ()) ~mode net
+      if randomized then
+        (Sdnprobe.Plan.generate [@alert "-deprecated"]) ?pool:(env_pool ())
+          ~mode:(Sdnprobe.Plan.Randomized (Sdn_util.Prng.create seed)) net
+      else Pipeline.plan (Pipeline.create ?pool:(env_pool ()) net)
     with
     | exception Rulegraph.Rule_graph.Cyclic_policy loop ->
         `Error
@@ -512,12 +866,16 @@ let verify_cmd =
   in
   let edits =
     Arg.(
-      value & opt int 0
-      & info [ "edits" ] ~docv:"K"
+      value
+      & opt (some string) None
+      & info [ "edits" ] ~docv:"K|FILE"
           ~doc:
-            "After the initial check, apply $(docv) random single-rule edits \
-             (remove one entry, reinstall it) and re-verify incrementally after \
-             each — the delta worklist path the bench suite measures.")
+            "After the initial check, churn the policy and re-verify \
+             incrementally. An integer $(docv) applies that many random \
+             single-rule edits (remove one entry, reinstall it) — the delta \
+             worklist path the bench suite measures. Anything else is read as \
+             an edit-stream file ($(b,-) = stdin, same format as $(b,plan \
+             --delta) and $(b,watch)), re-verified once per batch.")
   in
   let run switches seed campus load invs spec json timings fail_on edits =
     let net =
@@ -568,44 +926,88 @@ let verify_cmd =
         | [] ->
             let engine = Verify.Engine.create ?pool:(env_pool ()) net in
             let report = ref (Verify.Engine.check engine invariants) in
-            if edits > 0 then begin
-              (* Deterministic churn: remove a random entry, reinstall
-                 it (fresh id, same semantics), re-propagating after
-                 each mutation — two delta updates per edit. *)
-              let rng = Sdn_util.Prng.create (seed + 7919) in
-              for _ = 1 to edits do
-                let entries = Openflow.Network.all_entries net in
-                let victim =
-                  List.nth entries (Sdn_util.Prng.int rng (List.length entries))
-                in
-                let open Openflow.Flow_entry in
-                Openflow.Network.remove_entry net victim.id;
-                Verify.Engine.update engine
-                  ~changed_tables:[ (victim.switch, victim.table) ];
-                ignore
-                  (Openflow.Network.add_entry net ~switch:victim.switch
-                     ~table:victim.table ~priority:victim.priority
-                     ~match_:victim.match_ ~set_field:victim.set_field
-                     victim.action);
-                Verify.Engine.update engine
-                  ~changed_tables:[ (victim.switch, victim.table) ]
-              done;
-              report := Verify.Engine.check engine invariants
-            end;
-            let report = !report in
-            if json then print_endline (Verify.Report.to_json ~timings report)
-            else begin
-              Format.printf "%a@." Openflow.Network.pp_summary net;
-              if edits > 0 then
-                Format.printf "re-verified incrementally after %d edit%s@." edits
-                  (if edits = 1 then "" else "s");
-              Format.printf "%a" Verify.Report.pp_text report;
-              if timings then
-                List.iter
-                  (fun (phase, s) -> Format.printf "# %-12s %.6fs@." phase s)
-                  report.Verify.Report.timings
-            end;
-            exit (Verify.Report.exit_code ~fail_on report))
+            let churn_desc = ref None in
+            let churn =
+              match edits with
+              | None -> Ok ()
+              | Some spec -> (
+                  match int_of_string_opt spec with
+                  | Some k when k <= 0 -> Ok ()
+                  | Some k ->
+                      (* Deterministic churn: remove a random entry,
+                         reinstall it (fresh id, same semantics),
+                         re-propagating after each mutation — two delta
+                         updates per edit. *)
+                      let rng = Sdn_util.Prng.create (seed + 7919) in
+                      for _ = 1 to k do
+                        let entries = Openflow.Network.all_entries net in
+                        let victim =
+                          List.nth entries
+                            (Sdn_util.Prng.int rng (List.length entries))
+                        in
+                        let open Openflow.Flow_entry in
+                        Openflow.Network.remove_entry net victim.id;
+                        Verify.Engine.update engine
+                          ~changed_tables:[ (victim.switch, victim.table) ];
+                        ignore
+                          (Openflow.Network.add_entry net ~switch:victim.switch
+                             ~table:victim.table ~priority:victim.priority
+                             ~match_:victim.match_ ~set_field:victim.set_field
+                             victim.action);
+                        Verify.Engine.update engine
+                          ~changed_tables:[ (victim.switch, victim.table) ]
+                      done;
+                      churn_desc :=
+                        Some
+                          (Printf.sprintf "%d edit%s" k
+                             (if k = 1 then "" else "s"));
+                      report := Verify.Engine.check engine invariants;
+                      Ok ()
+                  | None -> (
+                      (* A file: the shared edit-stream format, applied
+                         through the same network mutations the planning
+                         pipeline uses, one engine update per batch. *)
+                      match read_edit_batches spec with
+                      | Error msg -> Error msg
+                      | Ok batches -> (
+                          try
+                            List.iter
+                              (fun batch ->
+                                let tables =
+                                  List.map (Pipeline.apply_op net) batch
+                                in
+                                Verify.Engine.update engine
+                                  ~changed_tables:tables)
+                              batches;
+                            churn_desc :=
+                              Some
+                                (Printf.sprintf "%d edit batch%s"
+                                   (List.length batches)
+                                   (if List.length batches = 1 then ""
+                                    else "es"));
+                            report := Verify.Engine.check engine invariants;
+                            Ok ()
+                          with Pipeline.Edit_error msg ->
+                            Error ("edit stream: " ^ msg))))
+            in
+            match churn with
+            | Error msg -> `Error (false, msg)
+            | Ok () ->
+                let report = !report in
+                if json then print_endline (Verify.Report.to_json ~timings report)
+                else begin
+                  Format.printf "%a@." Openflow.Network.pp_summary net;
+                  (match !churn_desc with
+                  | Some desc ->
+                      Format.printf "re-verified incrementally after %s@." desc
+                  | None -> ());
+                  Format.printf "%a" Verify.Report.pp_text report;
+                  if timings then
+                    List.iter
+                      (fun (phase, s) -> Format.printf "# %-12s %.6fs@." phase s)
+                      report.Verify.Report.timings
+                end;
+                exit (Verify.Report.exit_code ~fail_on report))
   in
   Cmd.v
     (Cmd.info "verify"
@@ -628,6 +1030,8 @@ let () =
             list_cmd;
             experiment_cmd;
             plan_cmd;
+            watch_cmd;
+            edits_cmd;
             detect_cmd;
             lint_cmd;
             certify_cmd;

@@ -27,7 +27,7 @@ let audit name emulator ~expect =
   in
   let report =
     Runner.execute ~stop ~config ~emulator
-      (Sdnprobe.Plan.generate (Dataplane.Emulator.network emulator))
+      (Pipeline.plan (Pipeline.create (Dataplane.Emulator.network emulator)))
   in
   Format.printf "%a@." Report.pp report;
   (match report.Report.suspicion_ranking with
@@ -47,7 +47,7 @@ let () =
        (List.map (fun (sw, n) -> Printf.sprintf "core%d=%d" sw n)
           stats.Topogen.Campus.table_sizes))
     stats.Topogen.Campus.max_overlap;
-  let plan = Sdnprobe.Plan.generate net in
+  let plan = Pipeline.plan (Pipeline.create net) in
   Format.printf "probe plan: %d test packets (paper: ~600), generated in %.2fs@."
     (Sdnprobe.Plan.size plan) plan.Sdnprobe.Plan.generation_s;
 

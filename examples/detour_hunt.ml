@@ -53,7 +53,7 @@ let () =
       Runner.execute
         ~stop:(Runner.stop_when_flagged [ compromised.FE.switch ])
         ~config ~emulator
-        (Sdnprobe.Plan.generate ~mode net)
+        ((Sdnprobe.Plan.generate [@alert "-deprecated"]) ~mode net)
     in
     let found = List.mem compromised.FE.switch (Report.flagged_switches report) in
     Format.printf "%s: %s (rounds %d, %.1fs virtual)@." name

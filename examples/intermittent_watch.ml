@@ -39,7 +39,7 @@ let () =
     Runner.execute
       ~stop:(Runner.stop_when_flagged [ victim.FE.switch ])
       ~config ~emulator
-      (Sdnprobe.Plan.generate net)
+      (Pipeline.plan (Pipeline.create net))
   in
   List.iter
     (fun (d : Report.detection) ->

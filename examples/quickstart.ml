@@ -44,7 +44,7 @@ let () =
 
   (* 3. Generate the minimum set of test packets (rule graph -> MLPC ->
      headers). *)
-  let plan = Sdnprobe.Plan.generate net in
+  let plan = Pipeline.plan (Pipeline.create net) in
   Format.printf "network: %a@." Net.pp_summary net;
   Format.printf "minimum test packets: %d (paper's Figure 6: 4)@."
     (Sdnprobe.Plan.size plan);
@@ -62,7 +62,7 @@ let () =
     Sdnprobe.Runner.execute
       ~stop:(Sdnprobe.Runner.stop_when_flagged [ b ])
       ~config:Sdnprobe.Config.default ~emulator
-      (Sdnprobe.Plan.generate net)
+      (Pipeline.plan (Pipeline.create net))
   in
   Format.printf "%a@." Sdnprobe.Report.pp report;
   match Sdnprobe.Report.flagged_switches report with

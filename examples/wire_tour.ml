@@ -49,7 +49,7 @@ let () =
 
   (* 3. Generate probes against the reconstructed network and walk one
      through PACKET_OUT / PACKET_IN framing. *)
-  let plan = Sdnprobe.Plan.generate net2 in
+  let plan = Pipeline.plan (Pipeline.create net2) in
   let probe = List.hd plan.Sdnprobe.Plan.probes in
   Format.printf "probe plan: %d packets; tracing %a@." (Sdnprobe.Plan.size plan)
     Sdnprobe.Probe.pp probe;

@@ -281,4 +281,5 @@ let run ?(stop = Sdnprobe.Runner.stop_never) ?(compute_us_per_rule = 150) ~confi
     suspicion_ranking = Sdnprobe.Suspicion.rule_levels suspicion;
     retransmissions = 0;
     round_stats = [];
+    patch_events = [];
   }

@@ -115,4 +115,5 @@ let run ?(stop = Sdnprobe.Runner.stop_never) ~config emulator =
     suspicion_ranking = Sdnprobe.Suspicion.rule_levels suspicion;
     retransmissions = 0;
     round_stats = [];
+    patch_events = [];
   }

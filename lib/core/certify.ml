@@ -30,7 +30,11 @@ module Json = Sdn_util.Json
 
 type check = { name : string; ok : bool; detail : string }
 type section = { title : string; checks : check list }
-type report = { sections : section list }
+
+type report = {
+  sections : section list;
+  patch_events : Report.patch_event list;
+}
 
 let ok_report r =
   List.for_all (fun s -> List.for_all (fun c -> c.ok) s.checks) r.sections
@@ -299,6 +303,118 @@ let run ?(yen_pairs = 8) ?(seed = 7) (plan : Plan.t) =
         cover_section plan;
         yen_section ~pairs:yen_pairs ~seed plan;
       ];
+    patch_events = [];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Patch section: check a Plan.patch against the probe lists it claims
+   to connect, with the certifier's own multiset bookkeeping (the diff
+   algorithm is not trusted). The before-plan's witnesses cannot be
+   replayed — its network has already been mutated in place — so the
+   patch is certified as an accounting identity between the two probe
+   lists, and the after-plan is certified in full as usual. *)
+
+let probe_key (p : Probe.t) = (p.Probe.rules, Header.to_string p.Probe.header)
+
+(* Multiset difference over sorted key lists; [None] when [small] is
+   not contained in [big]. *)
+let rec msub big small =
+  match (big, small) with
+  | rest, [] -> Some rest
+  | [], _ :: _ -> None
+  | b :: brest, s :: srest ->
+      let c = compare b s in
+      if c = 0 then msub brest srest
+      else if c < 0 then
+        match msub brest small with Some r -> Some (b :: r) | None -> None
+      else None
+
+let patch_section ~(before : Probe.t list) (patch : Plan.patch)
+    (after : Plan.t) =
+  let sorted l = List.sort compare (List.map probe_key l) in
+  let rw_old = List.map fst patch.Plan.rewritten in
+  let rw_new = List.map snd patch.Plan.rewritten in
+  let rewritten_ok =
+    List.for_all
+      (fun ((o : Probe.t), (n : Probe.t)) ->
+        o.Probe.rules = n.Probe.rules
+        && not (Header.equal o.Probe.header n.Probe.header))
+      patch.Plan.rewritten
+  in
+  let survivors_before = msub (sorted before) (sorted (patch.Plan.removed @ rw_old)) in
+  let survivors_after =
+    msub (sorted after.Plan.probes) (sorted (patch.Plan.added @ rw_new))
+  in
+  let ids_ok =
+    List.for_all2 (fun i (p : Probe.t) -> p.Probe.id = i)
+      (List.init (List.length after.Plan.probes) Fun.id)
+      after.Plan.probes
+  in
+  let checks =
+    [
+      (if rewritten_ok then
+         pass "patch/rewritten"
+           (Printf.sprintf
+              "%d rewritten pair(s): same rule sequence, different header"
+              (List.length patch.Plan.rewritten))
+       else
+         fail "patch/rewritten"
+           "a rewritten pair changes its rule sequence or keeps its header");
+      (match survivors_before with
+      | Some _ ->
+          pass "patch/before-accounted"
+            (Printf.sprintf
+               "%d removed + %d rewritten-from probe(s) all present in the \
+                pre-edit plan"
+               (List.length patch.Plan.removed)
+               (List.length rw_old))
+      | None ->
+          fail "patch/before-accounted"
+            "a removed or rewritten-from probe is not in the pre-edit plan");
+      (match survivors_after with
+      | Some _ ->
+          pass "patch/after-accounted"
+            (Printf.sprintf
+               "%d added + %d rewritten-to probe(s) all present in the \
+                post-edit plan"
+               (List.length patch.Plan.added)
+               (List.length rw_new))
+      | None ->
+          fail "patch/after-accounted"
+            "an added or rewritten-to probe is not in the post-edit plan");
+      (match (survivors_before, survivors_after) with
+      | Some sb, Some sa when sb = sa ->
+          pass "patch/survivors-agree"
+            (Printf.sprintf
+               "%d surviving (path, header) pair(s) identical on both sides"
+               (List.length sb))
+      | Some _, Some _ ->
+          fail "patch/survivors-agree"
+            "probes the patch leaves untouched differ between the two plans"
+      | _ ->
+          fail "patch/survivors-agree"
+            "survivor sets undefined (an accounting check already failed)");
+      (if ids_ok then
+         pass "patch/ids-canonical"
+           (Printf.sprintf "post-edit probe ids are 0..%d in plan order"
+              (List.length after.Plan.probes - 1))
+       else fail "patch/ids-canonical" "post-edit probe ids are not 0..n−1");
+      pass "patch/provenance"
+        (Printf.sprintf "%d edit op(s) → +%d −%d ~%d probe(s)"
+           (List.length patch.Plan.edits)
+           (List.length patch.Plan.added)
+           (List.length patch.Plan.removed)
+           (List.length patch.Plan.rewritten));
+    ]
+  in
+  { title = "patch"; checks }
+
+let run_patch ?(yen_pairs = 8) ?(seed = 7) ?event ~before ~patch
+    (after : Plan.t) =
+  let base = run ~yen_pairs ~seed after in
+  {
+    sections = patch_section ~before patch after :: base.sections;
+    patch_events = Option.to_list event;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -307,10 +423,12 @@ let check_to_json c =
   Json.Obj
     [ ("name", Json.Str c.name); ("ok", Json.Bool c.ok); ("detail", Json.Str c.detail) ]
 
+let schema_version = 2
+
 let to_json r =
   Json.Obj
     [
-      ("schema_version", Json.Int 1);
+      ("schema_version", Json.Int schema_version);
       ("certified", Json.Bool (ok_report r));
       ( "sections",
         Json.List
@@ -323,7 +441,49 @@ let to_json r =
                    ("checks", Json.List (List.map check_to_json s.checks));
                  ])
              r.sections) );
+      ("patch_events", Json.List (List.map Report.patch_event_to_json r.patch_events));
     ]
+
+let ( let* ) o f = match o with Some x -> f x | None -> Error "missing or mistyped field"
+
+let require_all f xs =
+  let rec loop acc = function
+    | [] -> Ok (List.rev acc)
+    | x :: rest -> ( match f x with Ok y -> loop (y :: acc) rest | Error _ as e -> e)
+  in
+  loop [] xs
+
+let check_of_json v =
+  let* name = Json.obj_str "name" v in
+  let* ok = Option.bind (Json.member "ok" v) (function
+    | Json.Bool b -> Some b
+    | _ -> None)
+  in
+  let* detail = Json.obj_str "detail" v in
+  Ok { name; ok; detail }
+
+let section_of_json v =
+  let* title = Json.obj_str "title" v in
+  let* checks_v = Json.obj_list "checks" v in
+  Result.bind (require_all check_of_json checks_v) @@ fun checks ->
+  Ok { title; checks }
+
+let of_json v =
+  match Json.obj_int "schema_version" v with
+  | None -> Error "missing schema_version"
+  | Some version when version <> 1 && version <> schema_version ->
+      Error
+        (Printf.sprintf "unsupported certify schema_version %d (expected 1..%d)"
+           version schema_version)
+  | Some version ->
+      let* sections_v = Json.obj_list "sections" v in
+      (* [patch_events] arrived with v2. *)
+      let* patch_events_v =
+        if version = 1 then Some [] else Json.obj_list "patch_events" v
+      in
+      Result.bind (require_all section_of_json sections_v) @@ fun sections ->
+      Result.bind (require_all Report.patch_event_of_json patch_events_v)
+      @@ fun patch_events -> Ok { sections; patch_events }
 
 let pp ppf r =
   List.iter

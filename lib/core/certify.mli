@@ -13,16 +13,51 @@
 
 type check = { name : string; ok : bool; detail : string }
 type section = { title : string; checks : check list }
-type report = { sections : section list }
+
+type report = {
+  sections : section list;
+  patch_events : Report.patch_event list;
+      (** incremental re-plans this certificate covers ([run_patch]);
+          empty for batch certification *)
+}
 
 val run : ?yen_pairs:int -> ?seed:int -> Plan.t -> report
 (** Certify a generated plan. [yen_pairs] (default 8) source/destination
     samples are drawn with [seed] (default 7) for the Yen section. *)
 
+val run_patch :
+  ?yen_pairs:int ->
+  ?seed:int ->
+  ?event:Report.patch_event ->
+  before:Probe.t list ->
+  patch:Plan.patch ->
+  Plan.t ->
+  report
+(** Certify one incremental re-plan: the full {!run} sections over the
+    post-edit plan, preceded by a [patch] section checking the
+    {!Plan.patch} as an accounting identity between the two probe lists
+    (removed/rewritten-from probes all in the pre-edit plan, added/
+    rewritten-to probes all in the post-edit plan, the untouched
+    remainder identical on both sides as a (path, header) multiset,
+    post-edit ids canonical). The pre-edit plan's own witnesses are
+    {e not} replayed — its network has been mutated in place — which is
+    why the patch check is pure bookkeeping with the certifier's own
+    multiset arithmetic. [event] (if given) is recorded as the
+    report's single patch event. *)
+
 val ok_report : report -> bool
 (** All checks of all sections hold. *)
 
+val schema_version : int
+(** Current version: 2 (v1 plus the [patch_events] array). *)
+
 val to_json : report -> Sdn_util.Json.t
-(** Machine-readable certificate report ([schema_version] 1). *)
+(** Machine-readable certificate report. *)
+
+val of_json : Sdn_util.Json.t -> (report, string) result
+(** Parse a certificate report back. Version 1 documents (no
+    [patch_events]) are accepted and parse with [patch_events = \[\]].
+    The derived [certified] / per-section [ok] fields are recomputed,
+    not trusted. *)
 
 val pp : Format.formatter -> report -> unit

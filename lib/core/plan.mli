@@ -25,11 +25,17 @@ type t = {
 }
 
 val generate : ?pool:Sdn_parallel.Pool.t -> ?mode:mode -> Openflow.Network.t -> t
+[@@deprecated "use Pipeline.create, which keeps the session for incremental re-planning"]
 (** Build the full pipeline. [mode] defaults to [Static]. With [pool]
     the matching's legality warm-up and the header assignment run in
     parallel; the plan is byte-identical for any domain count (see
     {!Mlpc.Legal_matching.solve} and {!Mlpc.Headers.assign}). Raises
-    {!Rulegraph.Rule_graph.Cyclic_policy} on looping policies. *)
+    {!Rulegraph.Rule_graph.Cyclic_policy} on looping policies.
+
+    @deprecated One-shot batch entry point, kept as a shim. New code
+    should create a [Pipeline.t] (library [pipeline]) — its [plan] is
+    byte-identical to this function's output, and the session can then
+    absorb flow-table churn incrementally via [Pipeline.apply]. *)
 
 val redraw : ?pool:Sdn_parallel.Pool.t -> t -> Sdn_util.Prng.t -> t
 (** New randomized paths + headers over the existing rule graph (used
@@ -45,5 +51,49 @@ val of_cover :
 (** Lower a cover to probes with the given header policy (probe ids are
     indices into the cover's path list). *)
 
+val probes_of_assignment :
+  Openflow.Network.t ->
+  Rulegraph.Rule_graph.t ->
+  (Mlpc.Cover.path * Hspace.Header.t) list ->
+  Probe.t list
+(** The second half of {!of_cover}: lower an already-assigned cover to
+    probes. Split out so a caller can run {!Mlpc.Headers.assign} itself
+    with a speculation memo ([Pipeline] does) and still produce probes
+    the standard way. *)
+
 val size : t -> int
 (** Number of probes (= test packets). *)
+
+(** {2 Plan patches}
+
+    The delta produced by one [Pipeline.apply]: how the probe plan
+    changed in response to one batch of flow-table edits. Probe ids are
+    cover indices and renumber wholesale on every re-plan, so the patch
+    identifies probes by their tested rule sequence (entry ids, which
+    are stable): a before/after pair on the same sequence is the same
+    logical probe. *)
+
+type patch = {
+  edits : Sdn_util.Edits.t;  (** the batch that caused this patch *)
+  added : Probe.t list;  (** paths tested only by the new plan *)
+  removed : Probe.t list;  (** paths no longer tested *)
+  rewritten : (Probe.t * Probe.t) list;
+      (** same path, new header — [(before, after)] *)
+}
+
+val diff : edits:Sdn_util.Edits.t -> before:Probe.t list -> after:Probe.t list -> patch
+(** Multiset-match the two probe lists on their rule sequences.
+    Duplicate sequences (several probes on one path) pair up in plan
+    order. Probes present in both plans with an unchanged header are
+    {e survivors} and appear in no list. [removed] is sorted by the old
+    probe id; [added] and [rewritten] follow the new plan's order. *)
+
+val patch_size : patch -> int
+(** [|added| + |removed| + |rewritten|]. *)
+
+val patch_is_empty : patch -> bool
+
+val patch_to_json : patch -> Sdn_util.Json.t
+(** Object with the provenance [edits] (one-batch {!Sdn_util.Edits}
+    stream) and the three probe lists, each probe via
+    {!Probe.to_json}. *)

@@ -81,3 +81,15 @@ let pp fmt t =
        ~pp_sep:(fun f () -> Format.pp_print_string f ",")
        Format.pp_print_int)
     t.rules t.terminal_switch
+
+let to_json t =
+  Sdn_util.Json.Obj
+    [
+      ("id", Sdn_util.Json.Int t.id);
+      ("rules", Sdn_util.Json.List (List.map (fun r -> Sdn_util.Json.Int r) t.rules));
+      ("header", Sdn_util.Json.Str (Header.to_string t.header));
+      ("inject_switch", Sdn_util.Json.Int t.inject_switch);
+      ("terminal_switch", Sdn_util.Json.Int t.terminal_switch);
+      ("terminal_rule", Sdn_util.Json.Int t.terminal_rule);
+      ("expected_header", Sdn_util.Json.Str (Header.to_string t.expected_header));
+    ]

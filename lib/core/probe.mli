@@ -40,3 +40,7 @@ val slice :
     the cut. *)
 
 val pp : Format.formatter -> t -> unit
+
+val to_json : t -> Sdn_util.Json.t
+(** Flat object with every field; headers as ternary strings. Emitted
+    inside {!Plan.patch_to_json} and the [sdnprobe watch] JSON stream. *)

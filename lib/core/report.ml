@@ -10,6 +10,15 @@ type round_stat = {
   failed_probes : int;
 }
 
+type patch_event = {
+  batch : int;
+  added : int;
+  removed : int;
+  rewritten : int;
+  plan_size_after : int;
+  apply_s : float;
+}
+
 type t = {
   scheme : string;
   plan_size : int;
@@ -22,7 +31,18 @@ type t = {
   suspicion_ranking : (int * int) list;
   retransmissions : int;
   round_stats : round_stat list;
+  patch_events : patch_event list;
 }
+
+let patch_event_of_patch ~batch ~plan_size_after ~apply_s (p : Plan.patch) =
+  {
+    batch;
+    added = List.length p.Plan.added;
+    removed = List.length p.Plan.removed;
+    rewritten = List.length p.Plan.rewritten;
+    plan_size_after;
+    apply_s;
+  }
 
 let flagged_switches t = List.sort compare (List.map (fun d -> d.switch) t.detections)
 
@@ -49,9 +69,21 @@ let pp fmt t =
 (* ------------------------------------------------------------------ *)
 (* Versioned JSON *)
 
-let schema_version = 1
+let schema_version = 2
+
+let patch_event_to_json (e : patch_event) =
+  Json.Obj
+    [
+      ("batch", Json.Int e.batch);
+      ("added", Json.Int e.added);
+      ("removed", Json.Int e.removed);
+      ("rewritten", Json.Int e.rewritten);
+      ("plan_size_after", Json.Int e.plan_size_after);
+      ("apply_s", Json.Float e.apply_s);
+    ]
 
 let to_json t =
+  let patch_event = patch_event_to_json in
   let detection d =
     Json.Obj
       [
@@ -89,6 +121,7 @@ let to_json t =
                 t.suspicion_ranking) );
          ("retransmissions", Json.Int t.retransmissions);
          ("round_stats", Json.List (List.map round_stat t.round_stats));
+         ("patch_events", Json.List (List.map patch_event t.patch_events));
        ])
 
 let ( let* ) o f = match o with Some x -> f x | None -> Error "missing or mistyped field"
@@ -122,17 +155,26 @@ let rank_of_json v =
       | _ -> Error "malformed suspicion_ranking entry")
   | _ -> Error "malformed suspicion_ranking entry"
 
+let patch_event_of_json v =
+  let* batch = Json.obj_int "batch" v in
+  let* added = Json.obj_int "added" v in
+  let* removed = Json.obj_int "removed" v in
+  let* rewritten = Json.obj_int "rewritten" v in
+  let* plan_size_after = Json.obj_int "plan_size_after" v in
+  let* apply_s = Json.obj_float "apply_s" v in
+  Ok { batch; added; removed; rewritten; plan_size_after; apply_s }
+
 let of_json s =
   match Json.of_string s with
   | Error msg -> Error msg
   | Ok v -> (
       match Json.obj_int "schema_version" v with
       | None -> Error "missing schema_version"
-      | Some version when version <> schema_version ->
+      | Some version when version <> 1 && version <> schema_version ->
           Error
-            (Printf.sprintf "unsupported report schema_version %d (expected %d)"
+            (Printf.sprintf "unsupported report schema_version %d (expected 1..%d)"
                version schema_version)
-      | Some _ ->
+      | Some version ->
           let* scheme = Json.obj_str "scheme" v in
           let* plan_size = Json.obj_int "plan_size" v in
           let* generation_s = Json.obj_float "generation_s" v in
@@ -144,10 +186,17 @@ let of_json s =
           let* ranking_v = Json.obj_list "suspicion_ranking" v in
           let* retransmissions = Json.obj_int "retransmissions" v in
           let* round_stats_v = Json.obj_list "round_stats" v in
+          (* [patch_events] arrived with v2; a v1 document simply has
+             none. *)
+          let* patch_events_v =
+            if version = 1 then Some [] else Json.obj_list "patch_events" v
+          in
           Result.bind (require_all detection_of_json detections_v) @@ fun detections ->
           Result.bind (require_all rank_of_json ranking_v) @@ fun suspicion_ranking ->
           Result.bind (require_all round_stat_of_json round_stats_v)
           @@ fun round_stats ->
+          Result.bind (require_all patch_event_of_json patch_events_v)
+          @@ fun patch_events ->
           Ok
             {
               scheme;
@@ -161,4 +210,5 @@ let of_json s =
               suspicion_ranking;
               retransmissions;
               round_stats;
+              patch_events;
             })

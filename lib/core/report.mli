@@ -14,6 +14,18 @@ type round_stat = {
       (** probes classified failed after exhausting retransmissions *)
 }
 
+type patch_event = {
+  batch : int;  (** 1-based batch number within the run *)
+  added : int;
+  removed : int;
+  rewritten : int;  (** probe counts of the batch's {!Plan.patch} *)
+  plan_size_after : int;  (** plan size once the batch was absorbed *)
+  apply_s : float;  (** wall-clock cost of the incremental re-plan *)
+}
+(** One incremental re-plan absorbed during the run ([sdnprobe watch],
+    or any consumer of [Pipeline.apply] that reports). Batch schemes
+    have none. *)
+
 type t = {
   scheme : string;
   plan_size : int;  (** test packets in the (initial) plan *)
@@ -30,7 +42,18 @@ type t = {
   round_stats : round_stat list;
       (** per-round send/retry/loss accounting, in round order; empty
           for schemes that do not track it *)
+  patch_events : patch_event list;
+      (** incremental re-plans absorbed during the run, in batch order;
+          empty for batch (non-watch) runs *)
 }
+
+val patch_event_of_patch :
+  batch:int -> plan_size_after:int -> apply_s:float -> Plan.patch -> patch_event
+(** Summarize a {!Plan.patch} into the counts a report carries. *)
+
+val patch_event_to_json : patch_event -> Sdn_util.Json.t
+
+val patch_event_of_json : Sdn_util.Json.t -> (patch_event, string) result
 
 val flagged_switches : t -> int list
 (** Sorted. *)
@@ -52,10 +75,11 @@ val pp : Format.formatter -> t -> unit
     floats are printed with round-trip precision. *)
 
 val schema_version : int
-(** Current version: 1. *)
+(** Current version: 2 (v1 plus the [patch_events] array). *)
 
 val to_json : t -> string
 
 val of_json : string -> (t, string) result
 (** [Error] on malformed JSON, a missing field, or an unsupported
-    [schema_version]. *)
+    [schema_version]. Version 1 documents (no [patch_events]) are
+    still accepted and parse with [patch_events = \[\]]. *)

@@ -236,6 +236,7 @@ let engine ?(stop = stop_never) ?redraw ?(name = "sdnprobe") ~config ~emulator
     suspicion_ranking = Suspicion.rule_levels suspicion;
     retransmissions = !retransmissions;
     round_stats = List.rev !round_stats;
+    patch_events = [];
   }
 
 let execute ?stop ?name ~config ~emulator (plan : Plan.t) =
@@ -255,5 +256,9 @@ let run ?stop ?redraw ?name ~config ~emulator ~generation_s probes =
   engine ?stop ?redraw ?name ~config ~emulator ~generation_s probes
 
 let detect ?stop ?(mode = Plan.Static) ~config emulator =
-  let plan = Plan.generate ?pool:(Config.pool config) ~mode (Emulator.network emulator) in
+  (* The shim below is itself deprecated; it may keep calling the
+     deprecated batch generator. *)
+  let[@alert "-deprecated"] plan =
+    Plan.generate ?pool:(Config.pool config) ~mode (Emulator.network emulator)
+  in
   execute ?stop ~config ~emulator plan

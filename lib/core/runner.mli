@@ -66,10 +66,13 @@ val run :
   generation_s:float ->
   Probe.t list ->
   Report.t
+[@@deprecated "use Runner.execute with a Plan.t"]
 (** @deprecated Use {!execute}. Runs detection with raw probes;
     [redraw ~cycle] (if given) supplies fresh probes when cycle
     [cycle >= 1] begins. *)
 
 val detect : ?stop:stop -> ?mode:Plan.mode -> config:Config.t -> Dataplane.Emulator.t -> Report.t
-(** @deprecated Use {!Plan.generate} + {!execute}. Generates a plan
+[@@deprecated "use Pipeline.create + Runner.execute"]
+(** @deprecated Use [Pipeline.create] + {!execute} (or, for one-shot
+    batch generation, {!Plan.generate} + {!execute}). Generates a plan
     for the emulator's network and executes it. *)

@@ -88,7 +88,7 @@ let threshold_ablation ~scale =
         Runner.execute
           ~stop:(Runner.stop_when_flagged [ entry.FE.switch ])
           ~config ~emulator
-          (Sdnprobe.Plan.generate net)
+          (Pipeline.plan (Pipeline.create net))
       in
       let flagged = Report.flagged_switches report in
       Metrics.Table.add_row table

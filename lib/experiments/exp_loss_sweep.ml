@@ -60,8 +60,14 @@ let impaired_emulator net ~loss =
       (Impairment.create (Impairment.spec ~seed:impair_seed ~loss_rate:loss ()));
   emulator
 
-let mode_of ~randomized ~seed =
-  if randomized then Sdnprobe.Plan.Randomized (Prng.create seed) else Sdnprobe.Plan.Static
+(* Static plans come from a [Pipeline] session; randomized plans stay
+   on the (deprecated) batch generator — they re-draw per cycle and
+   have no session state to keep. *)
+let plan_of ~randomized ~seed net =
+  if randomized then
+    (Sdnprobe.Plan.generate [@alert "-deprecated"])
+      ~mode:(Sdnprobe.Plan.Randomized (Prng.create seed)) net
+  else Pipeline.plan (Pipeline.create net)
 
 let scheme_name ~randomized = if randomized then "rand-sdnprobe" else "sdnprobe"
 
@@ -83,7 +89,7 @@ let run_point net ~loss ~randomized =
     Runner.execute
       ~stop:(Runner.stop_when_flagged [ truth ])
       ~config ~emulator
-      (Sdnprobe.Plan.generate ~mode:(mode_of ~randomized ~seed:5) net)
+      (plan_of ~randomized ~seed:5 net)
   in
   let flagged = Report.flagged_switches report in
   (* Pure-loss run: same environment, no fault; bounded rounds. *)
@@ -92,7 +98,7 @@ let run_point net ~loss ~randomized =
     Runner.execute
       ~config:Sdnprobe.Config.(with_max_rounds 40 resilient)
       ~emulator:pure_emulator
-      (Sdnprobe.Plan.generate ~mode:(mode_of ~randomized ~seed:5) net)
+      (plan_of ~randomized ~seed:5 net)
   in
   let pure_confusion =
     Metrics.Confusion.pure_loss

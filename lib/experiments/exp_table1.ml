@@ -93,7 +93,7 @@ let setup scenario rng net emulator =
          between — invisible to static SDNProbe by construction, while
          the randomized variant re-draws paths it cannot anticipate. *)
       ignore rng;
-      let plan = Sdnprobe.Plan.generate net in
+      let plan = Pipeline.plan (Pipeline.create net) in
       let pair =
         List.find_map
           (fun (p : Sdnprobe.Probe.t) ->

@@ -10,12 +10,15 @@ let name = function
   | Atpg -> "atpg"
   | Per_rule -> "per-rule"
 
+(* Randomized SDNProbe re-draws per cycle and has no incremental
+   session to keep, so it stays on the (deprecated) batch generator. *)
+let[@alert "-deprecated"] randomized_plan ~seed net =
+  Sdnprobe.Plan.generate ~mode:(Sdnprobe.Plan.Randomized (Prng.create seed)) net
+
 let plan_size t ~seed net =
   match t with
-  | Sdnprobe -> Sdnprobe.Plan.size (Sdnprobe.Plan.generate net)
-  | Randomized_sdnprobe ->
-      Sdnprobe.Plan.size
-        (Sdnprobe.Plan.generate ~mode:(Sdnprobe.Plan.Randomized (Prng.create seed)) net)
+  | Sdnprobe -> Sdnprobe.Plan.size (Pipeline.plan (Pipeline.create net))
+  | Randomized_sdnprobe -> Sdnprobe.Plan.size (randomized_plan ~seed net)
   | Atpg -> List.length (Baselines.Atpg.generate net).Baselines.Atpg.probes
   | Per_rule -> List.length (fst (Baselines.Per_rule.generate net))
 
@@ -23,9 +26,9 @@ let run t ~seed ?stop ~config emulator =
   let net = Dataplane.Emulator.network emulator in
   match t with
   | Sdnprobe ->
-      Sdnprobe.Runner.execute ?stop ~config ~emulator (Sdnprobe.Plan.generate net)
-  | Randomized_sdnprobe ->
       Sdnprobe.Runner.execute ?stop ~config ~emulator
-        (Sdnprobe.Plan.generate ~mode:(Sdnprobe.Plan.Randomized (Prng.create seed)) net)
+        (Pipeline.plan (Pipeline.create net))
+  | Randomized_sdnprobe ->
+      Sdnprobe.Runner.execute ?stop ~config ~emulator (randomized_plan ~seed net)
   | Atpg -> Baselines.Atpg.run ?stop ~config emulator
   | Per_rule -> Baselines.Per_rule.run ?stop ~config emulator

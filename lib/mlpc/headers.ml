@@ -10,12 +10,18 @@ type policy =
 
 let sat_pick ~distinct_from hs =
   (* Try each cube of the space until the SAT query finds a header that
-     differs from all previously chosen ones. *)
+     differs from all previously chosen ones. Headers outside the cube
+     make their distinct-from clause vacuous (any model inside the cube
+     satisfies it), and the canonical solver's lexicographically-least
+     model cannot be deflected by a clause the model already satisfies —
+     so dropping them changes nothing but the query size, which is what
+     makes reconciliation affordable on thousand-path covers. *)
   let rec loop = function
     | [] -> None
     | cube :: rest -> (
+        let relevant = List.filter (fun h -> Header.matches h cube) distinct_from in
         match
-          Sat.Header_encoding.find_header ~distinct_from ~inside:[ cube ]
+          Sat.Header_encoding.find_header ~distinct_from:relevant ~inside:[ cube ]
             (Cube.length cube)
         with
         | Some h -> Some h
@@ -63,7 +69,37 @@ let stream_of salt i =
   Sdn_util.Prng.create
     (Int64.to_int (Int64.add salt (Int64.mul (Int64.of_int (i + 1)) 0x9E3779B97F4A7C15L)))
 
-let assign ?pool policy (cover : Cover.t) =
+(* Speculation memo for the delta planning path: the phase-1 pick below
+   is a pure function of the path's start space (for [Sat_unique], the
+   canonical solver returns the lexicographically least member of the
+   cube list; for [Deterministic], the first member), so it can be
+   reused across [assign] calls as long as the space's REPRESENTATION —
+   same cubes in the same order, the order [sat_pick] tries them — is
+   unchanged. Keyed by the probe's rule ids, which survive graph
+   renumbering. *)
+type memo = {
+  spec : (int list, Hs.t * Header.t option) Hashtbl.t;
+      (* phase-1 unconstrained pick per path key *)
+  mutable transcript : (int list * Hs.t * Header.t option) array;
+      (* (key, start space, chosen header) of every path of the last
+         [assign], in path order. The chosen header at position [i] is a
+         pure function of the path's start space and the headers chosen
+         before it, so as long as a new cover's prefix matches the
+         transcript — same keys, same space representations — the
+         recorded choices replay verbatim, constrained SAT queries
+         included. The first mismatching position invalidates the rest
+         (its choice changes the seen-set every later query is
+         constrained by). *)
+}
+
+let memo_create () = { spec = Hashtbl.create 256; transcript = [||] }
+
+let hs_repr_equal a b =
+  let ca = Hs.cubes a and cb = Hs.cubes b in
+  List.compare_lengths ca cb = 0 && List.for_all2 Cube.equal ca cb
+
+let assign ?pool ?memo ?(key = fun (p : Cover.path) -> p.Cover.rules) policy
+    (cover : Cover.t) =
   (* Split randomized policies into per-path streams (see [stream_of]);
      [Deterministic] / [Sat_unique] are shared as-is. The array is
      materialized once so the speculation and reconciliation phases see
@@ -90,29 +126,92 @@ let assign ?pool policy (cover : Cover.t) =
      model), so the unconstrained answer {e is} the constrained answer
      whenever it is not already taken. *)
   let speculate (p, pol) = header_for_path ~distinct_from:[] pol p in
-  let spec =
+  let speculate_all arr =
     match pool with
-    | Some pl when Sdn_parallel.Pool.domains pl > 1 -> Sdn_parallel.Pool.map pl speculate pols
-    | _ -> Array.map speculate pols
+    | Some pl when Sdn_parallel.Pool.domains pl > 1 -> Sdn_parallel.Pool.map pl speculate arr
+    | _ -> Array.map speculate arr
+  in
+  (* The memo only applies to the pure policies: a randomized draw must
+     not be replayed from a cache. *)
+  let memo =
+    match (memo, policy) with
+    | Some m, (Deterministic | Sat_unique) -> Some m
+    | _ -> None
+  in
+  let spec =
+    match memo with
+    | Some memo ->
+        (* Serve hits from the memo; compute only the misses (still in
+           parallel). The memoized value is exactly what [speculate]
+           would return, so the reconciliation below — and therefore the
+           output — is unchanged by the cache. *)
+        let nn = Array.length pols in
+        let results = Array.make nn None in
+        let miss = ref [] in
+        Array.iteri
+          (fun i (p, _) ->
+            match Hashtbl.find_opt memo.spec (key p) with
+            | Some (hs, r) when hs_repr_equal hs p.Cover.start_space ->
+                results.(i) <- Some r
+            | _ -> miss := i :: !miss)
+          pols;
+        let miss = Array.of_list (List.rev !miss) in
+        let computed = speculate_all (Array.map (fun i -> pols.(i)) miss) in
+        Array.iteri
+          (fun k i ->
+            let p, _ = pols.(i) in
+            Hashtbl.replace memo.spec (key p) (p.Cover.start_space, computed.(k));
+            results.(i) <- Some computed.(k))
+          miss;
+        Array.map Option.get results
+    | None -> speculate_all pols
   in
   (* Phase 2 — sequential reconciliation in path order: accept the
      speculative header unless a previous path took it; only then fall
      back to the constrained query (exactly the query the sequential
      fold would have run). Output is therefore identical for any domain
      count, and for [Sat_unique] identical to the sequential fold. *)
-  let seen = ref [] and chosen = ref [] in
-  Array.iteri
-    (fun i (p, pol) ->
-      let taken h = List.exists (Header.equal h) !seen in
-      let h =
-        match spec.(i) with
-        | Some h when not (taken h) -> Some h
-        | _ -> header_for_path ~distinct_from:!seen pol p
-      in
-      match h with
-      | Some h ->
-          seen := h :: !seen;
-          chosen := (p, h) :: !chosen
-      | None -> ())
-    pols;
-  List.rev !chosen
+  let nn = Array.length pols in
+  let out = Array.make nn None in
+  let seen = ref [] in
+  (* Replay the memoized transcript while the cover's prefix matches it
+     (see the [memo] type), then fall back to normal reconciliation from
+     the first divergence on. *)
+  let start =
+    match memo with
+    | None -> 0
+    | Some m ->
+        let tr = m.transcript in
+        let i = ref 0 in
+        let matching = ref true in
+        while !matching && !i < nn && !i < Array.length tr do
+          let p, _ = pols.(!i) in
+          let k0, hs0, ch = tr.(!i) in
+          if k0 = key p && hs_repr_equal hs0 p.Cover.start_space then begin
+            out.(!i) <- ch;
+            (match ch with Some h -> seen := h :: !seen | None -> ());
+            incr i
+          end
+          else matching := false
+        done;
+        !i
+  in
+  for i = start to nn - 1 do
+    let p, pol = pols.(i) in
+    let taken h = List.exists (Header.equal h) !seen in
+    let h =
+      match spec.(i) with
+      | Some h when not (taken h) -> Some h
+      | _ -> header_for_path ~distinct_from:!seen pol p
+    in
+    out.(i) <- h;
+    match h with Some h -> seen := h :: !seen | None -> ()
+  done;
+  (match memo with
+  | Some m ->
+      m.transcript <-
+        Array.mapi (fun i (p, _) -> (key p, p.Cover.start_space, out.(i))) pols
+  | None -> ());
+  Array.to_list pols
+  |> List.mapi (fun i (p, _) -> Option.map (fun h -> (p, h)) out.(i))
+  |> List.filter_map Fun.id

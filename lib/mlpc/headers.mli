@@ -23,8 +23,29 @@ type policy =
           traffic); falls back to a uniform draw on paths without
           observed traffic. *)
 
+type memo
+(** Speculation cache for repeated [assign] calls over evolving covers
+    (the delta planning path). Maps a path's rule ids to its phase-1
+    unconstrained pick, which is a pure function of the start space;
+    entries are revalidated against the space's representation (same
+    cubes, same order) on every hit, so a warm call returns exactly
+    what a cold one would. Only consulted for the [Deterministic] and
+    [Sat_unique] policies — randomized draws are never cached.
+
+    The [key] argument of {!assign} names a path for the memo (default:
+    its [rules] vertex list). Vertex indices shift when entries are
+    added or removed, so callers reusing a memo across graph updates
+    must key by stable entry ids ([Pipeline] does). *)
+
+val memo_create : unit -> memo
+
 val assign :
-  ?pool:Sdn_parallel.Pool.t -> policy -> Cover.t -> (Cover.path * Hspace.Header.t) list
+  ?pool:Sdn_parallel.Pool.t ->
+  ?memo:memo ->
+  ?key:(Cover.path -> int list) ->
+  policy ->
+  Cover.t ->
+  (Cover.path * Hspace.Header.t) list
 (** One header per path. Paths whose start space is empty are skipped
     (cannot happen for covers produced by the solvers — their paths are
     legal). With [Sat_unique] and [Random], headers are pairwise

@@ -40,6 +40,14 @@ type caches = {
   start : (int list, Hs.t) Hashtbl.t;
   forward : (int list, Hs.t) Hashtbl.t;
   inject : (int list, (int list * Hs.t) option) Hashtbl.t;
+  legal : (int list, bool) Hashtbl.t;
+      (* {!is_injectable} memo, keyed by the UNEXPANDED closure-vertex
+         chain — the MLPC solvers' claim shape. One short-list lookup
+         replaces prefix expansion (witness walks, concatenation) plus
+         the inject query, which is what the warm re-solve of the delta
+         planning path spends its time on. Sequential-only: claims are
+         issued by the (inherently sequential) augmentation search, so
+         this table is not threaded through batch views. *)
   stats : stats;
 }
 
@@ -48,6 +56,7 @@ let fresh_caches () =
     start = Hashtbl.create 256;
     forward = Hashtbl.create 64;
     inject = Hashtbl.create 64;
+    legal = Hashtbl.create 64;
     stats = { hits = 0; misses = 0 };
   }
 
@@ -62,6 +71,10 @@ let c_forward_misses = Metrics.Counter.create "rulegraph.cache.forward.misses"
 let c_inject_hits = Metrics.Counter.create "rulegraph.cache.inject.hits"
 
 let c_inject_misses = Metrics.Counter.create "rulegraph.cache.inject.misses"
+
+let c_legal_hits = Metrics.Counter.create "rulegraph.cache.legal.hits"
+
+let c_legal_misses = Metrics.Counter.create "rulegraph.cache.legal.misses"
 
 type t = {
   network : Network.t;
@@ -142,7 +155,8 @@ let merge_view t v =
 let invalidate_caches t =
   Hashtbl.reset t.caches.start;
   Hashtbl.reset t.caches.forward;
-  Hashtbl.reset t.caches.inject
+  Hashtbl.reset t.caches.inject;
+  Hashtbl.reset t.caches.legal
 
 let cache_stats t =
   [
@@ -292,29 +306,54 @@ let update ?(max_witnesses = 3) old ~changed_tables =
   let n = Array.length vertices in
   let index_of = Hashtbl.create n in
   Array.iteri (fun i (e : Flow_entry.t) -> Hashtbl.add index_of e.id i) vertices;
-  let affected (e : Flow_entry.t) =
+  let in_changed (e : Flow_entry.t) =
     List.exists (fun (sw, tb) -> sw = e.switch && tb = e.table) changed_tables
   in
-  let old_index (e : Flow_entry.t) =
-    match Hashtbl.find_opt old.index_of e.id with
-    | Some ov when not (affected e) -> Some ov
-    | _ -> None
+  (* Space-diff marking (the incremental verifier's trick): entries of a
+     changed table have their input/output spaces recomputed, but only
+     those whose REPRESENTATION actually differs — plus brand-new
+     entries — count as affected. Removing a low-priority rule leaves
+     every rule it never shadowed bit-identical, so the affected set
+     tracks the semantic edit size, not the table size; everything
+     downstream (edge recomputation, closure dirtiness, cache
+     retention) shrinks with it. Representation equality (same cubes in
+     the same order), not mere set equality, is required: retained
+     caches and copied spaces must match a scratch build bit for bit. *)
+  let hs_repr_equal a b =
+    let ca = Hs.cubes a and cb = Hs.cubes b in
+    List.compare_lengths ca cb = 0 && List.for_all2 Hspace.Cube.equal ca cb
   in
-  let inputs =
-    Array.map
-      (fun e ->
-        match old_index e with
-        | Some ov -> old.inputs.(ov)
-        | None -> Network.input_space net e)
-      vertices
-  in
-  let outputs =
-    Array.map
-      (fun e ->
-        match old_index e with
-        | Some ov -> old.outputs.(ov)
-        | None -> Network.output_space net e)
-      vertices
+  let empty = Hs.empty (Network.header_len net) in
+  let affected_arr = Array.make n false in
+  let inputs = Array.make n empty in
+  let outputs = Array.make n empty in
+  Array.iteri
+    (fun i (e : Flow_entry.t) ->
+      match Hashtbl.find_opt old.index_of e.id with
+      | Some ov when not (in_changed e) ->
+          inputs.(i) <- old.inputs.(ov);
+          outputs.(i) <- old.outputs.(ov)
+      | Some ov ->
+          let inp = Network.input_space net e
+          and out = Network.output_space net e in
+          inputs.(i) <- inp;
+          outputs.(i) <- out;
+          if
+            not
+              (hs_repr_equal inp old.inputs.(ov)
+              && hs_repr_equal out old.outputs.(ov))
+          then affected_arr.(i) <- true
+      | None ->
+          inputs.(i) <- Network.input_space net e;
+          outputs.(i) <- Network.output_space net e;
+          affected_arr.(i) <- true)
+    vertices;
+  (* On new entries [affected] reads the array; on removed ones (only
+     reachable through [old.vertices]) it is vacuously true. *)
+  let affected (e : Flow_entry.t) =
+    match Hashtbl.find_opt index_of e.id with
+    | Some i -> affected_arr.(i)
+    | None -> true
   in
   (* Base edges: copy edges between unaffected endpoints; recompute the
      rest. Candidate predecessors of an affected vertex live on switches
@@ -379,6 +418,45 @@ let update ?(max_witnesses = 3) old ~changed_tables =
           feeders
       end)
     vertices;
+  (* The edge SET above is that of a fresh build, but the insertion
+     ORDER is not (copied edges first, recomputed ones appended) — and
+     [Digraph.succ] exposes insertion order, which the MLPC augmentation
+     search consults candidate by candidate. Re-insert every edge in
+     [build_base]'s canonical order so an updated graph is
+     adjacency-order identical to a scratch build: the delta planning
+     path relies on this to reproduce a scratch re-plan byte for byte.
+     All successors of a vertex live in one flow table (the next
+     switch's table 0, or a later table of the same switch), and
+     [build_base] visits candidates in that table's entry order — so
+     sorting each successor list by table rank reproduces the canonical
+     order without re-scanning whole candidate tables. *)
+  let base =
+    let g = Digraph.create n in
+    let rank_tbl = Hashtbl.create 16 in
+    let rank_of (q : Flow_entry.t) =
+      let key = (q.Flow_entry.switch, q.Flow_entry.table) in
+      let tbl =
+        match Hashtbl.find_opt rank_tbl key with
+        | Some tbl -> tbl
+        | None ->
+            let tbl = Hashtbl.create 64 in
+            List.iteri
+              (fun k (e : Flow_entry.t) -> Hashtbl.add tbl e.id k)
+              (entries_at ~switch:q.Flow_entry.switch ~table:q.Flow_entry.table);
+            Hashtbl.add rank_tbl key tbl;
+            tbl
+      in
+      Hashtbl.find tbl q.Flow_entry.id
+    in
+    Array.iteri
+      (fun i (_ : Flow_entry.t) ->
+        Digraph.succ base i
+        |> List.map (fun j -> (rank_of vertices.(j), j))
+        |> List.sort compare
+        |> List.iter (fun (_, j) -> Digraph.add_edge g i j))
+      vertices;
+    g
+  in
   (match Digraph.find_cycle base with
   | Some cycle ->
       raise (Cyclic_policy (List.map (fun v -> vertices.(v).Flow_entry.id) cycle))
@@ -420,13 +498,31 @@ let update ?(max_witnesses = 3) old ~changed_tables =
            if affected e || not (Hashtbl.mem index_of e.id) then Some ov else None)
   in
   let dirty_old = ancestors old.base affected_old in
-  let dirty i =
-    dirty_new.(i)
-    ||
-    match Hashtbl.find_opt old.index_of vertices.(i).Flow_entry.id with
-    | Some ov -> dirty_old.(ov)
-    | None -> true
+  (* Old-index <-> new-index maps (-1 = no counterpart), precomputed so
+     the copy/retention loops below remap with array reads instead of
+     per-vertex hashtable lookups. *)
+  let o2n = Array.make (Array.length old.vertices) (-1) in
+  Array.iteri
+    (fun ov (e : Flow_entry.t) ->
+      match Hashtbl.find_opt index_of e.id with
+      | Some v -> o2n.(ov) <- v
+      | None -> ())
+    old.vertices;
+  let n2o = Array.make n (-1) in
+  Array.iteri
+    (fun i (e : Flow_entry.t) ->
+      match Hashtbl.find_opt old.index_of e.id with
+      | Some ov -> n2o.(i) <- ov
+      | None -> ())
+    vertices;
+  let dirty_arr =
+    Array.init n (fun i ->
+        dirty_new.(i)
+        ||
+        let ov = n2o.(i) in
+        ov < 0 || dirty_old.(ov))
   in
+  let dirty i = dirty_arr.(i) in
   let t =
     {
       network = net;
@@ -436,39 +532,130 @@ let update ?(max_witnesses = 3) old ~changed_tables =
       outputs;
       base;
       full = base;
-      witness = Hashtbl.create 64;
+      (* Pre-sized to the old tables: the copy/retention loops below
+         re-insert most of their contents, and growing from the default
+         bucket count would rehash the whole table a dozen times. *)
+      witness = Hashtbl.create (max 64 (Hashtbl.length old.witness));
       pruned = old.pruned;
-      caches = fresh_caches ();
+      caches =
+        {
+          start = Hashtbl.create (max 256 (Hashtbl.length old.caches.start));
+          forward = Hashtbl.create (max 64 (Hashtbl.length old.caches.forward));
+          inject = Hashtbl.create (max 64 (Hashtbl.length old.caches.inject));
+          legal = Hashtbl.create (max 64 (Hashtbl.length old.caches.legal));
+          stats = { hits = 0; misses = 0 };
+        };
     }
   in
   let full = Digraph.copy base in
-  (* Copy surviving closure edges of clean sources. *)
-  Hashtbl.iter
-    (fun (ou, ow) witnesses ->
-      let eu = old.vertices.(ou) and ew = old.vertices.(ow) in
-      match (Hashtbl.find_opt index_of eu.id, Hashtbl.find_opt index_of ew.id) with
-      | Some i, Some j when not (dirty i) ->
-          let mapped =
-            List.filter_map
-              (fun interior ->
-                let mapped =
-                  List.filter_map
-                    (fun ov ->
-                      Hashtbl.find_opt index_of old.vertices.(ov).Flow_entry.id)
-                    interior
-                in
-                if List.length mapped = List.length interior then Some mapped else None)
-              witnesses
-          in
-          if mapped <> [] then begin
-            Hashtbl.replace t.witness (i, j) mapped;
-            Digraph.add_edge full i j
-          end
-      | _ -> ())
-    old.witness;
+  (* Copy surviving closure edges of clean sources, per source in the
+     OLD graph's successor order. A clean source's reachable cone is
+     entirely clean (a vertex reachable from it that could reach an
+     affected vertex would make the source dirty), so a fresh build's
+     closure exploration from it would traverse identical spaces over
+     identical adjacency and discover the same edges in the same order —
+     the old succ order IS the fresh discovery order, witnesses
+     included. Dirty sources are re-explored from scratch below, which
+     also appends their edges in discovery order, so the updated [full]
+     is adjacency-order identical to a scratch build's. *)
+  let remap_interior interior =
+    let rec go acc = function
+      | [] -> Some (List.rev acc)
+      | ow :: rest ->
+          let w = o2n.(ow) in
+          if w >= 0 then go (w :: acc) rest else None
+    in
+    go [] interior
+  in
+  for u = 0 to n - 1 do
+    if not (dirty u) then begin
+      let ou = n2o.(u) in
+      List.iter
+        (fun ov ->
+          match Hashtbl.find_opt old.witness (ou, ov) with
+          | None -> () (* base edge *)
+          | Some witnesses ->
+              let j = o2n.(ov) in
+              if j >= 0 then begin
+                let mapped = List.filter_map remap_interior witnesses in
+                if mapped <> [] then begin
+                  Hashtbl.replace t.witness (u, j) mapped;
+                  Digraph.add_edge full u j
+                end
+              end)
+        (Digraph.succ old.full ou)
+    end
+  done;
   for u = 0 to n - 1 do
     if dirty u then closure_from t full u ~max_witnesses
   done;
+  (* Space-cache retention: every cached value is a pure function of the
+     entries on its key path, so any old entry whose vertices are all
+     unaffected and surviving stays valid — it only needs its key
+     remapped through the entry ids (vertex indices shift when entries
+     are added or removed). Injection plans are retained only for
+     table-0 heads: a later-table head's plan searches the head's
+     predecessors for a pipeline prefix, which edits elsewhere in the
+     switch can change. Retained values are the exact Hs objects a
+     recomputation over the unchanged per-rule spaces would rebuild, so
+     warm lookups are representation-identical, not merely
+     semantically equal. *)
+  let old_to_new =
+    Array.init (Array.length old.vertices) (fun ov ->
+        let v = o2n.(ov) in
+        if v >= 0 && not affected_arr.(v) then v else -1)
+  in
+  let remap_path key =
+    let rec go acc = function
+      | [] -> Some (List.rev acc)
+      | ov :: rest ->
+          let v = if ov < Array.length old_to_new then old_to_new.(ov) else -1 in
+          if v >= 0 then go (v :: acc) rest else None
+    in
+    go [] key
+  in
+  let retain src dst =
+    Hashtbl.iter
+      (fun key value ->
+        match remap_path key with
+        | Some key' -> Hashtbl.replace dst key' value
+        | None -> ())
+      src
+  in
+  retain old.caches.start t.caches.start;
+  retain old.caches.forward t.caches.forward;
+  Hashtbl.iter
+    (fun key value ->
+      match key with
+      | head :: _ when old.vertices.(head).Flow_entry.table = 0 -> (
+          match remap_path key with
+          | None -> ()
+          | Some key' -> (
+              match value with
+              | None -> Hashtbl.replace t.caches.inject key' None
+              | Some (rules, hs) -> (
+                  match remap_path rules with
+                  | Some rules' ->
+                      Hashtbl.replace t.caches.inject key' (Some (rules', hs))
+                  | None -> ())))
+      | _ -> ())
+    old.caches.inject;
+  (* Legality claims are keyed by UNEXPANDED chains, so their value also
+     depends on the witness expansion of each closure hop — retained
+     only when every chain vertex is clean (non-dirty sources keep their
+     closure edges and witnesses verbatim) and the head enters at
+     table 0 (later-table heads search base-graph predecessors, which
+     edits elsewhere in the switch can change). *)
+  Hashtbl.iter
+    (fun key value ->
+      match key with
+      | head :: _ when old.vertices.(head).Flow_entry.table = 0 -> (
+          match remap_path key with
+          | Some key' when List.for_all (fun v -> not (dirty v)) key' ->
+              Hashtbl.replace t.caches.legal key' value
+          | _ -> ())
+      | _ -> ())
+    old.caches.legal;
   { t with full }
 
 let expand_pair t u v =
@@ -552,7 +739,18 @@ let rec injection_plan_v t view rules =
 
 let injection_plan t rules = injection_plan_v t (direct_view t.caches) rules
 
-let is_injectable t path = injection_plan t (expand_path t path) <> None
+let is_injectable t path =
+  match Hashtbl.find_opt t.caches.legal path with
+  | Some b ->
+      t.caches.stats.hits <- t.caches.stats.hits + 1;
+      Metrics.Counter.incr c_legal_hits;
+      b
+  | None ->
+      t.caches.stats.misses <- t.caches.stats.misses + 1;
+      Metrics.Counter.incr c_legal_misses;
+      let b = injection_plan t (expand_path t path) <> None in
+      Hashtbl.add t.caches.legal path b;
+      b
 
 (* Batch queries: contiguous blocks of paths, one task and one local
    view per block — items inside a block share subproblems (the

@@ -133,6 +133,15 @@ val update : ?max_witnesses:int -> t -> changed_tables:(int * int) list -> t
     changed tables; base edges only where an endpoint's spaces changed;
     and the legal-closure search is re-run only from vertices that can
     reach an affected vertex (ancestors in the old or new base graph) —
-    everything else, including closure witnesses, is reused. The result
-    is observably identical to a fresh {!build} of the mutated network.
+    everything else, including closure witnesses, is reused. Space-cache
+    entries whose key vertices are all unaffected survive too, remapped
+    through entry ids to the new vertex numbering (injection plans only
+    for table-0 heads, whose plan is a pure function of the path), so
+    the solvers re-run warm after an edit.
+
+    The result is {e adjacency-order identical} to a fresh {!build} of
+    the mutated network — same edge sets in the same [succ] order, same
+    witnesses, same retained cache values bit for bit — which is what
+    lets [Pipeline.apply] reproduce a scratch re-plan byte for byte
+    (only the [pruned] statistic and cache hit/miss tallies may differ).
     Raises {!Cyclic_policy} if the churn introduced a loop. *)

@@ -1,0 +1,235 @@
+type action = Drop | Output of int | Goto_table of int
+
+type add = {
+  switch : int;
+  table : int;
+  priority : int;
+  match_ : string;
+  set_field : string option;
+  action : action;
+}
+
+type op = Add of add | Remove of int
+
+type t = op list
+
+let action_to_string = function
+  | Drop -> "drop"
+  | Output p -> Printf.sprintf "output:%d" p
+  | Goto_table t -> Printf.sprintf "goto:%d" t
+
+let action_of_string s =
+  match String.split_on_char ':' s with
+  | [ "drop" ] -> Ok Drop
+  | [ "output"; p ] -> (
+      match int_of_string_opt p with
+      | Some p -> Ok (Output p)
+      | None -> Error (Printf.sprintf "bad output port %S" p))
+  | [ "goto"; t ] -> (
+      match int_of_string_opt t with
+      | Some t -> Ok (Goto_table t)
+      | None -> Error (Printf.sprintf "bad goto table %S" t))
+  | _ -> Error (Printf.sprintf "unknown action %S (output:N, drop or goto:N)" s)
+
+let is_cube_string s =
+  String.length s > 0
+  && String.for_all (function '0' | '1' | 'x' | 'X' | '*' -> true | _ -> false) s
+
+let op_to_line = function
+  | Remove id -> Printf.sprintf "remove %d" id
+  | Add a ->
+      Printf.sprintf "add switch=%d table=%d priority=%d match=%s action=%s%s"
+        a.switch a.table a.priority a.match_
+        (action_to_string a.action)
+        (match a.set_field with None -> "" | Some s -> " set=" ^ s)
+
+(* key=value fields after the [add] keyword, in any order. *)
+let parse_kv tokens =
+  List.fold_left
+    (fun acc tok ->
+      Result.bind acc (fun kvs ->
+          match String.index_opt tok '=' with
+          | None -> Error (Printf.sprintf "expected key=value, got %S" tok)
+          | Some i ->
+              let k = String.sub tok 0 i
+              and v = String.sub tok (i + 1) (String.length tok - i - 1) in
+              if List.mem_assoc k kvs then Error (Printf.sprintf "duplicate field %S" k)
+              else Ok ((k, v) :: kvs)))
+    (Ok []) tokens
+
+let ( let* ) = Result.bind
+
+let require_int kvs key =
+  match List.assoc_opt key kvs with
+  | None -> Error (Printf.sprintf "missing field %s=" key)
+  | Some v -> (
+      match int_of_string_opt v with
+      | Some n -> Ok n
+      | None -> Error (Printf.sprintf "field %s: not an integer (%S)" key v))
+
+let require_cube kvs key =
+  match List.assoc_opt key kvs with
+  | None -> Error (Printf.sprintf "missing field %s=" key)
+  | Some v ->
+      if is_cube_string v then Ok v
+      else Error (Printf.sprintf "field %s: not a ternary 0/1/x string (%S)" key v)
+
+let tokens_of_line line =
+  String.split_on_char ' ' line |> List.filter (fun t -> t <> "")
+
+let known_add_fields = [ "switch"; "table"; "priority"; "match"; "action"; "set" ]
+
+let add_of_tokens tokens =
+  let* kvs = parse_kv tokens in
+  match List.find_opt (fun (k, _) -> not (List.mem k known_add_fields)) kvs with
+  | Some (k, _) -> Error (Printf.sprintf "unknown field %S" k)
+  | None ->
+      let* switch = require_int kvs "switch" in
+      let* table = require_int kvs "table" in
+      let* priority = require_int kvs "priority" in
+      let* match_ = require_cube kvs "match" in
+      let* set_field =
+        match List.assoc_opt "set" kvs with
+        | None -> Ok None
+        | Some _ -> Result.map Option.some (require_cube kvs "set")
+      in
+      let* action =
+        match List.assoc_opt "action" kvs with
+        | None -> Error "missing field action="
+        | Some v -> action_of_string v
+      in
+      (match set_field with
+      | Some s when String.length s <> String.length match_ ->
+          Error
+            (Printf.sprintf "set length %d differs from match length %d"
+               (String.length s) (String.length match_))
+      | _ -> Ok (Add { switch; table; priority; match_; set_field; action }))
+
+let op_of_line line =
+  match tokens_of_line line with
+  | [] -> Error "empty line is not an op"
+  | "remove" :: rest -> (
+      match rest with
+      | [ id ] -> (
+          match int_of_string_opt id with
+          | Some id -> Ok (Remove id)
+          | None -> Error (Printf.sprintf "remove: not an entry id (%S)" id))
+      | _ -> Error "remove takes exactly one entry id")
+  | "add" :: rest -> add_of_tokens rest
+  | kw :: _ -> Error (Printf.sprintf "unknown keyword %S (add, remove or commit)" kw)
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno batches current = function
+    | [] ->
+        let batches =
+          if current = [] then batches else List.rev current :: batches
+        in
+        Ok (List.rev batches)
+    | line :: rest -> (
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then go (lineno + 1) batches current rest
+        else if line = "commit" then
+          let batches =
+            if current = [] then batches else List.rev current :: batches
+          in
+          go (lineno + 1) batches [] rest
+        else
+          match op_of_line line with
+          | Ok op -> go (lineno + 1) batches (op :: current) rest
+          | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg))
+  in
+  go 1 [] [] lines
+
+let to_string batches =
+  String.concat ""
+    (List.map
+       (fun batch ->
+         String.concat "" (List.map (fun op -> op_to_line op ^ "\n") batch)
+         ^ "commit\n")
+       batches)
+
+(* ------------------------------------------------------------------ *)
+(* JSON *)
+
+let schema_version = 1
+
+let op_to_json = function
+  | Remove id -> Json.Obj [ ("op", Json.Str "remove"); ("id", Json.Int id) ]
+  | Add a ->
+      Json.Obj
+        ([
+           ("op", Json.Str "add");
+           ("switch", Json.Int a.switch);
+           ("table", Json.Int a.table);
+           ("priority", Json.Int a.priority);
+           ("match", Json.Str a.match_);
+           ("action", Json.Str (action_to_string a.action));
+         ]
+        @ match a.set_field with None -> [] | Some s -> [ ("set", Json.Str s) ])
+
+let to_json batches =
+  Json.Obj
+    [
+      ("schema_version", Json.Int schema_version);
+      ( "batches",
+        Json.List
+          (List.map (fun batch -> Json.List (List.map op_to_json batch)) batches) );
+    ]
+
+let op_of_json v =
+  match Json.obj_str "op" v with
+  | Some "remove" -> (
+      match Json.obj_int "id" v with
+      | Some id -> Ok (Remove id)
+      | None -> Error "remove: missing id")
+  | Some "add" -> (
+      match
+        ( Json.obj_int "switch" v,
+          Json.obj_int "table" v,
+          Json.obj_int "priority" v,
+          Json.obj_str "match" v,
+          Json.obj_str "action" v )
+      with
+      | Some switch, Some table, Some priority, Some match_, Some action ->
+          let* action = action_of_string action in
+          let* () =
+            if is_cube_string match_ then Ok ()
+            else Error (Printf.sprintf "match: not a ternary string (%S)" match_)
+          in
+          let* set_field =
+            match Json.member "set" v with
+            | None -> Ok None
+            | Some (Json.Str s) when is_cube_string s -> Ok (Some s)
+            | Some _ -> Error "set: not a ternary string"
+          in
+          Ok (Add { switch; table; priority; match_; set_field; action })
+      | _ -> Error "add: missing switch/table/priority/match/action")
+  | Some op -> Error (Printf.sprintf "unknown op %S" op)
+  | None -> Error "missing op field"
+
+let of_json v =
+  match Json.obj_int "schema_version" v with
+  | Some sv when sv <> schema_version ->
+      Error (Printf.sprintf "unsupported edits schema_version %d" sv)
+  | _ -> (
+      match Json.obj_list "batches" v with
+      | None -> Error "missing batches"
+      | Some batches ->
+          List.fold_left
+            (fun acc batch ->
+              let* acc = acc in
+              match Json.to_list batch with
+              | None -> Error "batch is not a list"
+              | Some ops ->
+                  let* ops =
+                    List.fold_left
+                      (fun acc op ->
+                        let* acc = acc in
+                        let* op = op_of_json op in
+                        Ok (op :: acc))
+                      (Ok []) ops
+                  in
+                  Ok (List.rev ops :: acc))
+            (Ok []) batches
+          |> Result.map List.rev)

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Gate the planner's incremental speedup on a bench capture.
+
+    python3 scripts/check_plan_ratio.py BENCH_7.json --switches 50 --min-ratio 10
+
+Reads plan.full/<n> (full static plan from scratch: rule graph + MLPC
+cover + unique headers + probes, i.e. Pipeline.create) and
+plan.edit/<n> (amortized per-edit cost of Pipeline.apply: incremental
+rule-graph update + warm-cache cover re-solve + memoized header
+re-assignment, measured over multi-edit batches) from a bench-regress
+JSON and fails unless full/edit >= --min-ratio. This is the ISSUE
+acceptance bound: amortized per-edit re-planning must be at least 10x
+faster than a full re-plan at 50 switches. Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("capture", help="bench-regress JSON (e.g. BENCH_7.json)")
+    ap.add_argument("--switches", type=int, default=50, metavar="N")
+    ap.add_argument("--min-ratio", type=float, default=10.0, metavar="R")
+    args = ap.parse_args()
+
+    with open(args.capture) as fh:
+        doc = json.load(fh)
+    entries = {}
+    for e in doc.get("entries", []):
+        ns = e.get("ns", e.get("after_ns"))
+        if e.get("name") and ns is not None:
+            entries[e["name"]] = float(ns)
+
+    full_name = f"plan.full/{args.switches}"
+    edit_name = f"plan.edit/{args.switches}"
+    missing = [n for n in (full_name, edit_name) if n not in entries]
+    if missing:
+        sys.exit(f"{args.capture}: missing entries: {', '.join(missing)}")
+
+    full, edit = entries[full_name], entries[edit_name]
+    ratio = full / edit
+    print(
+        f"{full_name}: {full / 1e6:.2f} ms  {edit_name}: {edit / 1e6:.2f} ms"
+        f"  ratio: {ratio:.1f}x (required >= {args.min_ratio:.1f}x)"
+    )
+    if ratio < args.min_ratio:
+        sys.exit(
+            f"incremental re-planning only {ratio:.1f}x faster than a full "
+            f"re-plan at {args.switches} switches (need {args.min_ratio:.1f}x)"
+        )
+    print("ok")
+
+
+if __name__ == "__main__":
+    main()

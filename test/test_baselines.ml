@@ -168,7 +168,11 @@ let test_atpg_computation_penalty () =
   in
   let fx = Fixtures.figure3 () in
   let stop = Runner.stop_when_flagged [ Fixtures.sw_b ] in
-  let sdn = Runner.detect ~stop ~config (fault_on fx.Fixtures.net fx) in
+  let sdn =
+    let emulator = fault_on fx.Fixtures.net fx in
+    Runner.execute ~stop ~config ~emulator
+      (Pipeline.plan (Pipeline.create (Emu.network emulator)))
+  in
   let atpg =
     Baselines.Atpg.run ~stop ~compute_us_per_rule:20_000 ~config (fault_on fx.Fixtures.net fx)
   in

@@ -352,7 +352,7 @@ let test_konig_rejects_undersized_cover_vs_matching () =
 
 let figure3_plan () =
   let fx = Fixtures.figure3 () in
-  (fx, Sdnprobe.Plan.generate fx.Fixtures.net)
+  (fx, Pipeline.plan (Pipeline.create fx.Fixtures.net))
 
 let witness_of (p : Sdnprobe.Probe.t) =
   { Replay.rules = p.Sdnprobe.Probe.rules; header = p.Sdnprobe.Probe.header }
@@ -524,7 +524,7 @@ let certify_workload ~switches ~seed =
   let rng = Prng.create seed in
   let topo = Topogen.Topo_gen.rocketfuel_like rng ~n_switches:switches () in
   let net = Topogen.Rule_gen.install rng topo in
-  let plan = Sdnprobe.Plan.generate net in
+  let plan = Pipeline.plan (Pipeline.create net) in
   (plan, Sdnprobe.Certify.run ~seed plan)
 
 let theorem1_equality (plan : Sdnprobe.Plan.t) =
@@ -573,11 +573,66 @@ let test_certify_json_shape () =
   (match J.of_string (J.to_string json) with
   | Error msg -> Alcotest.fail msg
   | Ok j ->
-      check_int "schema version" 1 (Option.get (J.obj_int "schema_version" j));
+      check_int "schema version" 2 (Option.get (J.obj_int "schema_version" j));
       check_bool "certified flag" true
         (J.member "certified" j = Some (J.Bool true));
       check_int "four sections" 4
-        (List.length (Option.get (J.obj_list "sections" j))))
+        (List.length (Option.get (J.obj_list "sections" j)));
+      check_int "no patch events" 0
+        (List.length (Option.get (J.obj_list "patch_events" j))))
+
+(* v2 round-trip: parsing [to_json] back yields the same report (and
+   re-serializes byte-identically). *)
+let test_certify_json_roundtrip_v2 () =
+  let _, plan = figure3_plan () in
+  let report = Sdnprobe.Certify.run plan in
+  let module J = Sdn_util.Json in
+  let s = J.to_string (Sdnprobe.Certify.to_json report) in
+  match Result.bind (J.of_string s) Sdnprobe.Certify.of_json with
+  | Error msg -> Alcotest.fail msg
+  | Ok report' ->
+      Alcotest.(check string)
+        "byte-identical after round-trip" s
+        (J.to_string (Sdnprobe.Certify.to_json report'))
+
+(* v1 acceptance: a version-1 document (no [patch_events] field) still
+   parses, with an empty patch-event list. *)
+let test_certify_json_accepts_v1 () =
+  let _, plan = figure3_plan () in
+  let report = Sdnprobe.Certify.run plan in
+  let module J = Sdn_util.Json in
+  let v1 =
+    match Sdnprobe.Certify.to_json report with
+    | J.Obj fields ->
+        J.Obj
+          (List.filter_map
+             (function
+               | "schema_version", _ -> Some ("schema_version", J.Int 1)
+               | "patch_events", _ -> None
+               | kv -> Some kv)
+             fields)
+    | _ -> Alcotest.fail "certificate JSON is not an object"
+  in
+  (match Sdnprobe.Certify.of_json v1 with
+  | Error msg -> Alcotest.fail msg
+  | Ok r ->
+      check_bool "still certified" true (Sdnprobe.Certify.ok_report r);
+      check_int "patch_events default to empty" 0
+        (List.length r.Sdnprobe.Certify.patch_events));
+  (* Unknown versions are refused. *)
+  let v99 =
+    match Sdnprobe.Certify.to_json report with
+    | J.Obj fields ->
+        J.Obj
+          (List.map
+             (function
+               | "schema_version", _ -> ("schema_version", J.Int 99)
+               | kv -> kv)
+             fields)
+    | _ -> assert false
+  in
+  check_bool "version 99 refused" true
+    (Result.is_error (Sdnprobe.Certify.of_json v99))
 
 (* ------------------------------------------------------------------ *)
 (* Lint L009 delegation: the pass and the certification coverage
@@ -696,6 +751,9 @@ let () =
           Alcotest.test_case "16-switch workload" `Quick test_certify_16_switches;
           Alcotest.test_case "50-switch workload" `Slow test_certify_50_switches;
           Alcotest.test_case "json report shape" `Quick test_certify_json_shape;
+          Alcotest.test_case "json round-trip v2" `Quick
+            test_certify_json_roundtrip_v2;
+          Alcotest.test_case "json accepts v1" `Quick test_certify_json_accepts_v1;
         ] );
       ( "lint-delegation",
         [

@@ -34,7 +34,7 @@ let random_net seed =
 let test_plan_predictions_execute () =
   for seed = 1 to 6 do
     let net = random_net seed in
-    let plan = Plan.generate net in
+    let plan = Pipeline.plan (Pipeline.create net) in
     let emu = Emu.create net in
     List.iter
       (fun (p : Probe.t) ->
@@ -54,7 +54,10 @@ let test_plan_predictions_execute () =
 let test_randomized_predictions_execute () =
   for seed = 1 to 3 do
     let net = random_net (100 + seed) in
-    let plan = Plan.generate ~mode:(Plan.Randomized (Prng.create seed)) net in
+    let plan =
+      (Plan.generate [@alert "-deprecated"])
+        ~mode:(Plan.Randomized (Prng.create seed)) net
+    in
     let emu = Emu.create net in
     List.iter
       (fun (p : Probe.t) ->

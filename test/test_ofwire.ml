@@ -316,7 +316,7 @@ let test_figure3_over_the_wire () =
   with
   | Error _ -> Alcotest.fail "replay failed"
   | Ok net2 ->
-      let plan = Sdnprobe.Plan.generate net2 in
+      let plan = Pipeline.plan (Pipeline.create net2) in
       check_int "four probes" 4 (Sdnprobe.Plan.size plan)
 
 let test_packet_in_return () =

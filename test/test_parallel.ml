@@ -255,7 +255,11 @@ let scenario ~domains ~switches ~seed ~kind ~fraction ~randomized ~max_rounds ~i
     Config.with_domains domains (Config.with_max_rounds max_rounds Config.default)
   in
   let mode = if randomized then Plan.Randomized (Prng.create seed) else Plan.Static in
-  let plan = Plan.generate ?pool:(Config.pool config) ~mode net in
+  let plan =
+    match mode with
+    | Plan.Static -> Pipeline.plan (Pipeline.create ?pool:(Config.pool config) net)
+    | _ -> (Plan.generate [@alert "-deprecated"]) ?pool:(Config.pool config) ~mode net
+  in
   let report =
     Runner.execute ~stop:(Runner.stop_when_flagged truth) ~config ~emulator:emu plan
   in
@@ -289,7 +293,7 @@ let test_cross_domain_identity_lossy () =
     let config =
       Config.with_domains domains (Config.with_max_rounds 60 Config.resilient)
     in
-    let plan = Plan.generate ?pool:(Config.pool config) net in
+    let plan = Pipeline.plan (Pipeline.create ?pool:(Config.pool config) net) in
     let report =
       Runner.execute ~stop:(Runner.stop_when_flagged truth) ~config ~emulator:emu
         plan
@@ -330,7 +334,7 @@ let test_certify_parallel_plan () =
   let net = make_net ~switches:12 ~seed:8 in
   let cert domains =
     let config = Config.with_domains domains Config.default in
-    let plan = Plan.generate ?pool:(Config.pool config) net in
+    let plan = Pipeline.plan (Pipeline.create ?pool:(Config.pool config) net) in
     let report = Sdnprobe.Certify.run ~seed:5 plan in
     if not (Sdnprobe.Certify.ok_report report) then
       Alcotest.failf "certification failed at %d domains:@.%a" domains

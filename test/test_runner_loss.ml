@@ -62,7 +62,9 @@ let scenario ~switches ~seed ~kind ~fraction ~randomized ~max_rounds =
   Runner.execute
     ~stop:(Runner.stop_when_flagged truth)
     ~config ~emulator:emu
-    (Plan.generate ~mode net)
+    (match mode with
+    | Plan.Static -> Pipeline.plan (Pipeline.create net)
+    | _ -> (Plan.generate [@alert "-deprecated"]) ~mode net)
 
 let test_golden_static_drop () =
   let r =
@@ -97,7 +99,7 @@ let test_golden_no_fault () =
   let net = make_net ~switches:16 ~seed:3 in
   let emu = Emu.create net in
   let config = Config.with_max_rounds 12 Config.default in
-  let r = Runner.execute ~config ~emulator:emu (Plan.generate net) in
+  let r = Runner.execute ~config ~emulator:emu (Pipeline.plan (Pipeline.create net)) in
   check_str "digest" "1bae728705dc15392db70260ae188acb" (digest r)
 
 (* ------------------------------------------------------------------ *)
@@ -123,7 +125,7 @@ let test_zero_impairment_identity =
            in
            Runner.execute
              ~stop:(Runner.stop_when_flagged truth)
-             ~config ~emulator:emu (Plan.generate net)
+             ~config ~emulator:emu (Pipeline.plan (Pipeline.create net))
          in
          canonical (run ~impair:false) = canonical (run ~impair:true)))
 
@@ -217,6 +219,8 @@ let sample_report () =
     retransmissions = 6;
     round_stats =
       [ { Report.round = 1; sent = 12; retries = 2; lost_attempts = 3; failed_probes = 1 } ];
+    patch_events =
+      [ { Report.batch = 1; added = 2; removed = 1; rewritten = 0; plan_size_after = 13; apply_s = 0.5 } ];
   }
 
 let test_report_json_roundtrip () =
@@ -235,6 +239,21 @@ let test_report_json_version_gate () =
   match Report.of_json "{\"schema_version\":99}" with
   | Ok _ -> Alcotest.fail "accepted unknown schema_version"
   | Error msg -> check_bool "mentions version" true (contains ~sub:"schema_version" msg)
+
+let test_report_json_accepts_v1 () =
+  (* A version-1 document has no [patch_events]; it must still parse,
+     with an empty patch-event list. *)
+  let v1 =
+    "{\"schema_version\":1,\"scheme\":\"sdnprobe\",\"plan_size\":12,\
+     \"generation_s\":0.25,\"detections\":[],\"packets_sent\":99,\
+     \"bytes_sent\":9900,\"rounds\":7,\"duration_s\":2.125,\
+     \"suspicion_ranking\":[],\"retransmissions\":6,\"round_stats\":[]}"
+  in
+  match Report.of_json v1 with
+  | Error msg -> Alcotest.failf "v1 refused: %s" msg
+  | Ok r ->
+      check_int "plan size" 12 r.Report.plan_size;
+      check_int "patch_events default empty" 0 (List.length r.Report.patch_events)
 
 let test_report_json_from_run () =
   let r =
@@ -256,7 +275,7 @@ let lossy_run ~loss ~config ~seed =
   let truth = W.inject (Prng.create (seed + 1)) ~kind:W.Drop_only ~fraction:0.02 emu in
   (truth, Runner.execute
             ~stop:(Runner.stop_when_flagged truth)
-            ~config ~emulator:emu (Plan.generate net))
+            ~config ~emulator:emu (Pipeline.plan (Pipeline.create net)))
 
 let test_seeded_loss_deterministic () =
   let config = Config.with_max_rounds 60 Config.resilient in
@@ -302,7 +321,7 @@ let test_loss_with_real_fault_exact () =
   let report =
     Runner.execute
       ~stop:(Runner.stop_when_flagged [ entry.FE.switch ])
-      ~config ~emulator:emu (Plan.generate net)
+      ~config ~emulator:emu (Pipeline.plan (Pipeline.create net))
   in
   check_bool "exactly the faulty switch" true
     (Report.flagged_switches report = [ entry.FE.switch ])
@@ -314,7 +333,7 @@ let test_pure_loss_no_false_positive () =
   Emu.set_impairment emu
     (Impairment.create (Impairment.spec ~seed:77 ~loss_rate:0.02 ()));
   let config = Config.with_max_rounds 40 Config.resilient in
-  let report = Runner.execute ~config ~emulator:emu (Plan.generate net) in
+  let report = Runner.execute ~config ~emulator:emu (Pipeline.plan (Pipeline.create net)) in
   let confusion =
     Metrics.Confusion.pure_loss
       ~flagged:(Report.flagged_switches report)
@@ -411,7 +430,7 @@ let test_full_noise_no_false_positive () =
           ~churn:{ Impairment.churn_window_us = 250_000; out_ratio = 0.005 }
           ()));
   let config = Config.with_max_rounds 40 Config.resilient in
-  let report = Runner.execute ~config ~emulator:emu (Plan.generate net) in
+  let report = Runner.execute ~config ~emulator:emu (Pipeline.plan (Pipeline.create net)) in
   check_bool "nothing flagged" true (Report.flagged_switches report = [])
 
 (* ------------------------------------------------------------------ *)
@@ -450,6 +469,7 @@ let () =
         [
           Alcotest.test_case "round-trip" `Quick test_report_json_roundtrip;
           Alcotest.test_case "version gate" `Quick test_report_json_version_gate;
+          Alcotest.test_case "accepts v1" `Quick test_report_json_accepts_v1;
           Alcotest.test_case "real report" `Quick test_report_json_from_run;
         ] );
       ( "loss",

@@ -198,7 +198,7 @@ let test_acl_pipeline_probes () =
   (* The whole pipeline is probe-coverable: every rule, ACL included,
      appears in the plan, and faults behind the goto are localized. *)
   let net = acl_net 43 in
-  let plan = Sdnprobe.Plan.generate net in
+  let plan = Pipeline.plan (Pipeline.create net) in
   let covered =
     List.sort_uniq compare
       (List.concat_map (fun (pr : Sdnprobe.Probe.t) -> pr.Sdnprobe.Probe.rules)
@@ -214,9 +214,10 @@ let test_acl_pipeline_probes () =
   let emu = Emu.create net in
   Emu.set_fault emu ~entry:victim.FE.id (Dataplane.Fault.make Dataplane.Fault.Drop_packet);
   let report =
-    Sdnprobe.Runner.detect
+    Sdnprobe.Runner.execute
       ~stop:(Sdnprobe.Runner.stop_when_flagged [ victim.FE.switch ])
-      ~config:Sdnprobe.Config.default emu
+      ~config:Sdnprobe.Config.default ~emulator:emu
+      (Pipeline.plan (Pipeline.create net))
   in
   check_bool "localized" true
     (Sdnprobe.Report.flagged_switches report = [ victim.FE.switch ])
