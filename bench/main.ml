@@ -131,7 +131,7 @@ let () =
   let full = List.mem "--full" args in
   let scale = if full then Experiments.Registry.Full else Experiments.Registry.Quick in
   let names = List.filter (fun a -> a <> "--full") args in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Sdn_util.Mono.now_s () in
   (match names with
   | [] ->
       Experiments.Registry.run_all ~scale;
@@ -148,4 +148,4 @@ let () =
                 prerr_endline msg;
                 exit 1)
         names);
-  Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)
+  Printf.printf "\ntotal bench time: %.1fs\n" (Sdn_util.Mono.now_s () -. t0)

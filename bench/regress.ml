@@ -30,9 +30,9 @@ let time_ns ?(runs = 5) f =
   (* warmup: faults, lazy forcing, first-touch allocation *)
   let best = ref infinity in
   for _ = 1 to runs do
-    let t0 = Unix.gettimeofday () in
+    let t0 = Sdn_util.Mono.now_s () in
     ignore (f ());
-    let dt = Unix.gettimeofday () -. t0 in
+    let dt = Sdn_util.Mono.now_s () -. t0 in
     if dt < !best then best := dt
   done;
   !best *. 1e9

@@ -209,9 +209,9 @@ let plan_cmd =
               List.iteri
                 (fun i batch ->
                   let before = (Pipeline.plan !session).Sdnprobe.Plan.probes in
-                  let t0 = Unix.gettimeofday () in
+                  let t0 = Sdn_util.Mono.now_s () in
                   let session', patch = Pipeline.apply !session batch in
-                  let apply_s = Unix.gettimeofday () -. t0 in
+                  let apply_s = Sdn_util.Mono.now_s () -. t0 in
                   session := session';
                   let after = Pipeline.plan !session in
                   let certified =
@@ -339,9 +339,9 @@ let watch_cmd =
           List.iteri
             (fun i batch ->
               let before = (Pipeline.plan !session).Sdnprobe.Plan.probes in
-              let t0 = Unix.gettimeofday () in
+              let t0 = Sdn_util.Mono.now_s () in
               let session', patch = Pipeline.apply !session batch in
-              let apply_s = Unix.gettimeofday () -. t0 in
+              let apply_s = Sdn_util.Mono.now_s () -. t0 in
               session := session';
               let after = Pipeline.plan !session in
               let event =
@@ -576,6 +576,21 @@ let detect_cmd =
              with backoff, suspicion decay) instead of the loss-naive default. \
              Recommended whenever impairments are enabled.")
   in
+  let backend =
+    let backend_conv =
+      Arg.enum
+        [ ("emulator", Sdnprobe.Config.Emulator); ("wire", Sdnprobe.Config.Wire) ]
+    in
+    Arg.(
+      value
+      & opt backend_conv Sdnprobe.Config.Emulator
+      & info [ "backend" ] ~docv:"BACKEND"
+          ~doc:
+            "Probe delivery backend: $(b,emulator) runs in-process over virtual \
+             time (deterministic); $(b,wire) runs every switch as a UDP endpoint \
+             on localhost and sends probes as real datagrams through the OS \
+             network stack (real time; sdnprobe schemes only).")
+  in
   let json =
     Arg.(
       value & flag
@@ -583,7 +598,18 @@ let detect_cmd =
           ~doc:"Emit the detection report as one versioned JSON object.")
   in
   let run switches seed scheme fraction kind load loss jitter flap churn resilient
-      json =
+      backend json =
+    if
+      backend = Sdnprobe.Config.Wire
+      && (scheme = Experiments.Schemes.Atpg || scheme = Experiments.Schemes.Per_rule)
+    then
+      `Error
+        ( false,
+          Printf.sprintf
+            "the %s baseline drives the emulator directly and cannot run on \
+             --backend wire"
+            (Experiments.Schemes.name scheme) )
+    else begin
     let net = resolve_network ~switches ~seed load in
     let emulator = Dataplane.Emulator.create net in
     let truth =
@@ -617,6 +643,7 @@ let detect_cmd =
       if resilient then Sdnprobe.Config.(with_max_rounds 150 resilient)
       else Sdnprobe.Config.make ~max_rounds:150 ()
     in
+    let config = Sdnprobe.Config.with_backend backend config in
     let report =
       Experiments.Schemes.run scheme ~seed
         ~stop:(Sdnprobe.Runner.stop_when_flagged truth)
@@ -631,6 +658,8 @@ let detect_cmd =
           ~population:(Experiments.Workloads.population net)
       in
       Format.printf "accuracy: %a@." Metrics.Confusion.pp confusion
+    end;
+    `Ok ()
     end
   in
   Cmd.v
@@ -639,8 +668,9 @@ let detect_cmd =
          "Inject faults (and optional environment impairments) and run fault \
           localization")
     Term.(
-      const run $ switches_term $ seed_term $ scheme $ fraction $ kind $ load_term
-      $ loss $ jitter $ flap $ churn $ resilient $ json)
+      ret
+        (const run $ switches_term $ seed_term $ scheme $ fraction $ kind
+       $ load_term $ loss $ jitter $ flap $ churn $ resilient $ backend $ json))
 
 (* ------------------------------------------------------------------ *)
 (* lint *)

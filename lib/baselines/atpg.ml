@@ -141,7 +141,7 @@ let to_probes ?alloc net rg ~start_id paths =
     paths
 
 let generate ?(max_candidates = 2048) net =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Sdn_util.Mono.now_s () in
   let rg = RG.build ~closure:false net in
   let candidates = enumerate_candidates rg ~cap:max_candidates in
   let cover_paths, pool_paths = greedy_set_cover rg candidates in
@@ -151,7 +151,7 @@ let generate ?(max_candidates = 2048) net =
     to_probes ~alloc net rg ~start_id:(List.length probes)
       (Sdn_util.Misc.take 512 pool_paths)
   in
-  { probes; pool; generation_s = Unix.gettimeofday () -. t0 }
+  { probes; pool; generation_s = Sdn_util.Mono.now_s () -. t0 }
 
 (* Intersection of non-empty switch-set list. *)
 let intersect_all = function

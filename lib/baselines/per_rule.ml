@@ -9,7 +9,7 @@ module FE = Openflow.Flow_entry
 module Hs = Hspace.Hs
 
 let generate net =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Sdn_util.Mono.now_s () in
   let rg = RG.build ~closure:false net in
   let g = RG.base_graph rg in
   let alloc = Common.allocator () in
@@ -46,7 +46,7 @@ let generate net =
               incr id)
     end
   done;
-  (List.rev !probes, Unix.gettimeofday () -. t0)
+  (List.rev !probes, Sdn_util.Mono.now_s () -. t0)
 
 let run ?(stop = Sdnprobe.Runner.stop_never) ~config emulator =
   let net = Emu.network emulator in

@@ -1,3 +1,5 @@
+type backend_kind = Emulator | Wire
+
 type t = {
   threshold : int;
   send_rate_bytes_per_s : int;
@@ -12,6 +14,7 @@ type t = {
   timeout_per_hop_us : int;
   suspicion_decay : int;
   domains : int;
+  backend : backend_kind;
 }
 
 let positive what v =
@@ -24,7 +27,7 @@ let make ?(threshold = 3) ?(send_rate_bytes_per_s = 250_000) ?(probe_size_bytes 
     ?(per_hop_latency_us = 500) ?(per_round_overhead_us = 50_000) ?(max_rounds = 200)
     ?(max_retries = 0) ?(retry_backoff_us = 10_000) ?(backoff_factor = 2)
     ?(timeout_base_us = 20_000) ?(timeout_per_hop_us = 2_000) ?(suspicion_decay = 0)
-    ?(domains = Sdn_parallel.default_domains ()) () =
+    ?(domains = Sdn_parallel.default_domains ()) ?(backend = Emulator) () =
   positive "threshold" threshold;
   positive "send_rate_bytes_per_s" send_rate_bytes_per_s;
   positive "probe_size_bytes" probe_size_bytes;
@@ -52,6 +55,7 @@ let make ?(threshold = 3) ?(send_rate_bytes_per_s = 250_000) ?(probe_size_bytes 
     timeout_per_hop_us;
     suspicion_decay;
     domains;
+    backend;
   }
 
 let default = make ()
@@ -105,6 +109,8 @@ let with_suspicion_decay suspicion_decay t =
 let with_domains domains t =
   if domains < 1 || domains > 128 then invalid_arg "Config: domains outside [1, 128]";
   { t with domains }
+
+let with_backend backend t = { t with backend }
 
 let pool t = if t.domains = 1 then None else Some (Sdn_parallel.pool ~domains:t.domains)
 

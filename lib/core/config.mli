@@ -19,6 +19,12 @@
     {!resilient}) when the emulator carries an
     {!Dataplane.Impairment}. *)
 
+type backend_kind =
+  | Emulator  (** in-process data-plane emulator, virtual time *)
+  | Wire
+      (** emulated switches as UDP endpoints on localhost, probes as
+          real datagrams, real time (lib/wire, docs/WIRE.md) *)
+
 type t = private {
   threshold : int;
       (** suspicion level that flags a switch, dimensionless (paper: 3) *)
@@ -61,6 +67,10 @@ type t = private {
           else 1). Every stage is deterministic in the domain count —
           reports are byte-identical at any value (docs/PARALLEL.md) —
           so this knob only trades wall-clock for cores. *)
+  backend : backend_kind;
+      (** probe-delivery backend the detection loop runs over (default
+          [Emulator]; [Wire] is real-time, so reports are no longer
+          bit-for-bit reproducible) *)
 }
 
 val make :
@@ -77,6 +87,7 @@ val make :
   ?timeout_per_hop_us:int ->
   ?suspicion_decay:int ->
   ?domains:int ->
+  ?backend:backend_kind ->
   unit ->
   t
 (** Build a configuration; every omitted knob takes the default listed
@@ -117,6 +128,8 @@ val with_timeout_per_hop_us : int -> t -> t
 val with_suspicion_decay : int -> t -> t
 
 val with_domains : int -> t -> t
+
+val with_backend : backend_kind -> t -> t
 
 val pool : t -> Sdn_parallel.Pool.t option
 (** The process-wide pool matching [t.domains]: [None] when

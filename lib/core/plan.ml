@@ -23,7 +23,7 @@ let of_cover ?pool net rg ~policy cover =
   probes_of_assignment net rg (Mlpc.Headers.assign ?pool policy cover)
 
 let generate ?pool ?(mode = Static) network =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Sdn_util.Mono.now_s () in
   let rulegraph = RG.build network in
   let cover, policy =
     match mode with
@@ -32,10 +32,10 @@ let generate ?pool ?(mode = Static) network =
         (Mlpc.Legal_matching.randomized ?pool rng rulegraph, Mlpc.Headers.Random rng)
   in
   let probes = of_cover ?pool network rulegraph ~policy cover in
-  { network; rulegraph; cover; probes; generation_s = Unix.gettimeofday () -. t0; mode }
+  { network; rulegraph; cover; probes; generation_s = Sdn_util.Mono.now_s () -. t0; mode }
 
 let redraw ?pool t rng =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Sdn_util.Mono.now_s () in
   let cover = Mlpc.Legal_matching.randomized ?pool rng t.rulegraph in
   let probes =
     of_cover ?pool t.network t.rulegraph ~policy:(Mlpc.Headers.Random rng) cover
@@ -44,7 +44,7 @@ let redraw ?pool t rng =
     t with
     cover;
     probes;
-    generation_s = Unix.gettimeofday () -. t0;
+    generation_s = Sdn_util.Mono.now_s () -. t0;
     mode = Randomized rng;
   }
 

@@ -16,16 +16,6 @@ let stop_after_s limit ~detections:_ ~round:_ ~time_s = time_s >= limit
 let stop_any stops ~detections ~round ~time_s =
   List.exists (fun s -> s ~detections ~round ~time_s) stops
 
-let install_traps emu probes =
-  List.iter
-    (fun (p : Probe.t) ->
-      Emulator.install_trap emu ~probe:p.id ~switch:p.terminal_switch
-        ~rule:p.terminal_rule ~header:p.expected_header)
-    probes
-
-let remove_traps emu probes =
-  List.iter (fun (p : Probe.t) -> Emulator.remove_probe_traps emu ~probe:p.id) probes
-
 (* Mutable per-round accounting, flushed into a Report.round_stat. *)
 type round_counters = {
   mutable sent : int;
@@ -34,41 +24,26 @@ type round_counters = {
   mutable failed_probes : int;
 }
 
-(* One attempt: inject and classify against the probe's own trap. A
-   probe passes iff its trap captured it AND the echo arrived within
-   the per-probe timeout (nominal flight time plus any impairment
-   jitter the packet accumulated). *)
-let attempt_passes ?now_us emu ~config (p : Probe.t) =
-  let result = Emulator.inject ?now_us emu ~at:p.inject_switch p.header in
-  let returned =
-    match result.Emulator.outcome with
-    | Emulator.Returned { probe; _ } -> probe = p.id
-    | Emulator.Delivered _ | Emulator.Lost _ -> false
-  in
-  let hops = Probe.hop_count p in
-  let flight_us =
-    (hops * config.Config.per_hop_latency_us) + result.Emulator.jitter_us
-  in
-  returned && flight_us <= Config.probe_timeout_us config ~hops
-
 (* Send one probe with bounded retransmission: send -> (no echo within
    timeout) -> wait out the timeout, back off exponentially, resend —
    up to [max_retries] times before the probe is classified failed.
    With [max_retries = 0] this is exactly the seed detection loop's
-   single send (no timeout accounting touches the clock). *)
-let send_probe ~config ~emulator ~clock ~per_packet_us ~packets_sent ~counters
-    (p : Probe.t) =
+   single send (no timeout accounting touches the clock). Virtual-time
+   backends model the waits by advancing the clock; real-time backends
+   actually waited inside [attempt], so the clock is left alone. *)
+let send_probe ~config ~(backend : Backend.t) ~clock ~per_packet_us ~packets_sent
+    ~counters (p : Probe.t) =
+  let virtual_wait us = if not backend.Backend.real_time then Clock.advance_us clock us in
   let rec attempt n =
-    Clock.advance_us clock per_packet_us;
+    virtual_wait per_packet_us;
     incr packets_sent;
     counters.sent <- counters.sent + 1;
-    if attempt_passes emulator ~config p then true
+    if backend.Backend.attempt ~config p then true
     else begin
       counters.lost_attempts <- counters.lost_attempts + 1;
       if n < config.Config.max_retries then begin
-        Clock.advance_us clock
-          (Config.probe_timeout_us config ~hops:(Probe.hop_count p));
-        Clock.advance_us clock (Config.backoff_us config ~attempt:(n + 1));
+        virtual_wait (Config.probe_timeout_us config ~hops:(Probe.hop_count p));
+        virtual_wait (Config.backoff_us config ~attempt:(n + 1));
         counters.retries <- counters.retries + 1;
         attempt (n + 1)
       end
@@ -77,11 +52,50 @@ let send_probe ~config ~emulator ~clock ~per_packet_us ~packets_sent ~counters
   in
   attempt 0
 
-let engine ?(stop = stop_never) ?redraw ?(name = "sdnprobe") ~config ~emulator
-    ~generation_s probes =
-  let clock = Emulator.clock emulator in
+(* Batched round send for backends with real I/O: fire every pending
+   probe as one batch (the backend overlaps the sends and the timeout
+   waits), then re-batch only the failures, up to [max_retries]
+   retransmission sweeps. Same classification and accounting as the
+   serial path — just a different schedule. *)
+let send_round_batched ~config ~send_batch ~packets_sent ~counters probes =
+  let arr = Array.of_list probes in
+  let n = Array.length arr in
+  let passed = Array.make n false in
+  let pending = ref (List.init n Fun.id) in
+  let sweep = ref 0 in
+  let continue = ref (n > 0) in
+  while !continue do
+    let idxs = !pending in
+    let batch = List.map (fun i -> arr.(i)) idxs in
+    let verdicts = send_batch ~config batch in
+    let k = List.length idxs in
+    packets_sent := !packets_sent + k;
+    counters.sent <- counters.sent + k;
+    let failures = ref [] in
+    List.iteri
+      (fun j i ->
+        if verdicts.(j) then passed.(i) <- true
+        else begin
+          counters.lost_attempts <- counters.lost_attempts + 1;
+          failures := i :: !failures
+        end)
+      idxs;
+    let failures = List.rev !failures in
+    if failures <> [] && !sweep < config.Config.max_retries then begin
+      counters.retries <- counters.retries + List.length failures;
+      incr sweep;
+      pending := failures
+    end
+    else continue := false
+  done;
+  Array.to_list (Array.mapi (fun i p -> (p, passed.(i))) arr)
+
+let engine ?(stop = stop_never) ?redraw ?(name = "sdnprobe") ~config
+    ~(backend : Backend.t) ~generation_s probes =
+  let clock = backend.Backend.clock in
   let start_s = Clock.now_seconds clock in
-  let net = Emulator.network emulator in
+  let net = backend.Backend.network in
+  let virtual_wait us = if not backend.Backend.real_time then Clock.advance_us clock us in
   let suspicion = Suspicion.create ~threshold:config.Config.threshold in
   let next_id =
     ref (1 + List.fold_left (fun acc (p : Probe.t) -> max acc p.id) 0 probes)
@@ -103,7 +117,7 @@ let engine ?(stop = stop_never) ?redraw ?(name = "sdnprobe") ~config ~emulator
     incr round;
     let probes_this_round = !active in
     let counters = { sent = 0; retries = 0; lost_attempts = 0; failed_probes = 0 } in
-    install_traps emulator probes_this_round;
+    backend.Backend.install_traps probes_this_round;
     (* Send at the controller rate; each probe sees the clock at its own
        send instant (intermittent faults depend on it). Probe [i] of the
        serial schedule injects at [t0 + (i+1) * per_packet_us], so when
@@ -111,51 +125,54 @@ let engine ?(stop = stop_never) ?redraw ?(name = "sdnprobe") ~config ~emulator
        machine and no order-dependent impairment draws — the sends are
        independent events at known instants and can run concurrently,
        each probe injecting at its own virtual timestamp. Outside that
-       gate the serial loop below is the semantics. *)
-    let order_free =
-      config.Config.max_retries = 0
-      &&
-      match Emulator.impairment emulator with
-      | None -> true
-      | Some imp -> Dataplane.Impairment.order_independent imp
-    in
+       gate the serial loop below is the semantics; backends with real
+       I/O supply [send_batch] instead and overlap the waits on the
+       wire. *)
     let results =
-      match Config.pool config with
-      | Some pool when order_free && Sdn_parallel.Pool.domains pool > 1 ->
-          let t0 = Clock.now_us clock in
-          let arr = Array.of_list probes_this_round in
-          let res =
-            Sdn_parallel.Pool.map pool
-              (fun (i, p) ->
-                let now_us = t0 + ((i + 1) * per_packet_us) in
-                (p, attempt_passes ~now_us emulator ~config p))
-              (Array.mapi (fun i p -> (i, p)) arr)
-          in
-          let n = Array.length arr in
-          Clock.advance_us clock (n * per_packet_us);
-          packets_sent := !packets_sent + n;
-          counters.sent <- counters.sent + n;
-          Array.iter
-            (fun (_, passed) ->
-              if not passed then counters.lost_attempts <- counters.lost_attempts + 1)
-            res;
-          Array.to_list res
-      | _ ->
-          List.map
-            (fun p ->
-              ( p,
-                send_probe ~config ~emulator ~clock ~per_packet_us ~packets_sent
-                  ~counters p ))
+      match backend.Backend.send_batch with
+      | Some send_batch ->
+          send_round_batched ~config ~send_batch ~packets_sent ~counters
             probes_this_round
+      | None -> (
+          match Config.pool config with
+          | Some pool
+            when backend.Backend.order_free ~config
+                 && Sdn_parallel.Pool.domains pool > 1 ->
+              let t0 = Clock.now_us clock in
+              let arr = Array.of_list probes_this_round in
+              let res =
+                Sdn_parallel.Pool.map pool
+                  (fun (i, p) ->
+                    let now_us = t0 + ((i + 1) * per_packet_us) in
+                    (p, backend.Backend.attempt ~config ~now_us p))
+                  (Array.mapi (fun i p -> (i, p)) arr)
+              in
+              let n = Array.length arr in
+              Clock.advance_us clock (n * per_packet_us);
+              packets_sent := !packets_sent + n;
+              counters.sent <- counters.sent + n;
+              Array.iter
+                (fun (_, passed) ->
+                  if not passed then
+                    counters.lost_attempts <- counters.lost_attempts + 1)
+                res;
+              Array.to_list res
+          | _ ->
+              List.map
+                (fun p ->
+                  ( p,
+                    send_probe ~config ~backend ~clock ~per_packet_us ~packets_sent
+                      ~counters p ))
+                probes_this_round)
     in
     (* Flight time of the slowest probe, plus controller processing. *)
     let max_hops =
       List.fold_left (fun acc (p : Probe.t) -> max acc (Probe.hop_count p)) 0
         probes_this_round
     in
-    Clock.advance_us clock (max_hops * config.Config.per_hop_latency_us);
-    Clock.advance_us clock config.Config.per_round_overhead_us;
-    remove_traps emulator probes_this_round;
+    virtual_wait (max_hops * config.Config.per_hop_latency_us);
+    virtual_wait config.Config.per_round_overhead_us;
+    backend.Backend.remove_traps probes_this_round;
     let now_s = Clock.now_seconds clock in
     (* Algorithm 2 lines 5-14, extended with suspicion decay: a path
        that passes (re-)testing drains the suspicion its rules may have
@@ -239,7 +256,7 @@ let engine ?(stop = stop_never) ?redraw ?(name = "sdnprobe") ~config ~emulator
     patch_events = [];
   }
 
-let execute ?stop ?name ~config ~emulator (plan : Plan.t) =
+let execute_on ?stop ?name ~config ~(backend : Backend.t) (plan : Plan.t) =
   let pool = Config.pool config in
   let name, redraw =
     match (name, plan.Plan.mode) with
@@ -249,11 +266,15 @@ let execute ?stop ?name ~config ~emulator (plan : Plan.t) =
         ( Option.value ~default:"randomized-sdnprobe" name,
           Some (fun ~cycle:_ -> (Plan.redraw ?pool plan rng).Plan.probes) )
   in
-  engine ?stop ?redraw ~name ~config ~emulator ~generation_s:plan.Plan.generation_s
+  engine ?stop ?redraw ~name ~config ~backend ~generation_s:plan.Plan.generation_s
     plan.Plan.probes
 
+let execute ?stop ?name ~config ~emulator (plan : Plan.t) =
+  execute_on ?stop ?name ~config ~backend:(Backend.of_emulator emulator) plan
+
 let run ?stop ?redraw ?name ~config ~emulator ~generation_s probes =
-  engine ?stop ?redraw ?name ~config ~emulator ~generation_s probes
+  engine ?stop ?redraw ?name ~config ~backend:(Backend.of_emulator emulator)
+    ~generation_s probes
 
 let detect ?stop ?(mode = Plan.Static) ~config emulator =
   (* The shim below is itself deprecated; it may keep calling the

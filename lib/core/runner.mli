@@ -49,7 +49,22 @@ val execute :
     reuses its probes. [name] overrides the report's scheme label
     (default ["sdnprobe"] / ["randomized-sdnprobe"] by mode). The
     emulator's faults are the ground truth being hunted; its clock is
-    advanced by this function and left at the end-of-run time. *)
+    advanced by this function and left at the end-of-run time.
+
+    [execute] runs against the in-process emulator
+    ({!Backend.of_emulator}); {!execute_on} is the same engine over an
+    arbitrary {!Backend.t} — notably the wire backend, where probes are
+    real UDP datagrams (see [docs/WIRE.md]). *)
+
+val execute_on :
+  ?stop:stop ->
+  ?name:string ->
+  config:Config.t ->
+  backend:Backend.t ->
+  Plan.t ->
+  Report.t
+(** {!execute} over an explicit probe-delivery backend. The caller owns
+    the backend's lifetime ([Backend.close] is not called here). *)
 
 (** {2 Deprecated wrappers}
 

@@ -121,11 +121,13 @@ type step =
   | Teleport of int * Header.t (* detour tunnel to a switch *)
   | Final of outcome
 
-let inject ?now_us t ~at header =
-  let now_us = match now_us with Some n -> n | None -> Clock.now_us t.clk in
-  let trace = ref [] in
+(* One switch visit: jitter draw, then the table walk (goto chains stay
+   inside the visit). [record] observes each processed entry; the
+   returned jitter is this visit's draw alone. Both [inject] (the whole
+   path in-process) and [step] (the wire backend's per-datagram walk,
+   lib/wire) are wrappers, so the two backends cannot drift apart. *)
+let visit t ~now_us ~record sw0 header0 budget0 =
   let jitter = ref 0 in
-  let record switch entry header_out = trace := { switch; entry; header_out } :: !trace in
   let rec at_switch sw table header budget =
     if budget <= 0 then Final (Lost Ttl_exceeded)
     else
@@ -197,18 +199,42 @@ let inject ?now_us t ~at header =
     with
     | None -> Final (Lost (No_match sw))
     | Some e -> process sw e header budget
-  and drive sw header budget =
-    if budget <= 0 then Final (Lost Ttl_exceeded)
+  in
+  let step =
+    if budget0 <= 0 then Final (Lost Ttl_exceeded)
     else begin
       (match t.impairment with
-      | Some imp -> jitter := !jitter + Impairment.jitter_us imp ~switch:sw ~now_us
+      | Some imp -> jitter := !jitter + Impairment.jitter_us imp ~switch:sw0 ~now_us
       | None -> ());
-      match at_switch sw 0 header budget with
-      | Forward (next, h) -> drive next h (budget - 1)
-      | Teleport (peer, h) -> drive peer h (budget - 1)
-      | Final o -> Final o
+      at_switch sw0 0 header0 budget0
     end
   in
-  let final = drive at header ttl in
-  let outcome = match final with Final o -> o | _ -> assert false in
+  (step, !jitter)
+
+let inject ?now_us t ~at header =
+  let now_us = match now_us with Some n -> n | None -> Clock.now_us t.clk in
+  let trace = ref [] in
+  let jitter = ref 0 in
+  let record switch entry header_out = trace := { switch; entry; header_out } :: !trace in
+  let rec drive sw header budget =
+    let step, j = visit t ~now_us ~record sw header budget in
+    jitter := !jitter + j;
+    match step with
+    | Forward (next, h) -> drive next h (budget - 1)
+    | Teleport (peer, h) -> drive peer h (budget - 1)
+    | Final o -> o
+  in
+  let outcome = drive at header ttl in
   { outcome; trace = List.rev !trace; jitter_us = !jitter }
+
+type step_result =
+  | Step_forward of { next : int; header : Header.t; jitter_us : int }
+  | Step_final of { outcome : outcome; jitter_us : int }
+
+let step ?now_us t ~at ~ttl header =
+  let now_us = match now_us with Some n -> n | None -> Clock.now_us t.clk in
+  let step, jitter_us = visit t ~now_us ~record:(fun _ _ _ -> ()) at header ttl in
+  match step with
+  | Forward (next, header) | Teleport (next, header) ->
+      Step_forward { next; header; jitter_us }
+  | Final outcome -> Step_final { outcome; jitter_us }

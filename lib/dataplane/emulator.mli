@@ -98,6 +98,21 @@ val inject : ?now_us:int -> t -> at:int -> Hspace.Header.t -> result
     the probe runner inject a round's packets concurrently, each at the
     time the serial schedule would have sent it. *)
 
+type step_result =
+  | Step_forward of { next : int; header : Hspace.Header.t; jitter_us : int }
+      (** the packet leaves for switch [next] (egress link or detour
+          tunnel) carrying [header]; the visit drew [jitter_us] of
+          forwarding delay *)
+  | Step_final of { outcome : outcome; jitter_us : int }
+
+val step : ?now_us:int -> t -> at:int -> ttl:int -> Hspace.Header.t -> step_result
+(** One switch visit: exactly one iteration of {!inject}'s forwarding
+    loop — jitter draw, table walk with goto chains, faults, traps,
+    churn and egress-link impairments. [ttl <= 0] is [Ttl_exceeded].
+    The wire backend ([lib/wire]) drives this per received datagram, so
+    a probe's fate over real sockets matches {!inject} hop for hop; the
+    caller forwards with [ttl - 1]. *)
+
 val flow_count : t -> entry:int -> int
 (** OpenFlow per-entry packet counter: how many packets this flow entry
     has processed since creation (or {!reset_flow_counts}). Faulty

@@ -23,10 +23,10 @@ let run ~scale =
           stats.Topogen.Campus.table_sizes))
     stats.Topogen.Campus.max_overlap stats.Topogen.Campus.total_rules;
   (* Test packet generation. *)
-  let t0 = Unix.gettimeofday () in
+  let t0 = Sdn_util.Mono.now_s () in
   let rg = RG.build net in
   let cover = Mlpc.Legal_matching.solve rg in
-  let gen_s = Unix.gettimeofday () -. t0 in
+  let gen_s = Sdn_util.Mono.now_s () -. t0 in
   Exp_common.note "test packets: %d covering %d entries (generation %.2fs)"
     (Mlpc.Cover.size cover)
     (Network.n_entries net) gen_s;
@@ -39,12 +39,12 @@ let run ~scale =
       (fun (e : FE.t) ->
         let overlaps = FT.higher_priority_overlaps table e in
         if overlaps <> [] then begin
-          let t0 = Unix.gettimeofday () in
+          let t0 = Sdn_util.Mono.now_s () in
           let result =
             Sat.Header_encoding.find_rule_input ~match_:e.FE.match_
               ~overlaps:(List.map (fun (q : FE.t) -> q.FE.match_) overlaps)
           in
-          let dt = (Unix.gettimeofday () -. t0) *. 1e3 in
+          let dt = (Sdn_util.Mono.now_s () -. t0) *. 1e3 in
           assert (result <> None);
           times := dt :: !times
         end)

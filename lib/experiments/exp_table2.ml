@@ -72,11 +72,11 @@ let run ~scale =
         }
       in
       let net = Topogen.Rule_gen.install ~spec rng topo in
-      let t0 = Unix.gettimeofday () in
+      let t0 = Sdn_util.Mono.now_s () in
       let rg = RG.build net in
       let cover = Mlpc.Legal_matching.solve rg in
       let probes = Mlpc.Headers.assign Mlpc.Headers.Sat_unique cover in
-      let pct = Unix.gettimeofday () -. t0 in
+      let pct = Sdn_util.Mono.now_s () -. t0 in
       let nlps, mlps, alps, capped = legal_path_census rg ~cap:2_000_000 in
       Metrics.Table.add_row table
         [

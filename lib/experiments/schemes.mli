@@ -18,5 +18,8 @@ val run :
   config:Sdnprobe.Config.t ->
   Dataplane.Emulator.t ->
   Sdnprobe.Report.t
-(** Full detection run. The emulator's clock keeps advancing; reset it
-    between schemes for comparable timings. *)
+(** Full detection run over the backend [config.backend] selects: the
+    in-process emulator (default), or the UDP wire backend (probing
+    schemes only — the baselines drive the emulator directly and raise
+    [Invalid_argument] under [Wire]). The emulator's clock keeps
+    advancing; reset it between schemes for comparable timings. *)

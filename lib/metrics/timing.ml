@@ -14,8 +14,8 @@ let record t label seconds =
   ()
 
 let time t label f =
-  let t0 = Unix.gettimeofday () in
-  Fun.protect ~finally:(fun () -> record t label (Unix.gettimeofday () -. t0)) f
+  let t0 = Sdn_util.Mono.now_s () in
+  Fun.protect ~finally:(fun () -> record t label (Sdn_util.Mono.now_s () -. t0)) f
 
 let timings t =
   List.rev_map (fun label -> (label, Hashtbl.find t.totals label)) t.order

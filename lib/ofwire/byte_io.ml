@@ -7,6 +7,13 @@ module Writer = struct
 
   let length t = t.len
 
+  (* Forget the contents but keep the grown buffer: a sender that
+     encodes thousands of probes reuses one writer with zero
+     reallocation in steady state. *)
+  let reset t = t.len <- 0
+
+  let view t f = f t.buf 0 t.len
+
   let ensure t extra =
     let needed = t.len + extra in
     if needed > Bytes.length t.buf then begin
@@ -60,14 +67,20 @@ module Reader = struct
 
   let of_bytes ?(pos = 0) ?len buf =
     let limit = match len with Some l -> pos + l | None -> Bytes.length buf in
-    if pos < 0 || limit > Bytes.length buf then invalid_arg "Reader.of_bytes";
+    if pos < 0 || limit < pos || limit > Bytes.length buf then
+      invalid_arg "Reader.of_bytes";
     { buf; limit; cursor = pos }
 
   let pos t = t.cursor
 
   let remaining t = t.limit - t.cursor
 
-  let need t n = if t.cursor + n > t.limit then raise Truncated
+  (* Field sizes come straight off the wire, so [n] is attacker
+     controlled: a negative size (from a length field smaller than the
+     bytes already consumed) or one huge enough to wrap [cursor + n]
+     past [max_int] must both read as truncation, never as a cursor
+     that moves backwards or a crash in [Bytes.sub]. *)
+  let need t n = if n < 0 || n > t.limit - t.cursor then raise Truncated
 
   let u8 t =
     need t 1;

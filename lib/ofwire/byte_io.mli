@@ -15,6 +15,17 @@ module Writer : sig
 
   val length : t -> int
 
+  val reset : t -> unit
+  (** Drop the contents but keep the (grown) internal buffer, so a
+      sender can reuse one writer across many encodes without
+      reallocating. *)
+
+  val view : t -> (bytes -> int -> int -> 'a) -> 'a
+  (** [view t f] calls [f buf off len] on the internal buffer without
+      copying — for handing the encoded bytes straight to a socket
+      send. The buffer is only valid until the next write or
+      {!reset}. *)
+
   val u8 : t -> int -> unit
 
   val u16 : t -> int -> unit

@@ -23,6 +23,13 @@ val apply_policy :
     topology. Unsupported or malformed messages abort with the decoder
     error. *)
 
+val pack_header : Hspace.Header.t -> bytes
+(** Header bits packed MSB-first, zero-padded to a byte boundary. *)
+
+val unpack_header : header_len:int -> bytes -> Hspace.Header.t option
+(** Inverse of {!pack_header}; [None] when the buffer is shorter than
+    [header_len] bits. *)
+
 val probe_payload : Sdnprobe.Probe.t -> bytes
 (** PACKET_OUT payload: probe id (u32) followed by the header bits
     packed MSB-first. *)

@@ -152,8 +152,8 @@ let type_of = function
   | Barrier_reply -> t_barrier_reply
   | Error_msg _ -> t_error
 
-let encode ~xid msg =
-  let w = W.create () in
+let encode_to w ~xid msg =
+  let msg_start = W.length w in
   W.u8 w version;
   W.u8 w (type_of msg);
   W.u16 w 0 (* length, patched at the end *);
@@ -210,9 +210,12 @@ let encode ~xid msg =
       W.pad w 4;
       W.pad w 2;
       W.raw w payload);
-  let b = W.contents w in
-  Bytes.set_uint16_be b 2 (Bytes.length b);
-  b
+  W.patch_u16 w ~pos:(msg_start + 2) (W.length w - msg_start)
+
+let encode ~xid msg =
+  let w = W.create () in
+  encode_to w ~xid msg;
+  W.contents w
 
 (* ------------------------------------------------------------------ *)
 (* Decoding *)

@@ -79,6 +79,12 @@ val encode : xid:int32 -> t -> bytes
 (** Serialize one message, length field filled in. Raises
     [Invalid_argument] for headers over 64 bits. *)
 
+val encode_to : Byte_io.Writer.t -> xid:int32 -> t -> unit
+(** Append one message to an existing writer (length field patched in
+    place) — with {!Byte_io.Writer.reset}/{!Byte_io.Writer.view} this
+    lets a sender reuse one buffer across a whole batch instead of
+    allocating per packet. *)
+
 val decode : ?header_len:int -> ?pos:int -> bytes -> ((int32 * t) * int, error) result
 (** Decode one message starting at [pos]; on success returns
     [((xid, message), bytes_consumed)]. *)

@@ -25,7 +25,7 @@ let entry_key rg (p : Mlpc.Cover.path) =
   List.map (fun v -> (RG.vertex_entry rg v).FE.id) p.Mlpc.Cover.rules
 
 let plan_of ?pool ~memo net rg =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Sdn_util.Mono.now_s () in
   let cover = Mlpc.Legal_matching.solve ?pool rg in
   let assigned =
     Mlpc.Headers.assign ?pool ~memo ~key:(entry_key rg) Mlpc.Headers.Sat_unique
@@ -37,7 +37,7 @@ let plan_of ?pool ~memo net rg =
     rulegraph = rg;
     cover;
     probes;
-    generation_s = Unix.gettimeofday () -. t0;
+    generation_s = Sdn_util.Mono.now_s () -. t0;
     mode = Sdnprobe.Plan.Static;
   }
 

@@ -74,8 +74,23 @@ let require_cube kvs key =
       if is_cube_string v then Ok v
       else Error (Printf.sprintf "field %s: not a ternary 0/1/x string (%S)" key v)
 
+(* Fields may be separated by any horizontal whitespace (editors love
+   tabs), and lines from CRLF streams carry a trailing '\r' that the
+   caller's '\n' split leaves attached — treat it as a separator too so
+   it can never end up glued to the last field's value. *)
+let is_field_sep = function ' ' | '\t' | '\r' -> true | _ -> false
+
 let tokens_of_line line =
-  String.split_on_char ' ' line |> List.filter (fun t -> t <> "")
+  let toks = ref [] and buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      toks := Buffer.contents buf :: !toks;
+      Buffer.clear buf
+    end
+  in
+  String.iter (fun c -> if is_field_sep c then flush () else Buffer.add_char buf c) line;
+  flush ();
+  List.rev !toks
 
 let known_add_fields = [ "switch"; "table"; "priority"; "match"; "action"; "set" ]
 

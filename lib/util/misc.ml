@@ -61,7 +61,4 @@ let take n xs =
   in
   loop n xs []
 
-let span_time f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+let span_time f = Mono.span f

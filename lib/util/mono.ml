@@ -1,0 +1,33 @@
+(* All duration measurements in the repo go through this module.
+
+   Wall clock (Unix.gettimeofday) is steppable: an NTP correction in
+   the middle of a timed section yields a negative or wildly wrong
+   duration, which then lands in bench baselines and report JSON.
+   CLOCK_MONOTONIC cannot step backwards, so spans are always
+   non-negative and immune to clock discipline.
+
+   The source is swappable only so tests can prove callers route
+   through here (and simulate a stepping clock against the old code
+   path); production code must never touch [with_source]. *)
+
+external raw : unit -> float = "sdn_mono_now_s"
+
+let source = ref raw
+
+let now_s () = !source ()
+
+let span f =
+  let t0 = now_s () in
+  let r = f () in
+  (r, now_s () -. t0)
+
+let with_source s f =
+  let prev = !source in
+  source := s;
+  Fun.protect ~finally:(fun () -> source := prev) f
+
+let counting_source ~start ~step =
+  let t = ref (start -. step) in
+  fun () ->
+    t := !t +. step;
+    !t

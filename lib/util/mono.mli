@@ -1,0 +1,27 @@
+(** Monotonic time for duration measurement.
+
+    Every elapsed-time measurement in the repo ([Metrics.Timing], plan
+    generation, bench harnesses, CLI apply timers) reads this clock
+    rather than [Unix.gettimeofday]: the wall clock is steppable (NTP
+    slews and steps, manual changes), so wall-clock spans can come out
+    negative and corrupt bench baselines and report numbers.
+    [CLOCK_MONOTONIC] never steps backwards. Values are only
+    meaningful as differences — the epoch is arbitrary (typically
+    boot). *)
+
+val now_s : unit -> float
+(** Seconds on the monotonic clock. *)
+
+val span : (unit -> 'a) -> 'a * float
+(** [span f] is [(f (), seconds f took)] — guaranteed non-negative. *)
+
+(** {2 Test hooks} — for proving call sites route through this module;
+    never for production code. *)
+
+val with_source : (unit -> float) -> (unit -> 'a) -> 'a
+(** Run a thunk with the clock source replaced (restored on exit, even
+    on exceptions). *)
+
+val counting_source : start:float -> step:float -> unit -> float
+(** A deterministic fake source: first call returns [start], each
+    further call [step] more. *)

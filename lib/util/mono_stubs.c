@@ -1,0 +1,16 @@
+/* CLOCK_MONOTONIC for Sdn_util.Mono.
+
+   OCaml 5.1's Unix library exposes only the steppable wall clock
+   (gettimeofday); Unix.clock_gettime arrives in 5.2. This stub is the
+   same syscall, pinned to the monotonic clock. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value sdn_mono_now_s(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_double((double)ts.tv_sec + (double)ts.tv_nsec / 1e9);
+}

@@ -1,0 +1,36 @@
+(** Deployment-shaped probe backend: detection rounds over real UDP
+    sockets.
+
+    Every switch of the topology becomes a UDP endpoint on
+    127.0.0.1 (ephemeral port), served by one daemon domain. The
+    controller injects probes as OpenFlow PACKET_OUT datagrams; a
+    switch applies its flow tables to each received probe — one
+    {!Dataplane.Emulator.step} per datagram, so faults, traps,
+    impairments and goto-chains behave exactly as in-process — and
+    either forwards it to the next switch's socket as a
+    {!Wire_proto.frame}, echoes it to the controller as PACKET_IN, or
+    drops it. Timeouts, losses and delays are real: impairment jitter
+    is shaped at the socket (the datagram leaves late), loss draws
+    silently discard, and the controller recovers by the same bounded
+    retransmission it uses in virtual time. See docs/WIRE.md. *)
+
+module Proto = Wire_proto
+(** The inter-switch frame codec, re-exported for tests and tooling. *)
+
+type t
+
+val create : Dataplane.Emulator.t -> t
+(** Bring up the switch endpoints and the service daemon over the
+    emulator's network. The emulator supplies forwarding semantics,
+    faults, impairment and trap storage — it is shared, so the caller
+    must not [inject] through it while the wire backend is live. *)
+
+val backend : t -> Sdnprobe.Backend.t
+(** The {!Sdnprobe.Runner.execute_on} view: real-time clock, batched
+    round sends with per-probe deadlines over [select]. *)
+
+val close : t -> unit
+(** Stop the daemon and close every socket. Idempotent. *)
+
+val switch_port : t -> int -> int
+(** The UDP port switch [sw] listens on (for tests and debugging). *)

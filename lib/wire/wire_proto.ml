@@ -1,0 +1,39 @@
+module W = Ofwire.Byte_io.Writer
+module R = Ofwire.Byte_io.Reader
+module Header = Hspace.Header
+
+(* First byte of an inter-switch frame. Deliberately not 0x04: a switch
+   endpoint tells probe frames apart from OpenFlow messages (whose first
+   byte is the protocol version) by looking at one byte. *)
+let magic = 0xd5
+
+type frame = { probe : int; ttl : int; header : Header.t }
+
+let encode_to w { probe; ttl; header } =
+  W.u8 w magic;
+  W.u8 w ttl;
+  W.u32i w probe;
+  W.u16 w (Header.length header);
+  W.raw w (Ofwire.Driver.pack_header header)
+
+let encode f =
+  let w = W.create () in
+  encode_to w f;
+  W.contents w
+
+let decode buf =
+  match
+    let r = R.of_bytes buf in
+    let m = R.u8 r in
+    if m <> magic then None
+    else
+      let ttl = R.u8 r in
+      let probe = Int32.to_int (R.u32 r) in
+      let bits = R.u16 r in
+      let packed = R.raw r ((bits + 7) / 8) in
+      Option.map
+        (fun header -> { probe; ttl; header })
+        (Ofwire.Driver.unpack_header ~header_len:bits packed)
+  with
+  | res -> res
+  | exception Ofwire.Byte_io.Truncated -> None

@@ -1,0 +1,24 @@
+(** Inter-switch probe frame for the UDP wire backend.
+
+    Between the controller and a switch, probes ride stock OpenFlow
+    (PACKET_OUT in, PACKET_IN back — {!Ofwire.Driver}). Between
+    switches there is no OpenFlow, so forwarded probes travel as this
+    minimal data-packet frame: a magic byte (distinguishing frames from
+    OpenFlow messages, whose first byte is the version), the remaining
+    TTL, the probe id, and the packed header. *)
+
+val magic : int
+(** First byte of every frame (0xd5 — never 0x04, OpenFlow's
+    version byte). *)
+
+type frame = { probe : int; ttl : int; header : Hspace.Header.t }
+
+val encode_to : Ofwire.Byte_io.Writer.t -> frame -> unit
+(** Append a frame to a writer (reusable across sends with
+    [Writer.reset]/[Writer.view]). *)
+
+val encode : frame -> bytes
+
+val decode : bytes -> frame option
+(** [None] on wrong magic or a truncated/hostile buffer — a malformed
+    datagram is dropped, never an exception in the switch daemon. *)

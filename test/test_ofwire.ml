@@ -251,6 +251,189 @@ let test_decode_errors () =
   | _ -> Alcotest.fail "expected Unsupported"
 
 (* ------------------------------------------------------------------ *)
+(* Hostile inputs: adversarial length fields must fail cleanly.
+
+   [Reader.need] used to test [cursor + n > limit], which a negative
+   [n] (from a length field smaller than the bytes already consumed)
+   passes — the cursor then moved {e backwards}, and a decoder loop
+   bounded by reader position re-read the same bytes forever. *)
+
+let test_reader_negative_n () =
+  let r = R.of_bytes (Bytes.make 8 '\000') in
+  R.skip r 4;
+  Alcotest.check_raises "negative skip" Ofwire.Byte_io.Truncated (fun () ->
+      R.skip r (-2));
+  Alcotest.check_raises "negative raw" Ofwire.Byte_io.Truncated (fun () ->
+      ignore (R.raw r (-1)));
+  (* huge n must not wrap around either *)
+  Alcotest.check_raises "huge skip" Ofwire.Byte_io.Truncated (fun () ->
+      R.skip r max_int);
+  check_int "cursor unmoved by failed reads" 4 (R.pos r)
+
+let test_reader_of_bytes_bounds () =
+  let b = Bytes.make 8 '\000' in
+  Alcotest.check_raises "negative pos" (Invalid_argument "Reader.of_bytes")
+    (fun () -> ignore (R.of_bytes ~pos:(-1) b));
+  Alcotest.check_raises "negative len" (Invalid_argument "Reader.of_bytes")
+    (fun () -> ignore (R.of_bytes ~pos:4 ~len:(-2) b));
+  Alcotest.check_raises "window past the end" (Invalid_argument "Reader.of_bytes")
+    (fun () -> ignore (R.of_bytes ~pos:4 ~len:8 b))
+
+let test_hostile_action_length () =
+  (* A PACKET_OUT whose set-field action announces length 0: the
+     decoder consumes 24 bytes of OXM, then the length field tells it
+     to skip -24 — pre-fix the cursor walked back to the action start
+     and [read_actions] looped forever. Post-fix: a clean error. *)
+  let b =
+    M.encode ~xid:1l
+      (M.Packet_out
+         {
+           M.actions = [ M.Set_field (Cube.of_string (String.make 64 'x')) ];
+           payload = Bytes.of_string "p";
+         })
+  in
+  (* ofp_packet_out: header 8 + buffer_id 4 + in_port 4 + actions_len 2
+     + pad 6 = 24; the action's length field is at offset 26. *)
+  check_int "action type is set-field" 25 (Bytes.get_uint16_be b 24);
+  Bytes.set_uint16_be b 26 0;
+  match M.decode ~header_len:64 b with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "hostile action length decoded successfully"
+
+let test_hostile_match_length () =
+  (* Same attack on a flow mod's match length (offset 50): the padding
+     skip [padded - consumed] goes negative. *)
+  let fm =
+    {
+      M.cookie = 1L;
+      table_id = 0;
+      command = `Add;
+      priority = 1;
+      match_ = Cube.of_string "1010";
+      instructions = [ M.Goto_table 1 ];
+    }
+  in
+  let b = M.encode ~xid:1l (M.Flow_mod fm) in
+  Bytes.set_uint16_be b 50 5;
+  match M.decode ~header_len:4 b with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "hostile match length decoded successfully"
+
+(* ------------------------------------------------------------------ *)
+(* QCheck properties: encode/decode is the identity on every message
+   variant (including max-size cubes and zero payloads), and decode
+   never raises on arbitrary bytes. *)
+
+let gen_msg =
+  let open QCheck.Gen in
+  let gen_bytes = map Bytes.of_string (string_size ~gen:printable (0 -- 32)) in
+  let gen_cube header_len =
+    map
+      (fun bits ->
+        Cube.of_string
+          (String.init header_len (fun i ->
+               match List.nth bits i with 0 -> '0' | 1 -> '1' | _ -> 'x')))
+      (list_repeat header_len (0 -- 2))
+  in
+  let* header_len = oneof [ return 64; 1 -- 64 ] in
+  let gen_action =
+    oneof
+      [
+        map (fun p -> M.Output p) (oneof [ 0 -- 0xffff; return 0xfffffff9 ]);
+        map (fun c -> M.Set_field c) (gen_cube header_len);
+      ]
+  in
+  let gen_instruction =
+    oneof
+      [
+        map (fun acts -> M.Apply_actions acts) (list_size (1 -- 3) gen_action);
+        map (fun t -> M.Goto_table t) (0 -- 255);
+      ]
+  in
+  let+ msg =
+    oneof
+      [
+        return M.Hello;
+        map (fun b -> M.Echo_request b) gen_bytes;
+        map (fun b -> M.Echo_reply b) gen_bytes;
+        return M.Features_request;
+        (let* dp = map Int64.of_int (0 -- 1_000_000) in
+         let* nb = map Int32.of_int (0 -- 1_000_000) in
+         let+ nt = 0 -- 255 in
+         M.Features_reply { M.datapath_id = dp; n_buffers = nb; n_tables = nt });
+        (let* cookie = map Int64.of_int (0 -- 1_000_000) in
+         let* table_id = 0 -- 255 in
+         let* command = oneofl [ `Add; `Delete ] in
+         let* priority = 0 -- 0xffff in
+         let* match_ = gen_cube header_len in
+         let+ instructions = list_size (0 -- 3) gen_instruction in
+         M.Flow_mod { M.cookie; table_id; command; priority; match_; instructions });
+        (let* actions = list_size (0 -- 3) gen_action in
+         let+ payload = gen_bytes in
+         M.Packet_out { M.actions; payload });
+        (let* reason = 0 -- 255 in
+         let* table_id = 0 -- 255 in
+         let* cookie = map Int64.of_int (0 -- 1_000_000) in
+         let+ payload = gen_bytes in
+         M.Packet_in { M.reason; table_id; cookie; payload });
+        return M.Barrier_request;
+        return M.Barrier_reply;
+        (let* err_type = 0 -- 0xffff in
+         let* err_code = 0 -- 0xffff in
+         let+ data = gen_bytes in
+         M.Error_msg { err_type; err_code; data });
+      ]
+  in
+  (header_len, msg)
+
+let act_equal p q =
+  match (p, q) with
+  | M.Output i, M.Output j -> i = j
+  | M.Set_field c, M.Set_field d -> Cube.equal c d
+  | _ -> false
+
+let msg_equal a b =
+  match (a, b) with
+  | M.Flow_mod _, M.Flow_mod _ -> cube_equal_msg a b
+  | M.Packet_out x, M.Packet_out y ->
+      Bytes.equal x.M.payload y.M.payload
+      && List.length x.M.actions = List.length y.M.actions
+      && List.for_all2 act_equal x.M.actions y.M.actions
+  | _ -> a = b
+
+let test_qcheck_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"encode -> decode = id" ~count:500
+       (QCheck.make gen_msg) (fun (header_len, msg) ->
+         let b = M.encode ~xid:9l msg in
+         match M.decode ~header_len b with
+         | Ok ((9l, decoded), consumed) ->
+             consumed = Bytes.length b && msg_equal msg decoded
+         | _ -> false))
+
+let test_qcheck_decode_total =
+  (* Arbitrary bytes: decode returns, it never raises or hangs. *)
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"decode never crashes on random bytes" ~count:2000
+       QCheck.(string_of_size Gen.(0 -- 200))
+       (fun s ->
+         match M.decode ~header_len:32 (Bytes.of_string s) with
+         | Ok _ | Error _ -> true))
+
+let test_qcheck_decode_mutated =
+  (* Valid encodes with flipped bytes: worst case for the framing
+     logic, since most of the structure still looks plausible. *)
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"decode never crashes on mutated encodes" ~count:500
+       QCheck.(triple (make gen_msg) small_nat small_nat)
+       (fun ((header_len, msg), pos, value) ->
+         let b = M.encode ~xid:3l msg in
+         Bytes.set_uint8 b (pos mod Bytes.length b) (value land 0xff);
+         match M.decode ~header_len b with
+         | Ok _ | Error _ -> true
+         | exception Invalid_argument _ -> false))
+
+(* ------------------------------------------------------------------ *)
 (* Driver: a whole policy over the wire *)
 
 let test_probe_payload_roundtrip () =
@@ -358,6 +541,19 @@ let () =
           Alcotest.test_case "packet out/in" `Quick test_roundtrip_packet_out_in;
           Alcotest.test_case "stream" `Quick test_decode_stream;
           Alcotest.test_case "errors" `Quick test_decode_errors;
+        ] );
+      ( "hostile",
+        [
+          Alcotest.test_case "negative reader n" `Quick test_reader_negative_n;
+          Alcotest.test_case "reader window bounds" `Quick test_reader_of_bytes_bounds;
+          Alcotest.test_case "action length 0" `Quick test_hostile_action_length;
+          Alcotest.test_case "match length short" `Quick test_hostile_match_length;
+        ] );
+      ( "properties",
+        [
+          test_qcheck_roundtrip;
+          test_qcheck_decode_total;
+          test_qcheck_decode_mutated;
         ] );
       ( "driver",
         [

@@ -25,13 +25,25 @@ let make_net ~switches ~seed =
   Topogen.Rule_gen.install rng topo
 
 (* Remove-then-reinstall churn, the same shape [sdnprobe edits] emits:
-   victims are drawn from the live table so each batch references ids
-   that exist when it is applied. *)
+   victims are drawn from the live table — without replacement, since
+   the batch is built against a snapshot and a double draw would emit a
+   second [Remove] for an id the first one already deleted. *)
 let churn_batch rng net ~ops =
+  let chosen = Hashtbl.create 8 in
   List.concat
     (List.init ops (fun _ ->
          let entries = N.all_entries net in
-         let victim = List.nth entries (Prng.int rng (List.length entries)) in
+         let victim =
+           let rec draw () =
+             let v = List.nth entries (Prng.int rng (List.length entries)) in
+             if Hashtbl.mem chosen v.FE.id then draw ()
+             else begin
+               Hashtbl.add chosen v.FE.id ();
+               v
+             end
+           in
+           draw ()
+         in
          [
            Edits.Remove victim.FE.id;
            Edits.Add

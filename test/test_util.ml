@@ -124,6 +124,95 @@ let test_list_init_filter () =
   check_bool "evens" true
     (Misc.list_init_filter 6 (fun i -> if i mod 2 = 0 then Some i else None) = [ 0; 2; 4 ])
 
+(* ------------------------------------------------------------------ *)
+(* Mono: the shared monotonic time source. All timing call sites must
+   route through Mono — the regression here installs a fake source that
+   steps by a fixed amount per reading and checks the measured spans
+   see exactly those steps. The pre-fix code read the wall clock
+   (Unix.gettimeofday) directly, so a fake Mono source had no effect
+   (and an NTP step could make spans negative). *)
+
+module Mono = Sdn_util.Mono
+
+let test_mono_monotone () =
+  let prev = ref (Mono.now_s ()) in
+  for _ = 1 to 1000 do
+    let t = Mono.now_s () in
+    check_bool "never steps backwards" true (t >= !prev);
+    prev := t
+  done
+
+let test_mono_counting_source () =
+  Mono.with_source (Mono.counting_source ~start:100. ~step:10.) (fun () ->
+      check_float "first reading" 100. (Mono.now_s ());
+      check_float "second reading" 110. (Mono.now_s ());
+      let (), d = Mono.span (fun () -> ()) in
+      check_float "span = one step" 10. d);
+  (* the real source is restored afterwards *)
+  check_bool "restored" true (Mono.now_s () < 1e9)
+
+let test_span_time_routes_through_mono () =
+  Mono.with_source (Mono.counting_source ~start:0. ~step:10.) (fun () ->
+      let v, d = Misc.span_time (fun () -> 42) in
+      check_int "result" 42 v;
+      check_float "span_time sees the fake source" 10. d)
+
+let test_timing_routes_through_mono () =
+  Mono.with_source (Mono.counting_source ~start:0. ~step:10.) (fun () ->
+      let tm = Metrics.Timing.create () in
+      ignore (Metrics.Timing.time tm "stage" (fun () -> ()));
+      match Metrics.Timing.timings tm with
+      | [ ("stage", d) ] -> check_float "Timing.time sees the fake source" 10. d
+      | _ -> Alcotest.fail "expected one timing entry")
+
+(* ------------------------------------------------------------------ *)
+(* Edits parser: field separators and malformed-line reporting *)
+
+module Edits = Sdn_util.Edits
+
+let sample_ops = "add switch=0 table=0 priority=5 match=10x action=output:1\nremove 3\ncommit\n"
+
+let test_edits_crlf_stream () =
+  (* The same stream with CRLF line endings must parse identically. *)
+  let crlf = String.concat "\r\n" (String.split_on_char '\n' sample_ops) in
+  match (Edits.parse sample_ops, Edits.parse crlf) with
+  | Ok a, Ok b -> check_bool "CRLF parses identically" true (a = b)
+  | Ok _, Error e -> Alcotest.fail ("CRLF stream rejected: " ^ e)
+  | Error e, _ -> Alcotest.fail ("LF stream rejected: " ^ e)
+
+let test_edits_tab_separated () =
+  let tabs = "add\tswitch=1\ttable=0\tpriority=2\tmatch=0xx\taction=drop\ncommit\n" in
+  match Edits.parse tabs with
+  | Ok [ [ Edits.Add a ] ] ->
+      check_int "switch" 1 a.Edits.switch;
+      check_bool "match" true (a.Edits.match_ = "0xx")
+  | Ok _ -> Alcotest.fail "expected one batch of one add"
+  | Error e -> Alcotest.fail ("tab-separated line rejected: " ^ e)
+
+let test_edits_mixed_whitespace () =
+  (* Runs of mixed blanks collapse; a stray '\r' mid-line is a
+     separator, never glued onto a field value. *)
+  let messy = "add  switch=2\t table=1  priority=9 match=111 action=goto:2 \r\ncommit\n" in
+  match Edits.parse messy with
+  | Ok [ [ Edits.Add a ] ] ->
+      check_int "switch" 2 a.Edits.switch;
+      check_bool "action" true (a.Edits.action = Edits.Goto_table 2)
+  | Ok _ -> Alcotest.fail "expected one batch of one add"
+  | Error e -> Alcotest.fail ("mixed-whitespace line rejected: " ^ e)
+
+let test_edits_malformed_line_message () =
+  match Edits.parse "remove 1\nadd switch=oops\n" with
+  | Ok _ -> Alcotest.fail "malformed add accepted"
+  | Error msg ->
+      check_bool "names the line" true
+        (String.length msg >= 7 && String.sub msg 0 7 = "line 2:");
+      let contains ~needle hay =
+        let nl = String.length needle and hl = String.length hay in
+        let rec at i = i + nl <= hl && (String.sub hay i nl = needle || at (i + 1)) in
+        at 0
+      in
+      check_bool "names the field" true (contains ~needle:"switch" msg)
+
 let () =
   Alcotest.run "util"
     [
@@ -146,5 +235,19 @@ let () =
           Alcotest.test_case "group_by" `Quick test_group_by;
           Alcotest.test_case "take" `Quick test_take;
           Alcotest.test_case "list_init_filter" `Quick test_list_init_filter;
+        ] );
+      ( "mono",
+        [
+          Alcotest.test_case "monotone" `Quick test_mono_monotone;
+          Alcotest.test_case "counting source" `Quick test_mono_counting_source;
+          Alcotest.test_case "span_time via Mono" `Quick test_span_time_routes_through_mono;
+          Alcotest.test_case "Timing.time via Mono" `Quick test_timing_routes_through_mono;
+        ] );
+      ( "edits",
+        [
+          Alcotest.test_case "CRLF stream" `Quick test_edits_crlf_stream;
+          Alcotest.test_case "tab-separated" `Quick test_edits_tab_separated;
+          Alcotest.test_case "mixed whitespace" `Quick test_edits_mixed_whitespace;
+          Alcotest.test_case "malformed line message" `Quick test_edits_malformed_line_message;
         ] );
     ]
