@@ -101,8 +101,8 @@ let run_micro () =
     (fun test ->
       let results = Benchmark.all cfg instances test in
       let results = Analyze.all ols Toolkit.Instance.monotonic_clock results in
-      Hashtbl.iter
-        (fun name ols_result ->
+      List.iter
+        (fun (name, ols_result) ->
           let ns =
             match Analyze.OLS.estimates ols_result with
             | Some (e :: _) -> e
@@ -120,7 +120,7 @@ let run_micro () =
             | None -> "-"
           in
           Metrics.Table.add_row table [ name; pretty; r2 ])
-        results)
+        (Sdn_util.Misc.hashtbl_bindings results))
     (tests ());
   Metrics.Table.print table
 

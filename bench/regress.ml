@@ -49,15 +49,15 @@ let bechamel_ns tests =
     (fun test ->
       let results = Benchmark.all cfg instances test in
       let results = Analyze.all ols Toolkit.Instance.monotonic_clock results in
-      Hashtbl.fold
-        (fun name ols_result acc ->
+      List.map
+        (fun (name, ols_result) ->
           let ns =
             match Analyze.OLS.estimates ols_result with
             | Some (e :: _) -> e
             | _ -> nan
           in
-          (name, ns) :: acc)
-        results [])
+          (name, ns))
+        (Sdn_util.Misc.hashtbl_bindings results))
     tests
 
 (* ------------------------------------------------------------------ *)

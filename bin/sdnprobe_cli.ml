@@ -768,6 +768,103 @@ let lint_cmd =
        $ fail_on $ passes $ no_coverage))
 
 (* ------------------------------------------------------------------ *)
+(* analyze — sdncheck, the determinism & domain-safety analyzer over
+   the repository's own sources (docs/ANALYSIS.md). *)
+
+let analyze_cmd =
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as one JSON object.")
+  in
+  let fail_on =
+    let fail_conv =
+      Arg.enum
+        [
+          ("error", Sdn_analysis.Engine.Fail_error);
+          ("warning", Sdn_analysis.Engine.Fail_warning);
+          ("never", Sdn_analysis.Engine.Fail_never);
+        ]
+    in
+    Arg.(
+      value
+      & opt fail_conv Sdn_analysis.Engine.Fail_warning
+      & info [ "fail-on" ] ~docv:"SEVERITY"
+          ~doc:
+            "Exit non-zero when a diagnostic of this severity (or worse) is \
+             present: $(b,warning) (default — any unsuppressed finding gates), \
+             $(b,error), or $(b,never).")
+  in
+  let rules =
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "rules" ] ~docv:"IDS"
+          ~doc:
+            "Comma-separated rule ids (e.g. $(b,D001,D005)) to run instead of \
+             the full catalogue.")
+  in
+  let root =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "root" ] ~docv:"DIR"
+          ~doc:
+            "Repository root to scan. Defaults to walking up from the current \
+             directory until the tree looks like this repository.")
+  in
+  let run json fail_on rules root =
+    let root =
+      match root with
+      | Some r -> if Sdn_analysis.Engine.looks_like_root r then Some r else None
+      | None -> Sdn_analysis.Engine.find_root ()
+    in
+    match root with
+    | None ->
+        `Error
+          ( false,
+            "cannot locate the repository root (lib/util/misc.ml not found); \
+             pass --root" )
+    | Some root -> (
+        let selected =
+          match rules with
+          | None -> Ok Sdn_analysis.Rules.all
+          | Some ids -> (
+              let missing =
+                List.filter
+                  (fun id -> Sdn_analysis.Rules.find id = None)
+                  ids
+              in
+              match missing with
+              | [] ->
+                  Ok
+                    (List.filter_map Sdn_analysis.Rules.find ids)
+              | ms ->
+                  Error
+                    (Printf.sprintf "unknown rule id%s: %s; valid ids: %s"
+                       (if List.length ms = 1 then "" else "s")
+                       (String.concat ", " ms)
+                       (String.concat ", "
+                          (List.map
+                             (fun (r : Sdn_analysis.Rules.rule) -> r.Sdn_analysis.Rules.id)
+                             Sdn_analysis.Rules.all))))
+        in
+        match selected with
+        | Error msg -> `Error (false, msg)
+        | Ok rules ->
+            let report = Sdn_analysis.Engine.run ~rules ~root () in
+            if json then
+              print_endline (Sdn_util.Json.to_string (Sdn_analysis.Engine.to_json report))
+            else Format.printf "%a" Sdn_analysis.Engine.pp_text report;
+            exit (Sdn_analysis.Engine.exit_code ~fail_on report))
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Run sdncheck, the determinism & domain-safety static analyzer, over \
+          this repository's own sources (rules D001-D006; suppressions are \
+          in-source comments with a mandatory reason)")
+    Term.(ret (const run $ json $ fail_on $ rules $ root))
+
+(* ------------------------------------------------------------------ *)
 (* certify *)
 
 let certify_cmd =
@@ -1064,6 +1161,7 @@ let () =
             edits_cmd;
             detect_cmd;
             lint_cmd;
+            analyze_cmd;
             certify_cmd;
             verify_cmd;
           ]))

@@ -1,0 +1,85 @@
+(* One sdncheck diagnostic, mirroring the lib/lint diagnostic model:
+   a stable rule id, a severity that drives the exit code, and a
+   file:line:col witness the reader can jump to. *)
+
+type severity = Error | Warning | Info
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_of_string = function
+  | "error" -> Some Error
+  | "warning" -> Some Warning
+  | "info" -> Some Info
+  | _ -> None
+
+type t = {
+  check : string; (* rule id, e.g. "D001" *)
+  severity : severity;
+  file : string; (* repo-relative, '/'-separated *)
+  line : int; (* 1-based *)
+  col : int; (* 0-based, like the compiler *)
+  message : string;
+}
+
+let make ~check ~severity ~file ~line ~col message =
+  { check; severity; file; line; col; message }
+
+(* Order findings the way a reader scans them: by file, then position,
+   then rule — severity does not reorder within a file, so one file's
+   findings read top to bottom. *)
+let compare a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+      match Int.compare a.line b.line with
+      | 0 -> (
+          match Int.compare a.col b.col with
+          | 0 -> (
+              match String.compare a.check b.check with
+              | 0 -> String.compare a.message b.message
+              | c -> c)
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+let pp fmt d =
+  Format.fprintf fmt "%s[%s] %s:%d:%d: %s"
+    (severity_to_string d.severity)
+    d.check d.file d.line d.col d.message
+
+(* ------------------------------------------------------------------ *)
+(* JSON, via the shared hand-rolled Sdn_util.Json (the toolchain
+   carries no JSON library). *)
+
+module J = Sdn_util.Json
+
+let to_json d =
+  J.Obj
+    [
+      ("check", J.Str d.check);
+      ("severity", J.Str (severity_to_string d.severity));
+      ("file", J.Str d.file);
+      ("line", J.Int d.line);
+      ("col", J.Int d.col);
+      ("message", J.Str d.message);
+    ]
+
+let of_json = function
+  | J.Obj fields -> (
+      let str k =
+        match List.assoc_opt k fields with Some (J.Str s) -> Some s | _ -> None
+      in
+      let int k =
+        match List.assoc_opt k fields with Some (J.Int n) -> Some n | _ -> None
+      in
+      match (str "check", str "severity", str "file", int "line", int "col", str "message") with
+      | Some check, Some sev, Some file, Some line, Some col, Some message -> (
+          match severity_of_string sev with
+          | Some severity -> Ok { check; severity; file; line; col; message }
+          | None -> Error (Printf.sprintf "unknown severity %S" sev))
+      | _ -> Error "diagnostic object is missing a required field")
+  | _ -> Error "diagnostic is not an object"

@@ -1,0 +1,195 @@
+(* Module-reference graph over the repo's sources, used by rule D005
+   to compute which modules can run inside Sdn_parallel pooled
+   closures.
+
+   Resolution mirrors dune's wrapped-library layout: each lib/<dir>
+   with a dune (name x) stanza exposes wrapper module X, and files
+   within one directory see each other by bare module name. A
+   reference [Wrapper.Sub] resolves to <dir>/sub.ml when it exists and
+   conservatively to the whole library otherwise; a bare [Sub] only
+   resolves within the referencing file's own directory (wrapped
+   libraries cannot be reached unqualified from outside). References
+   are taken from the comment/string-stripped text, so prose never
+   creates edges but aliases like [module H = Hspace.Hs] do — the
+   alias line itself mentions the target path. *)
+
+module SM = Map.Make (String)
+module SS = Set.Make (String)
+
+type t = {
+  refs : SS.t SM.t; (* rel file -> rel files it references *)
+}
+
+let dirname rel =
+  match String.rindex_opt rel '/' with
+  | Some i -> String.sub rel 0 i
+  | None -> ""
+
+let basename rel =
+  match String.rindex_opt rel '/' with
+  | Some i -> String.sub rel (i + 1) (String.length rel - i - 1)
+  | None -> rel
+
+let module_of_file rel =
+  String.capitalize_ascii (Filename.remove_extension (basename rel))
+
+(* Extract (name x) from a dune file's text: the first "(name" atom. *)
+let lib_name_of_dune text =
+  let n = String.length text in
+  let key = "(name" in
+  let rec find i =
+    if i + 5 >= n then None
+    else if String.sub text i 5 = key then begin
+      let j = ref (i + 5) in
+      while !j < n && (text.[!j] = ' ' || text.[!j] = '\n' || text.[!j] = '\t') do
+        incr j
+      done;
+      let k = ref !j in
+      while
+        !k < n
+        && (match text.[!k] with
+           | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' -> true
+           | _ -> false)
+      do
+        incr k
+      done;
+      if !k > !j then Some (String.sub text !j (!k - !j)) else None
+    end
+    else find (i + 1)
+  in
+  find 0
+
+let is_upper c = c >= 'A' && c <= 'Z'
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '\''
+
+(* All module paths mentioned in the stripped text, as [U1] and
+   [U1; U2] prefixes of dotted capitalized idents. *)
+let module_paths stripped =
+  let n = String.length stripped in
+  let acc = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let c = stripped.[!i] in
+    if is_upper c && (!i = 0 || not (is_ident_char stripped.[!i - 1] || stripped.[!i - 1] = '.'))
+    then begin
+      (* Read a dotted path of components starting at a module name. *)
+      let comps = ref [] in
+      let continue = ref true in
+      while !continue do
+        let s = !i in
+        while !i < n && is_ident_char stripped.[!i] do
+          incr i
+        done;
+        let comp = String.sub stripped s (!i - s) in
+        if comp <> "" && is_upper comp.[0] then begin
+          comps := comp :: !comps;
+          if !i < n && stripped.[!i] = '.' && !i + 1 < n && is_upper stripped.[!i + 1]
+          then incr i
+          else continue := false
+        end
+        else continue := false
+      done;
+      (match List.rev !comps with
+      | [] -> ()
+      | [ u1 ] -> acc := [ u1 ] :: !acc
+      | u1 :: u2 :: _ -> acc := [ u1 ] :: [ u1; u2 ] :: !acc)
+    end
+    else incr i
+  done;
+  !acc
+
+let build ~root ~files =
+  (* Map each source directory to its dune library wrapper module. *)
+  let dirs =
+    List.fold_left (fun m (rel, _) -> SS.add (dirname rel) m) SS.empty files
+  in
+  let wrapper_of_dir =
+    SS.fold
+      (fun dir m ->
+        let dune = Filename.concat (Filename.concat root dir) "dune" in
+        if Sys.file_exists dune then
+          let text = In_channel.with_open_bin dune In_channel.input_all in
+          match lib_name_of_dune text with
+          | Some name -> SM.add dir (String.capitalize_ascii name) m
+          | None -> m
+        else m)
+      dirs SM.empty
+  in
+  let dir_of_wrapper =
+    SM.fold (fun dir w m -> SM.add w dir m) wrapper_of_dir SM.empty
+  in
+  (* (dir, Module) -> rel file, and dir -> all rel files. *)
+  let sibling, by_dir =
+    List.fold_left
+      (fun (sib, byd) (rel, _) ->
+        let d = dirname rel in
+        ( SM.add (d ^ "#" ^ module_of_file rel) rel sib,
+          SM.update d
+            (fun o -> Some (rel :: Option.value ~default:[] o))
+            byd ))
+      (SM.empty, SM.empty) files
+  in
+  let refs =
+    List.fold_left
+      (fun m (rel, stripped) ->
+        let d = dirname rel in
+        let targets =
+          List.fold_left
+            (fun acc path ->
+              match path with
+              | [ u1 ] -> (
+                  match SM.find_opt (d ^ "#" ^ u1) sibling with
+                  | Some f when f <> rel -> SS.add f acc
+                  | Some _ -> acc
+                  | None -> (
+                      (* A wrapper module used without a dotted
+                         submodule (Sdn_parallel.map): take the lib. *)
+                      match SM.find_opt u1 dir_of_wrapper with
+                      | Some d2 when d2 <> d ->
+                          List.fold_left
+                            (fun acc f -> SS.add f acc)
+                            acc
+                            (Option.value ~default:[] (SM.find_opt d2 by_dir))
+                      | _ -> acc))
+              | [ u1; u2 ] -> (
+                  match SM.find_opt u1 dir_of_wrapper with
+                  | Some d2 -> (
+                      match SM.find_opt (d2 ^ "#" ^ u2) sibling with
+                      | Some f -> SS.add f acc
+                      | None ->
+                          (* Wrapper mentioned without a resolvable
+                             submodule: conservatively take the lib. *)
+                          List.fold_left
+                            (fun acc f -> SS.add f acc)
+                            acc
+                            (Option.value ~default:[] (SM.find_opt d2 by_dir)))
+                  | None -> acc)
+              | _ -> acc)
+            SS.empty (module_paths stripped)
+        in
+        SM.add rel targets m)
+      SM.empty files
+  in
+  { refs }
+
+(* Transitive closure of the reference graph from [seeds]. *)
+let reachable t ~seeds =
+  let rec go visited = function
+    | [] -> visited
+    | f :: rest ->
+        if SS.mem f visited then go visited rest
+        else
+          let next =
+            match SM.find_opt f t.refs with
+            | Some s -> SS.elements s
+            | None -> []
+          in
+          go (SS.add f visited) (List.rev_append next rest)
+  in
+  let set = go SS.empty seeds in
+  fun rel -> SS.mem rel set

@@ -1,0 +1,473 @@
+(* The sdncheck rule catalogue (docs/ANALYSIS.md). Every rule walks
+   the Parsetree of one file and returns findings; repo-level context
+   (the D005 reachable set) comes in through [ctx]. Detection is
+   purely syntactic — this is a contract linter for our own codebase,
+   not a type checker — so each rule documents the shapes it
+   recognizes and the escape hatch is an in-source suppression with a
+   written reason. *)
+
+open Parsetree
+
+type ctx = {
+  pooled : string -> bool; (* rel path reachable from pooled stages *)
+}
+
+type rule = {
+  id : string;
+  severity : Finding.severity;
+  doc : string;
+  check : ctx -> Source.t -> Finding.t list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Shared helpers *)
+
+let path_of_ident e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> ( try Some (Longident.flatten txt) with _ -> None)
+  | _ -> None
+
+(* Head identifier of a (possibly partial) application chain. *)
+let rec head_path e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> ( try Some (Longident.flatten txt) with _ -> None)
+  | Pexp_apply (f, _) -> head_path f
+  | Pexp_constraint (e', _) -> head_path e'
+  | _ -> None
+
+let pos_of loc =
+  ( loc.Location.loc_start.Lexing.pos_lnum,
+    loc.Location.loc_start.Lexing.pos_cnum - loc.Location.loc_start.Lexing.pos_bol )
+
+(* Strip a leading Stdlib. so Stdlib.Hashtbl.fold matches Hashtbl.fold. *)
+let unstdlib = function "Stdlib" :: rest -> rest | p -> p
+
+let finding ~id ~severity ~src loc message =
+  let line, col = pos_of loc in
+  Finding.make ~check:id ~severity ~file:src.Source.rel ~line ~col message
+
+(* Run [f] on every expression of the structure. *)
+let iter_exprs ast f =
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          f e;
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.structure it ast
+
+let with_ast src k = match src.Source.ast with None -> [] | Some ast -> k ast
+
+(* ------------------------------------------------------------------ *)
+(* D001: unordered Hashtbl.iter/fold. The nondeterministic iteration
+   order of a hash table must never reach an accumulator, list or
+   output. A fold is recognized as safe only when its result feeds a
+   canonicalizing sort DIRECTLY (List.sort/sort_uniq/stable_sort or
+   Misc.sorted, via plain application, |> or @@) — the sort key is the
+   author's responsibility to make total. Anything else needs a fix
+   (fold over sorted keys, e.g. Sdn_util.Misc.hashtbl_bindings) or a
+   suppression explaining why order cannot matter. *)
+
+let is_unordered_hashtbl p =
+  match unstdlib p with
+  | [ "Hashtbl"; ("iter" | "fold") ] -> true
+  | _ -> false
+
+let is_sort_head p =
+  match unstdlib p with
+  | [ "List"; ("sort" | "sort_uniq" | "stable_sort" | "fast_sort") ] -> true
+  | [ "Misc"; "sorted" ] | [ "Sdn_util"; "Misc"; "sorted" ] -> true
+  | _ -> false
+
+let loc_key loc =
+  (loc.Location.loc_start.Lexing.pos_cnum, loc.Location.loc_end.Lexing.pos_cnum)
+
+let d001_check _ctx src =
+  with_ast src (fun ast ->
+      let sanctioned = ref [] in
+      let sanction e = sanctioned := loc_key e.pexp_loc :: !sanctioned in
+      let is_fold_app e =
+        match e.pexp_desc with
+        | Pexp_apply (f, _) -> (
+            match path_of_ident f with
+            | Some p -> is_unordered_hashtbl p
+            | None -> false)
+        | _ -> false
+      in
+      let head_is_sort e =
+        match head_path e with Some p -> is_sort_head p | None -> false
+      in
+      let acc = ref [] in
+      iter_exprs ast (fun e ->
+          match e.pexp_desc with
+          | Pexp_apply (f, args) -> (
+              match path_of_ident f with
+              | Some [ "|>" ] -> (
+                  match args with
+                  | [ (_, lhs); (_, rhs) ] ->
+                      if head_is_sort rhs && is_fold_app lhs then sanction lhs
+                  | _ -> ())
+              | Some [ "@@" ] -> (
+                  match args with
+                  | [ (_, lhs); (_, rhs) ] ->
+                      if head_is_sort lhs && is_fold_app rhs then sanction rhs
+                  | _ -> ())
+              | Some p when is_sort_head p ->
+                  List.iter (fun (_, a) -> if is_fold_app a then sanction a) args
+              | Some p when is_unordered_hashtbl p ->
+                  if not (List.mem (loc_key e.pexp_loc) !sanctioned) then
+                    acc :=
+                      finding ~id:"D001" ~severity:Finding.Error ~src e.pexp_loc
+                        (Printf.sprintf
+                           "%s iterates in nondeterministic hash order; fold \
+                            over sorted keys (Misc.hashtbl_bindings), wrap the \
+                            fold directly in a canonical List.sort, or \
+                            suppress with a reason"
+                           (String.concat "." (unstdlib p)))
+                      :: !acc
+              | _ -> ())
+          | _ -> ());
+      List.rev !acc)
+
+(* ------------------------------------------------------------------ *)
+(* D002: wall-clock reads. All duration measurement goes through
+   Sdn_util.Mono (monotonic, steppable only in tests); a raw
+   Unix.gettimeofday/Unix.time/Sys.time read lands nondeterministic
+   wall time in reports and benches. Only Mono's implementation file
+   may touch the wall clock. *)
+
+let d002_exempt = [ "lib/util/mono.ml" ]
+
+let is_wall_clock p =
+  match unstdlib p with
+  | [ "Unix"; ("gettimeofday" | "time") ] | [ "Sys"; "time" ] -> true
+  | _ -> false
+
+let d002_check _ctx src =
+  if List.mem src.Source.rel d002_exempt then []
+  else
+    with_ast src (fun ast ->
+        let acc = ref [] in
+        iter_exprs ast (fun e ->
+            match path_of_ident e with
+            | Some p when is_wall_clock p ->
+                acc :=
+                  finding ~id:"D002" ~severity:Finding.Error ~src e.pexp_loc
+                    (Printf.sprintf
+                       "wall-clock read %s outside Sdn_util.Mono; use \
+                        Mono.now_s/Mono.span"
+                       (String.concat "." (unstdlib p)))
+                  :: !acc
+            | _ -> ());
+        List.rev !acc)
+
+(* ------------------------------------------------------------------ *)
+(* D003: ambient randomness. The global Random state is unseeded (or
+   seeded once per process) and shared across domains; every draw in
+   this codebase must come from an explicitly seeded Sdn_util.Prng
+   stream so runs replay bit-for-bit. *)
+
+let d003_exempt = [ "lib/util/prng.ml" ]
+
+let d003_check _ctx src =
+  if List.mem src.Source.rel d003_exempt then []
+  else
+    with_ast src (fun ast ->
+        let acc = ref [] in
+        iter_exprs ast (fun e ->
+            match path_of_ident e with
+            | Some p when (match unstdlib p with "Random" :: _ -> true | _ -> false)
+              ->
+                acc :=
+                  finding ~id:"D003" ~severity:Finding.Error ~src e.pexp_loc
+                    (Printf.sprintf
+                       "ambient randomness %s; draw from a seeded \
+                        Sdn_util.Prng stream instead"
+                       (String.concat "." (unstdlib p)))
+                  :: !acc
+            | _ -> ());
+        List.rev !acc)
+
+(* ------------------------------------------------------------------ *)
+(* D004: polymorphic structural operations on hash-consed header-space
+   values. Cube.t/Hs.t/Header.t values may share structure physically;
+   Stdlib.compare, (=) and Hashtbl.hash bypass the modules' canonical
+   equal/compare/hash (and Hashtbl.hash additionally truncates to its
+   meaningful-word budget). Detection is name-based: an operand is
+   considered header-space when it is a variable named like one
+   (header, cube, hs, x_header, ...), a record field so named, a
+   Some-wrapped such value, or an application of a Cube/Hs/Header
+   function that is not in the scalar-returning blacklist. *)
+
+let d004_ops =
+  [ [ "=" ]; [ "<>" ]; [ "compare" ]; [ "Stdlib"; "compare" ]; [ "Hashtbl"; "hash" ] ]
+
+let d004_first_arg_ops = [ [ "List"; "mem" ]; [ "List"; "assoc" ]; [ "List"; "mem_assoc" ] ]
+
+let d004_scalar_fns =
+  [
+    "length"; "size"; "get"; "member"; "matches"; "subset"; "is_subset";
+    "is_empty"; "is_concrete"; "wildcard_count"; "fixed_count"; "cube_count";
+    "count"; "to_string"; "pp"; "disjoint"; "mem"; "hash";
+  ]
+
+let d004_var_names = [ "header"; "header'"; "cube"; "cube'"; "hs"; "hs'"; "hdr" ]
+
+let d004_field_names = [ "header"; "expected_header"; "header_out"; "cube" ]
+
+let last_of = function [] -> "" | p -> List.nth p (List.length p - 1)
+
+let d004_abstract_modules ast =
+  (* The header-space modules plus local aliases to them
+     (module H = Hspace.Header, ...). *)
+  let base = [ "Cube"; "Hs"; "Header" ] in
+  List.fold_left
+    (fun acc item ->
+      match item.pstr_desc with
+      | Pstr_module { pmb_name = { txt = Some name; _ }; pmb_expr; _ } -> (
+          match pmb_expr.pmod_desc with
+          | Pmod_ident { txt; _ } -> (
+              match try Longident.flatten txt with _ -> [] with
+              | p when List.mem (last_of p) base -> name :: acc
+              | _ -> acc)
+          | _ -> acc)
+      | _ -> acc)
+    base ast
+
+let rec d004_abstract mods e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> (
+      match try Longident.flatten txt with _ -> [] with
+      | [ name ] ->
+          List.mem name d004_var_names
+          || String.ends_with ~suffix:"_header" name
+          || String.ends_with ~suffix:"_cube" name
+      | _ -> false)
+  | Pexp_field (_, { txt; _ }) ->
+      List.mem (last_of (try Longident.flatten txt with _ -> [])) d004_field_names
+  | Pexp_apply (f, _) -> (
+      match path_of_ident f with
+      | Some p when List.length p >= 2 ->
+          let m = List.nth p (List.length p - 2) in
+          List.mem m mods && not (List.mem (last_of p) d004_scalar_fns)
+      | _ -> false)
+  | Pexp_construct ({ txt = Longident.Lident "Some"; _ }, Some inner) ->
+      d004_abstract mods inner
+  | Pexp_constraint (e', _) -> d004_abstract mods e'
+  | _ -> false
+
+let d004_check _ctx src =
+  with_ast src (fun ast ->
+      let mods = d004_abstract_modules ast in
+      let acc = ref [] in
+      let flag e op =
+        acc :=
+          finding ~id:"D004" ~severity:Finding.Error ~src e.pexp_loc
+            (Printf.sprintf
+               "polymorphic %s on a hash-consed header-space value; use \
+                Cube.equal/Cube.compare (or Header.equal, Hs.equal_sets)"
+               op)
+          :: !acc
+      in
+      iter_exprs ast (fun e ->
+          match e.pexp_desc with
+          | Pexp_apply (f, args) -> (
+              match path_of_ident f with
+              | Some p when List.mem (unstdlib p) d004_ops || List.mem p d004_ops
+                ->
+                  let check_args =
+                    match args with
+                    | (_, a) :: (_, b) :: _ -> [ a; b ]
+                    | [ (_, a) ] -> [ a ]
+                    | [] -> []
+                  in
+                  if List.exists (d004_abstract mods) check_args then
+                    flag e (String.concat "." (unstdlib p))
+              | Some p when List.mem (unstdlib p) d004_first_arg_ops ->
+                  (match args with
+                  | (_, a) :: _ when d004_abstract mods a ->
+                      flag e (String.concat "." (unstdlib p))
+                  | _ -> ())
+              | _ -> ())
+          | _ -> ());
+      List.rev !acc)
+
+(* ------------------------------------------------------------------ *)
+(* D005: mutable module-toplevel state in code that pooled closures
+   can reach. A toplevel ref/Hashtbl/Buffer/... in such a module is
+   shared across domains the moment a pooled stage touches the module;
+   it must either be an Atomic, or be guarded and carry a suppression
+   naming the guard. Bindings whose right-hand side is a function are
+   skipped (the state is created per call). *)
+
+let d005_mutable_ctor p =
+  match unstdlib p with
+  | [ "ref" ] -> true
+  | [ ("Hashtbl" | "Buffer" | "Queue" | "Stack" | "Weak" | "Bytes"); "create" ] ->
+      true
+  | [ "Array"; ("make" | "init" | "create_float" | "make_matrix") ] -> true
+  | [ "Bytes"; "make" ] -> true
+  | _ -> false
+
+let rec d005_is_function e =
+  match e.pexp_desc with
+  | Pexp_fun _ | Pexp_function _ -> true
+  | Pexp_newtype (_, e') -> d005_is_function e'
+  | Pexp_constraint (e', _) -> d005_is_function e'
+  | _ -> false
+
+(* State created inside a Domain.DLS.new_key initializer is
+   domain-local by construction — never shared, never flagged. *)
+let d005_domain_local p =
+  match unstdlib p with
+  | [ "Domain"; "DLS"; "new_key" ] -> true
+  | _ -> false
+
+let d005_scan_binding ~src vb acc =
+  if d005_is_function vb.pvb_expr then acc
+  else begin
+    let hits = ref [] in
+    let it =
+      {
+        Ast_iterator.default_iterator with
+        expr =
+          (fun self e ->
+            match e.pexp_desc with
+            | Pexp_apply (f, _)
+              when match path_of_ident f with
+                   | Some p -> d005_domain_local p
+                   | None -> false ->
+                () (* don't descend: DLS initializers are safe *)
+            | Pexp_apply (f, _) ->
+                (match path_of_ident f with
+                | Some p when d005_mutable_ctor p ->
+                    hits := String.concat "." (unstdlib p) :: !hits
+                | _ -> ());
+                Ast_iterator.default_iterator.expr self e
+            | _ -> Ast_iterator.default_iterator.expr self e);
+      }
+    in
+    it.expr it vb.pvb_expr;
+    match List.rev !hits with
+    | [] -> acc
+    | ctor :: _ ->
+        finding ~id:"D005" ~severity:Finding.Error ~src vb.pvb_loc
+          (Printf.sprintf
+             "mutable toplevel state (%s) in a module reachable from \
+              Sdn_parallel pooled stages; use Atomic, or document the \
+              Mutex/ownership guard in a suppression"
+             ctor)
+        :: acc
+  end
+
+let d005_check ctx src =
+  if not (ctx.pooled src.Source.rel) then []
+  else
+    with_ast src (fun ast ->
+        let rec scan_items items acc =
+          List.fold_left
+            (fun acc item ->
+              match item.pstr_desc with
+              | Pstr_value (_, vbs) ->
+                  List.fold_left (fun acc vb -> d005_scan_binding ~src vb acc) acc vbs
+              | Pstr_module { pmb_expr; _ } -> scan_module pmb_expr acc
+              | Pstr_recmodule mbs ->
+                  List.fold_left (fun acc mb -> scan_module mb.pmb_expr acc) acc mbs
+              | _ -> acc)
+            acc items
+        and scan_module me acc =
+          match me.pmod_desc with
+          | Pmod_structure items -> scan_items items acc
+          | Pmod_constraint (me', _) -> scan_module me' acc
+          | _ -> acc
+        in
+        List.rev (scan_items ast []))
+
+(* ------------------------------------------------------------------ *)
+(* D006: stdout writes in library code. Libraries render through
+   formatters or buffers the caller provides; printing to stdout from
+   under lib/ bypasses --json modes and corrupts machine-read output.
+   bin/, test/, bench/ and the lib/experiments drivers (whose whole
+   output is the paper's tables) are out of scope. *)
+
+let d006_in_scope rel =
+  String.starts_with ~prefix:"lib/" rel
+  && not (String.starts_with ~prefix:"lib/experiments/" rel)
+
+let is_stdout_print p =
+  match unstdlib p with
+  | [
+      ( "print_string" | "print_endline" | "print_newline" | "print_char"
+      | "print_int" | "print_float" | "print_bytes" );
+    ] ->
+      true
+  | [ "Printf"; "printf" ] | [ "Format"; "printf" ] | [ "Fmt"; "pr" ] -> true
+  | [ "Format"; ("print_string" | "print_newline" | "print_space" | "print_cut" | "print_flush") ]
+    ->
+      true
+  | _ -> false
+
+let d006_check _ctx src =
+  if not (d006_in_scope src.Source.rel) then []
+  else
+    with_ast src (fun ast ->
+        let acc = ref [] in
+        iter_exprs ast (fun e ->
+            match path_of_ident e with
+            | Some p when is_stdout_print p ->
+                acc :=
+                  finding ~id:"D006" ~severity:Finding.Warning ~src e.pexp_loc
+                    (Printf.sprintf
+                       "%s writes to stdout from library code; render through \
+                        a caller-provided formatter or buffer"
+                       (String.concat "." (unstdlib p)))
+                  :: !acc
+            | _ -> ());
+        List.rev !acc)
+
+(* ------------------------------------------------------------------ *)
+
+let all =
+  [
+    {
+      id = "D001";
+      severity = Finding.Error;
+      doc = "unordered Hashtbl.iter/fold whose result can reach output";
+      check = d001_check;
+    };
+    {
+      id = "D002";
+      severity = Finding.Error;
+      doc = "wall-clock read outside Sdn_util.Mono";
+      check = d002_check;
+    };
+    {
+      id = "D003";
+      severity = Finding.Error;
+      doc = "ambient/global randomness outside Sdn_util.Prng";
+      check = d003_check;
+    };
+    {
+      id = "D004";
+      severity = Finding.Error;
+      doc = "polymorphic compare/hash/= on hash-consed header-space values";
+      check = d004_check;
+    };
+    {
+      id = "D005";
+      severity = Finding.Error;
+      doc = "unguarded mutable toplevel state reachable from pooled closures";
+      check = d005_check;
+    };
+    {
+      id = "D006";
+      severity = Finding.Warning;
+      doc = "stdout printing in library code";
+      check = d006_check;
+    };
+  ]
+
+let find id = List.find_opt (fun r -> r.id = id) all

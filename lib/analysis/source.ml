@@ -1,0 +1,276 @@
+(* One parsed source file: its Parsetree, its sdncheck suppression
+   comments, and a comment/string-stripped copy of the text for the
+   module-reference scan (Modgraph).
+
+   Comments are collected by a small hand-rolled scanner rather than
+   the compiler lexer so that a file that fails to parse still yields
+   its suppressions (and so the scan cannot disturb parser state).
+   The scanner understands nested (* *) comments, "..." strings with
+   escapes, {tag|...|tag} quoted strings, and char literals — enough
+   to never mistake a '"' char literal for a string start. *)
+
+type suppression = {
+  s_rules : string list; (* rule ids the comment allows *)
+  s_reason : string; (* mandatory justification *)
+  s_first : int; (* first line the suppression covers *)
+  s_last : int; (* last line it covers (comment end + 1) *)
+}
+
+type malformed = { m_line : int; m_text : string }
+
+type t = {
+  rel : string; (* repo-relative path, '/'-separated *)
+  text : string;
+  stripped : string; (* comments and string literals blanked *)
+  ast : Parsetree.structure option;
+  parse_error : (int * string) option;
+  suppressions : suppression list;
+  malformed : malformed list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Lexical scan: collect comments, blank comments and strings. *)
+
+let is_tag_char c = (c >= 'a' && c <= 'z') || c = '_'
+
+let scan text =
+  let n = String.length text in
+  let out = Bytes.of_string text in
+  let blank j = if Bytes.get out j <> '\n' then Bytes.set out j ' ' in
+  let comments = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let bump c = if c = '\n' then incr line in
+  while !i < n do
+    let c = text.[!i] in
+    if c = '(' && !i + 1 < n && text.[!i + 1] = '*' then begin
+      let start_line = !line in
+      let buf = Buffer.create 64 in
+      let depth = ref 1 in
+      blank !i;
+      blank (!i + 1);
+      i := !i + 2;
+      while !depth > 0 && !i < n do
+        let c = text.[!i] in
+        if c = '(' && !i + 1 < n && text.[!i + 1] = '*' then begin
+          incr depth;
+          Buffer.add_string buf "(*";
+          blank !i;
+          blank (!i + 1);
+          i := !i + 2
+        end
+        else if c = '*' && !i + 1 < n && text.[!i + 1] = ')' then begin
+          decr depth;
+          if !depth > 0 then Buffer.add_string buf "*)";
+          blank !i;
+          blank (!i + 1);
+          i := !i + 2
+        end
+        else begin
+          bump c;
+          Buffer.add_char buf c;
+          blank !i;
+          incr i
+        end
+      done;
+      comments := (Buffer.contents buf, start_line, !line) :: !comments
+    end
+    else if c = '"' then begin
+      blank !i;
+      incr i;
+      let fin = ref false in
+      while (not !fin) && !i < n do
+        let c = text.[!i] in
+        if c = '\\' && !i + 1 < n then begin
+          bump text.[!i + 1];
+          blank !i;
+          blank (!i + 1);
+          i := !i + 2
+        end
+        else if c = '"' then begin
+          blank !i;
+          incr i;
+          fin := true
+        end
+        else begin
+          bump c;
+          blank !i;
+          incr i
+        end
+      done
+    end
+    else if c = '{' then begin
+      (* Quoted string {tag|...|tag}? Read the candidate tag. *)
+      let j = ref (!i + 1) in
+      while !j < n && is_tag_char text.[!j] do
+        incr j
+      done;
+      if !j < n && text.[!j] = '|' then begin
+        let tag = String.sub text (!i + 1) (!j - !i - 1) in
+        let close = "|" ^ tag ^ "}" in
+        let cl = String.length close in
+        let k = ref (!j + 1) in
+        let fin = ref false in
+        for p = !i to !j do
+          blank p
+        done;
+        while (not !fin) && !k < n do
+          if !k + cl <= n && String.sub text !k cl = close then begin
+            for p = !k to !k + cl - 1 do
+              blank p
+            done;
+            k := !k + cl;
+            fin := true
+          end
+          else begin
+            bump text.[!k];
+            blank !k;
+            incr k
+          end
+        done;
+        i := !k
+      end
+      else incr i
+    end
+    else if c = '\'' then begin
+      (* Char literal or a prime in an identifier/type variable. *)
+      if !i + 1 < n && text.[!i + 1] = '\\' then begin
+        (* Escaped char literal: skip to the closing quote. *)
+        let k = ref (!i + 2) in
+        while !k < n && text.[!k] <> '\'' && !k - !i < 8 do
+          incr k
+        done;
+        for p = !i to min (n - 1) !k do
+          blank p
+        done;
+        i := !k + 1
+      end
+      else if !i + 2 < n && text.[!i + 2] = '\'' then begin
+        (* Plain char literal, possibly '"'. *)
+        blank !i;
+        blank (!i + 1);
+        blank (!i + 2);
+        i := !i + 3
+      end
+      else incr i
+    end
+    else begin
+      bump c;
+      incr i
+    end
+  done;
+  (List.rev !comments, Bytes.to_string out)
+
+(* ------------------------------------------------------------------ *)
+(* Suppression comments: (* sdncheck: allow D001, D005 — reason *).
+   The reason is mandatory; an id list without one is a malformed
+   suppression the engine reports as S001. The em dash is the
+   documented separator, but "--" and "-" are accepted. *)
+
+let is_rule_id s =
+  String.length s = 4
+  && s.[0] >= 'A'
+  && s.[0] <= 'Z'
+  && String.for_all (fun c -> c >= '0' && c <= '9') (String.sub s 1 3)
+
+let parse_suppression (text, l1, l2) =
+  let trimmed = String.trim text in
+  if not (String.starts_with ~prefix:"sdncheck:" trimmed) then `Not_one
+  else
+    let rest =
+      String.trim (String.sub trimmed 9 (String.length trimmed - 9))
+    in
+    if not (String.starts_with ~prefix:"allow" rest) then
+      `Malformed { m_line = l1; m_text = "expected \"sdncheck: allow <RULES> \xe2\x80\x94 <reason>\"" }
+    else begin
+      let rest = String.trim (String.sub rest 5 (String.length rest - 5)) in
+      (* Split off rule ids until the separator (em dash or hyphens). *)
+      let len = String.length rest in
+      let sep_at = ref (-1) in
+      let sep_len = ref 0 in
+      let k = ref 0 in
+      while !sep_at < 0 && !k < len do
+        if !k + 3 <= len && String.sub rest !k 3 = "\xe2\x80\x94" then begin
+          sep_at := !k;
+          sep_len := 3
+        end
+        else if rest.[!k] = '-' then begin
+          sep_at := !k;
+          let e = ref !k in
+          while !e < len && rest.[!e] = '-' do
+            incr e
+          done;
+          sep_len := !e - !k
+        end
+        else incr k
+      done;
+      let ids_part, reason =
+        if !sep_at < 0 then (rest, "")
+        else
+          ( String.sub rest 0 !sep_at,
+            String.trim
+              (String.sub rest (!sep_at + !sep_len) (len - !sep_at - !sep_len))
+          )
+      in
+      let ids =
+        String.split_on_char ',' ids_part
+        |> List.concat_map (String.split_on_char ' ')
+        |> List.map String.trim
+        |> List.filter (fun s -> s <> "")
+      in
+      if ids = [] || not (List.for_all is_rule_id ids) then
+        `Malformed { m_line = l1; m_text = "no valid rule ids in suppression" }
+      else if reason = "" then
+        `Malformed
+          {
+            m_line = l1;
+            m_text =
+              "suppression of " ^ String.concat "," ids
+              ^ " carries no reason (a reason is mandatory)";
+          }
+      else `Suppression { s_rules = ids; s_reason = reason; s_first = l1; s_last = l2 + 1 }
+    end
+
+(* ------------------------------------------------------------------ *)
+
+let parse_ast ~rel text =
+  let lexbuf = Lexing.from_string text in
+  Location.init lexbuf rel;
+  match Parse.implementation lexbuf with
+  | ast -> (Some ast, None)
+  | exception exn ->
+      let line =
+        match exn with
+        | Syntaxerr.Error e ->
+            (Syntaxerr.location_of_error e).Location.loc_start.Lexing.pos_lnum
+        | Lexer.Error (_, loc) -> loc.Location.loc_start.Lexing.pos_lnum
+        | _ -> lexbuf.Lexing.lex_curr_p.Lexing.pos_lnum
+      in
+      (None, Some (line, "file does not parse"))
+
+let of_string ~rel text =
+  let comments, stripped = scan text in
+  let suppressions = ref [] in
+  let malformed = ref [] in
+  List.iter
+    (fun c ->
+      match parse_suppression c with
+      | `Not_one -> ()
+      | `Suppression s -> suppressions := s :: !suppressions
+      | `Malformed m -> malformed := m :: !malformed)
+    comments;
+  let ast, parse_error = parse_ast ~rel text in
+  {
+    rel;
+    text;
+    stripped;
+    ast;
+    parse_error;
+    suppressions = List.rev !suppressions;
+    malformed = List.rev !malformed;
+  }
+
+let load ~root ~rel =
+  let path = Filename.concat root rel in
+  let text = In_channel.with_open_bin path In_channel.input_all in
+  of_string ~rel text

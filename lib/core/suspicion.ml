@@ -28,6 +28,13 @@ let flag t ~switch ~time_s ~round =
 
 let is_flagged t switch = Hashtbl.mem t.flagged switch
 
+(* Both folds feed List.sort directly (the D001-sanctioned shape).
+   The sort keys are not total — equal-time detections and equal-level
+   rules keep the fold's order — but that residue is still
+   deterministic: t.flagged/t.levels are built in probe-report order
+   on the coordinator domain, and OCaml's Hashtbl iterates a fixed
+   insertion sequence identically on every run. The PR2/PR3 golden
+   digests pin exactly these bytes, so the tie order must not change. *)
 let detections t =
   Hashtbl.fold (fun sw (time_s, round) acc -> (sw, time_s, round) :: acc) t.flagged []
   |> List.sort (fun (_, a, _) (_, b, _) -> compare a b)

@@ -30,6 +30,9 @@ type t = {
   clk : Clock.t;
   counters : (int, int) Hashtbl.t; (* entry -> packets processed *)
   counters_m : Mutex.t; (* injects may run concurrently (Runner) *)
+  counters_own : Sdn_parallel.Ownership.region;
+      (* SDNPROBE_POOL_CHECK witness that every counters access holds
+         [counters_m] (the touch_sync sites below) *)
   mutable impairment : Impairment.t option;
 }
 
@@ -43,6 +46,7 @@ let create net =
     clk = Clock.create ();
     counters = Hashtbl.create 256;
     counters_m = Mutex.create ();
+    counters_own = Sdn_parallel.Ownership.register ~name:"emulator.counters";
     impairment = None;
   }
 
@@ -83,6 +87,8 @@ let install_trap t ~probe ~switch ~rule ~header =
 
 let remove_probe_traps t ~probe =
   let keys =
+    (* sdncheck: allow D001 — every collected key is removed; the
+       removal set is order-free *)
     Hashtbl.fold (fun k p acc -> if p = probe then k :: acc else acc) t.traps []
   in
   List.iter (Hashtbl.remove t.traps) keys
@@ -91,18 +97,23 @@ let clear_traps t = Hashtbl.reset t.traps
 
 let flow_count t ~entry =
   Mutex.lock t.counters_m;
+  Sdn_parallel.Ownership.touch_sync t.counters_own;
   let c = Option.value ~default:0 (Hashtbl.find_opt t.counters entry) in
   Mutex.unlock t.counters_m;
   c
 
 let flow_counts t =
   Mutex.lock t.counters_m;
-  let cs = Hashtbl.fold (fun e c acc -> (e, c) :: acc) t.counters [] in
+  Sdn_parallel.Ownership.touch_sync t.counters_own;
+  let cs =
+    List.sort compare (Hashtbl.fold (fun e c acc -> (e, c) :: acc) t.counters [])
+  in
   Mutex.unlock t.counters_m;
-  List.sort compare cs
+  cs
 
 let reset_flow_counts t =
   Mutex.lock t.counters_m;
+  Sdn_parallel.Ownership.touch_sync t.counters_own;
   Hashtbl.reset t.counters;
   Mutex.unlock t.counters_m
 
@@ -110,6 +121,7 @@ let reset_flow_counts t =
    them in any order to the same final counts. *)
 let bump_counter t entry =
   Mutex.lock t.counters_m;
+  Sdn_parallel.Ownership.touch_sync t.counters_own;
   Hashtbl.replace t.counters entry
     (1 + Option.value ~default:0 (Hashtbl.find_opt t.counters entry));
   Mutex.unlock t.counters_m

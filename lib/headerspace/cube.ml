@@ -79,6 +79,8 @@ let n_shards = 16 (* power of two: shard index is a hash mask *)
 
 type shard = { sm : Mutex.t; tbl : Intern.t }
 
+(* sdncheck: allow D005 — each shard's table is only touched while
+   holding that shard's [sm] mutex (see [intern]) *)
 let shards =
   Array.init n_shards (fun _ -> { sm = Mutex.create (); tbl = Intern.create 1024 })
 

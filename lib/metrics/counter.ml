@@ -5,6 +5,8 @@ type t = { name : string; count : int Atomic.t }
    is mutex-guarded. Registration still happens once per site at module
    init; the hot path is the fetch-and-add. *)
 
+(* sdncheck: allow D005 — mutated only under [registry_m], and only at
+   module init (one [create] per counting site) *)
 let registry : t list ref = ref [] (* reverse creation order *)
 
 let registry_m = Mutex.create ()

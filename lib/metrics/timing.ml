@@ -20,7 +20,7 @@ let time t label f =
 let timings t =
   List.rev_map (fun label -> (label, Hashtbl.find t.totals label)) t.order
 
-let total t = Hashtbl.fold (fun _ s acc -> s +. acc) t.totals 0.
+let total t = List.fold_left (fun acc (_, s) -> acc +. s) 0. (timings t)
 
 let pp_duration fmt s =
   if s >= 1. then Format.fprintf fmt "%.2f s" s

@@ -1,0 +1,79 @@
+(* Opt-in runtime ownership checker: the dynamic complement to the
+   static D005 rule (docs/ANALYSIS.md).
+
+   A [region] names one mutable structure (a counter table, a memo
+   cache). Registering it records the owning domain; every access site
+   then calls [touch]. When the checker is enabled
+   (SDNPROBE_POOL_CHECK=1, or [set_enabled true] in tests), a touch
+   from a different domain raises {!Violation} unless the site is
+   inside a [guarded] section or declares itself mutex-protected with
+   [touch_sync] — exactly the escape hatches D005 suppressions claim.
+   Disabled (the default), a region is [None] and every operation is a
+   match on [None]: no allocation, no atomics, no cost on hot paths.
+
+   The checker is a detector, not a lock: it validates the claims the
+   D005 suppression comments make, under the real pooled workload of
+   the domain-4 CI job. *)
+
+exception Violation of string
+
+let env_enabled =
+  match Sys.getenv_opt "SDNPROBE_POOL_CHECK" with
+  | Some ("1" | "true" | "yes") -> true
+  | _ -> false
+
+(* sdncheck: allow D005 — checker switch: written by set_enabled in
+   single-domain test setup, before any pooled stage runs *)
+let enabled = ref env_enabled
+
+let set_enabled b = enabled := b
+let is_enabled () = !enabled
+
+type cell = {
+  name : string;
+  mutable owner : int; (* domain id; writes via adopt only *)
+  sync_depth : int Atomic.t; (* > 0 inside a guarded section *)
+  cross : int Atomic.t; (* cross-domain touches that were synchronized *)
+}
+
+type region = cell option
+
+let self_id () = (Domain.self () :> int)
+
+let register ~name : region =
+  if not !enabled then None
+  else Some { name; owner = self_id (); sync_depth = Atomic.make 0; cross = Atomic.make 0 }
+
+let adopt = function
+  | None -> ()
+  | Some c -> c.owner <- self_id ()
+
+let touch = function
+  | None -> ()
+  | Some c ->
+      let d = self_id () in
+      if d <> c.owner then
+        if Atomic.get c.sync_depth > 0 then Atomic.incr c.cross
+        else
+          raise
+            (Violation
+               (Printf.sprintf
+                  "region %S is owned by domain %d but was touched from domain \
+                   %d with no synchronization (SDNPROBE_POOL_CHECK)"
+                  c.name c.owner d))
+
+(* The caller asserts it holds the region's mutex: cross-domain access
+   is counted, never a violation. *)
+let touch_sync = function
+  | None -> ()
+  | Some c -> if self_id () <> c.owner then Atomic.incr c.cross
+
+let guarded r f =
+  match r with
+  | None -> f ()
+  | Some c ->
+      Atomic.incr c.sync_depth;
+      Fun.protect ~finally:(fun () -> Atomic.decr c.sync_depth) f
+
+let cross_touches = function None -> 0 | Some c -> Atomic.get c.cross
+let name = function None -> None | Some c -> Some c.name

@@ -1,0 +1,50 @@
+(** Opt-in runtime ownership checker — the dynamic complement to the
+    static D005 rule (docs/ANALYSIS.md).
+
+    Register each shared mutable structure as a {!region}; call
+    {!touch} at access sites. With [SDNPROBE_POOL_CHECK=1] (as in the
+    domain-4 CI job) an unsynchronized cross-domain touch raises
+    {!Violation}; the sanctioned escapes are a {!guarded} section or a
+    {!touch_sync} site that holds the region's mutex. Disabled (the
+    default), every operation is a no-op on a [None] region. *)
+
+exception Violation of string
+
+type region
+
+val register : name:string -> region
+(** Record the calling domain as the region's owner. Returns the
+    always-quiet dummy region when the checker is disabled, so call
+    sites need no conditionals. *)
+
+val touch : region -> unit
+(** Assert the access is safe: same domain as the owner, or inside a
+    {!guarded} section. Raises {!Violation} otherwise. *)
+
+val touch_sync : region -> unit
+(** Access site that holds the region's own mutex: cross-domain
+    touches are counted ({!cross_touches}) but never violations. *)
+
+val guarded : region -> (unit -> 'a) -> 'a
+(** Run a synchronized section (caller holds the protecting lock):
+    cross-domain {!touch}es inside it are permitted. *)
+
+val adopt : region -> unit
+(** Transfer ownership to the calling domain (e.g. when a structure
+    built on a worker is handed to the coordinator). *)
+
+val cross_touches : region -> int
+(** Synchronized cross-domain touches observed so far (0 when
+    disabled). *)
+
+val name : region -> string option
+(** The region's name; [None] when the checker is disabled. *)
+
+val set_enabled : bool -> unit
+(** Tests only: flip the checker at runtime. Regions already
+    registered keep their mode; flip before registering. *)
+
+val is_enabled : unit -> bool
+
+val env_enabled : bool
+(** What [SDNPROBE_POOL_CHECK] said at startup. *)

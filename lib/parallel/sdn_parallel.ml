@@ -1,4 +1,5 @@
 module Pool = Pool
+module Ownership = Ownership
 
 (* Process-wide degree of parallelism. Resolution order: an explicit
    [set_default_domains], else the SDNPROBE_DOMAINS environment
@@ -16,6 +17,8 @@ let env_domains () =
           Printf.eprintf "SDNPROBE_DOMAINS=%s ignored (want an int in [1, 128])\n%!" s;
           1)
 
+(* sdncheck: allow D005 — written only by set_default_domains before
+   any pool exists (test setup); pooled closures never touch it *)
 let override = ref None
 
 let default_domains () =
@@ -29,6 +32,7 @@ let set_default_domains n =
    a condition variable; the runtime joins every domain before the
    process can exit, so leaving them running would hang termination).
    Size-1 pools spawn no domains and run inline. *)
+(* sdncheck: allow D005 — every access is under [pools_m] just below *)
 let pools : (int, Pool.t) Hashtbl.t = Hashtbl.create 4
 
 let pools_m = Mutex.create ()
@@ -36,6 +40,8 @@ let pools_m = Mutex.create ()
 let () =
   at_exit (fun () ->
       Mutex.lock pools_m;
+      (* sdncheck: allow D001 — at_exit shutdown: every pool is shut
+         down exactly once and the order is immaterial *)
       let ps = Hashtbl.fold (fun _ p acc -> p :: acc) pools [] in
       Hashtbl.reset pools;
       Mutex.unlock pools_m;

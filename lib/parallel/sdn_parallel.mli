@@ -7,6 +7,7 @@
     explicit pool is passed. *)
 
 module Pool = Pool
+module Ownership = Ownership
 
 val env_domains : unit -> int
 (** Value of [SDNPROBE_DOMAINS] clamped to [\[1, 128\]]; 1 when unset

@@ -49,6 +49,9 @@ type caches = {
          issued by the (inherently sequential) augmentation search, so
          this table is not threaded through batch views. *)
   stats : stats;
+  own : Sdn_parallel.Ownership.region;
+      (* SDNPROBE_POOL_CHECK witness: only the building domain may
+         write the shared tables; batch workers write local views *)
 }
 
 let fresh_caches () =
@@ -58,6 +61,7 @@ let fresh_caches () =
     inject = Hashtbl.create 64;
     legal = Hashtbl.create 64;
     stats = { hits = 0; misses = 0 };
+    own = Sdn_parallel.Ownership.register ~name:"rule_graph.caches";
   }
 
 let c_start_hits = Metrics.Counter.create "rulegraph.cache.start.hits"
@@ -99,6 +103,7 @@ type view = {
   vinject : (int list, (int list * Hs.t) option) Hashtbl.t;
   vstats : stats;
   fallback : caches option; (* read-only during a batch *)
+  vown : Sdn_parallel.Ownership.region; (* who may write vstart/... *)
 }
 
 let direct_view caches =
@@ -108,6 +113,7 @@ let direct_view caches =
     vinject = caches.inject;
     vstats = caches.stats;
     fallback = None;
+    vown = caches.own;
   }
 
 let local_view caches =
@@ -117,6 +123,9 @@ let local_view caches =
     vinject = Hashtbl.create 16;
     vstats = { hits = 0; misses = 0 };
     fallback = Some caches;
+    (* Registered on the worker that runs the task, so its writes stay
+       same-domain by construction. *)
+    vown = Sdn_parallel.Ownership.register ~name:"rule_graph.local_view";
   }
 
 let cached view table shared (chit, cmiss) key compute =
@@ -137,13 +146,18 @@ let cached view table shared (chit, cmiss) key compute =
       view.vstats.misses <- view.vstats.misses + 1;
       Metrics.Counter.incr cmiss;
       let v = compute () in
+      Sdn_parallel.Ownership.touch view.vown;
       Hashtbl.add table key v;
       v
 
 (* Fold a task-local view back into the shared caches (single-domain
    code: called after the pool join, in task order). *)
 let merge_view t v =
+  Sdn_parallel.Ownership.touch t.caches.own;
   let into dst src =
+    (* sdncheck: allow D001 — add-if-absent merge: for any one key the
+       first claim wins and claims for one key are identical, so merge
+       order cannot change the resulting cache contents *)
     Hashtbl.iter (fun k x -> if not (Hashtbl.mem dst k) then Hashtbl.add dst k x) src
   in
   into t.caches.start v.vstart;
@@ -153,6 +167,7 @@ let merge_view t v =
   t.caches.stats.misses <- t.caches.stats.misses + v.vstats.misses
 
 let invalidate_caches t =
+  Sdn_parallel.Ownership.touch t.caches.own;
   Hashtbl.reset t.caches.start;
   Hashtbl.reset t.caches.forward;
   Hashtbl.reset t.caches.inject;
@@ -544,6 +559,7 @@ let update ?(max_witnesses = 3) old ~changed_tables =
           inject = Hashtbl.create (max 64 (Hashtbl.length old.caches.inject));
           legal = Hashtbl.create (max 64 (Hashtbl.length old.caches.legal));
           stats = { hits = 0; misses = 0 };
+          own = Sdn_parallel.Ownership.register ~name:"rule_graph.caches";
         };
     }
   in
@@ -615,6 +631,9 @@ let update ?(max_witnesses = 3) old ~changed_tables =
     go [] key
   in
   let retain src dst =
+    (* sdncheck: allow D001 — cache migration under an injective key
+       remap: distinct old keys land on distinct new keys, so
+       iteration order cannot affect the migrated table *)
     Hashtbl.iter
       (fun key value ->
         match remap_path key with
@@ -624,6 +643,8 @@ let update ?(max_witnesses = 3) old ~changed_tables =
   in
   retain old.caches.start t.caches.start;
   retain old.caches.forward t.caches.forward;
+  (* sdncheck: allow D001 — same injective remap as [retain], with the
+     inject payload's rule chain remapped alongside the key *)
   Hashtbl.iter
     (fun key value ->
       match key with
@@ -646,6 +667,8 @@ let update ?(max_witnesses = 3) old ~changed_tables =
      closure edges and witnesses verbatim) and the head enters at
      table 0 (later-table heads search base-graph predecessors, which
      edits elsewhere in the switch can change). *)
+  (* sdncheck: allow D001 — injective remap again: legality claims
+     migrate key-by-key, no cross-key interference *)
   Hashtbl.iter
     (fun key value ->
       match key with

@@ -4,6 +4,17 @@ let mean = function
 
 let sorted xs = List.sort compare xs
 
+(* Deterministic views of a hash table: Hashtbl's own iteration order
+   depends on insertion history and hashing, so any fold whose result
+   can reach output must go through one of these instead (rule D001 in
+   docs/ANALYSIS.md). Bindings with duplicate keys keep the most
+   recent one, like Hashtbl.find. *)
+let hashtbl_keys tbl =
+  List.sort_uniq compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])
+
+let hashtbl_bindings tbl =
+  List.map (fun k -> (k, Hashtbl.find tbl k)) (hashtbl_keys tbl)
+
 let median xs =
   match sorted xs with
   | [] -> 0.

@@ -23,6 +23,15 @@ val group_by : ('a -> 'b) -> 'a list -> ('b * 'a list) list
 val take : int -> 'a list -> 'a list
 (** First [n] elements (or fewer). *)
 
+val hashtbl_keys : ('a, 'b) Hashtbl.t -> 'a list
+(** Distinct keys in ascending (polymorphic-compare) order — the
+    deterministic way to walk a hash table whose iteration order would
+    otherwise leak into output (sdncheck rule D001). *)
+
+val hashtbl_bindings : ('a, 'b) Hashtbl.t -> ('a * 'b) list
+(** Bindings sorted by key; duplicate keys keep the most recent
+    binding, like [Hashtbl.find]. *)
+
 val span_time : (unit -> 'a) -> 'a * float
 (** [span_time f] runs [f ()] and returns its result together with the
     elapsed wall-clock time in seconds. *)

@@ -12,6 +12,8 @@
 
 external raw : unit -> float = "sdn_mono_now_s"
 
+(* sdncheck: allow D005 — written only by with_source, which is
+   restricted to single-domain test code by the contract above *)
 let source = ref raw
 
 let now_s () = !source ()

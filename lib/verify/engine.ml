@@ -502,6 +502,8 @@ let update t ~changed_tables =
             if Hashtbl.mem old_ids e.FE.id then Hashtbl.remove old_ids e.FE.id
             else delta := e.FE.match_ :: !delta)
           (Openflow.Flow_table.entries (Network.table net ~switch:sw ~table:0));
+        (* sdncheck: allow D001 — delta is consumed as an existential
+           set (any-overlap test below); element order is immaterial *)
         Hashtbl.iter (fun _ m -> delta := m :: !delta) old_ids;
         Hashtbl.replace match_delta sw !delta
       end)
@@ -518,6 +520,8 @@ let update t ~changed_tables =
         List.exists (fun m -> not (Hs.is_empty (Hs.inter_cube out m))) delta
   in
   let stale =
+    (* sdncheck: allow D001 — every stale id is evicted below; the
+       eviction set is order-free *)
     Hashtbl.fold
       (fun id _ acc ->
         match Network.find_entry net id with

@@ -281,5 +281,6 @@ let stats t =
     ("vertices", n_vertices t);
     ("edges", Digraph.n_edges t.graph);
     ( "label_cubes",
+      (* sdncheck: allow D001 — commutative int sum over all labels *)
       Hashtbl.fold (fun _ hs acc -> acc + Hs.cube_count hs) t.labels 0 );
   ]

@@ -210,6 +210,8 @@ let send_batch t ~config probes =
   let max_deadline = Array.fold_left Float.max 0. deadlines in
   let prune now =
     let expired =
+      (* sdncheck: allow D001 — every expired id is removed; the
+         removal set is order-free *)
       Hashtbl.fold
         (fun id i acc -> if deadlines.(i) < now then id :: acc else acc)
         pending []

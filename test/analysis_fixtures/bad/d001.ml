@@ -1,0 +1,4 @@
+(* Fixture: both unordered-iteration shapes must fire D001. *)
+type tbl = (int, int) Hashtbl.t
+let keys (tbl : tbl) = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []
+let shout f (tbl : tbl) = Hashtbl.iter (fun k v -> f k v) tbl

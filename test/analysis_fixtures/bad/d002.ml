@@ -1,0 +1,4 @@
+(* Fixture: every wall-clock read must fire D002. *)
+let a () = Unix.gettimeofday ()
+let b () = Unix.time ()
+let c () = Sys.time ()

@@ -1,0 +1,3 @@
+(* Fixture: ambient randomness must fire D003. *)
+let () = Random.self_init ()
+let roll () = Random.int 6

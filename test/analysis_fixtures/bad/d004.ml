@@ -1,0 +1,12 @@
+(* Fixture: polymorphic structural operations on header-space values
+   must fire D004 — by variable name, by field name, and through a
+   local alias of a header-space module. *)
+module C = Hspace.Cube
+
+type r = { header : int; tag : string }
+
+let by_name cube cube' = cube = cube'
+let by_field a b = a.header = b.header
+let by_compare header other = Stdlib.compare header other
+let by_hash hs = Hashtbl.hash hs
+let via_alias x y = C.inter x y = C.inter y x

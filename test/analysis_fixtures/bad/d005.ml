@@ -1,0 +1,9 @@
+(* Fixture: unguarded mutable toplevel state in a pooled-reachable
+   module must fire D005 (one finding per toplevel binding). *)
+let cache : (int, int) Hashtbl.t = Hashtbl.create 16
+let hits = ref 0
+let scratch = Buffer.create 64
+
+module Nested = struct
+  let inner = Array.make 8 0
+end

@@ -1,0 +1,3 @@
+(* Fixture: stdout writes in library code must fire D006. *)
+let greet () = print_string "hello"
+let report n = Printf.printf "n = %d\n" n

@@ -1,0 +1,6 @@
+(* Fixture: a suppression without a reason is itself an error (S001)
+   and must NOT silence the finding it hangs over. *)
+type tbl = (int, int) Hashtbl.t
+
+(* sdncheck: allow D001 *)
+let keys (tbl : tbl) = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []

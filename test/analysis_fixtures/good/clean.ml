@@ -1,0 +1,14 @@
+(* Fixture: the sanctioned shapes — sort-wrapped folds in all three
+   application forms, scalar module calls, module-provided equality,
+   and a suppression that carries a reason. *)
+type tbl = (int, int) Hashtbl.t
+let direct (t : tbl) = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t [])
+let piped (t : tbl) = Hashtbl.fold (fun k _ acc -> k :: acc) t [] |> List.sort_uniq compare
+let applied (t : tbl) = List.sort compare @@ Hashtbl.fold (fun k _ acc -> k :: acc) t []
+
+let same_cube a b = Hspace.Cube.equal a b
+let width cube = Hspace.Cube.length cube = 8
+
+(* sdncheck: allow D001 — fixture: exercising the suppression parser,
+   the fold result is discarded *)
+let allowed (t : tbl) = Hashtbl.fold (fun _ _ n -> n + 1) t 0

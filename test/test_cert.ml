@@ -513,7 +513,7 @@ let test_find_header_certified_unsat_proof () =
       ~inside:[ Cube.of_string "1xxxxxxx"; Cube.of_string "0xxxxxxx" ]
       8
   in
-  check_bool "no header" true (c.HE.header = None);
+  check_bool "no header" true (Option.is_none c.HE.header);
   check_bool "refutation checks" true
     (is_ok (Drup.check ~nvars:c.HE.nvars ~clauses:c.HE.clauses ~proof:c.HE.proof ()))
 

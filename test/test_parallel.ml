@@ -330,6 +330,78 @@ let test_golden_static_basic_24_par =
    the plan the verifier expects, and its certificate JSON matches the
    sequential one byte for byte. *)
 
+(* ------------------------------------------------------------------ *)
+(* Ownership checker (SDNPROBE_POOL_CHECK): the dynamic complement to
+   the static D005 rule. Each test flips the checker on, registers its
+   regions, and restores the env-derived state afterwards. *)
+
+module Own = Sdn_parallel.Ownership
+
+let with_checker f =
+  Own.set_enabled true;
+  Fun.protect ~finally:(fun () -> Own.set_enabled Own.env_enabled) f
+
+let test_ownership_violation () =
+  with_checker (fun () ->
+      let r = Own.register ~name:"test.region" in
+      (* Same-domain touches are quiet. *)
+      Own.touch r;
+      (* A pooled worker touching the coordinator's region must raise.
+         domains:2 so the closure really runs on another domain. *)
+      let p = Pool.create ~domains:2 in
+      let raised =
+        try
+          (* Tasks sleep briefly so the coordinator cannot drain the
+             whole batch before a worker domain claims its first task. *)
+          ignore
+            (Pool.map p
+               (fun _ ->
+                 Unix.sleepf 0.002;
+                 Own.touch r)
+               (Array.make 64 ()));
+          false
+        with Own.Violation _ -> true
+      in
+      Pool.shutdown p;
+      check_bool "cross-domain touch raises" true raised)
+
+let test_ownership_guarded_and_sync () =
+  with_checker (fun () ->
+      let r = Own.register ~name:"test.guarded" in
+      let worker () =
+        (* guarded: the caller vouches for synchronization; touch_sync:
+           mutex-holding sites are counted, not fatal. *)
+        let ok =
+          try
+            Own.guarded r (fun () -> Own.touch r);
+            true
+          with Own.Violation _ -> false
+        in
+        Own.touch_sync r;
+        ok
+      in
+      let ok = Domain.join (Domain.spawn worker) in
+      check_bool "guarded and sync touches pass" true ok;
+      check_int "both cross-domain touches counted" 2 (Own.cross_touches r))
+
+let test_ownership_adopt () =
+  with_checker (fun () ->
+      let r = Own.register ~name:"test.adopt" in
+      let d = Domain.spawn (fun () -> Own.adopt r; Own.touch r) in
+      Domain.join d;
+      (* After the worker adopted it, the old owner is the stranger. *)
+      let raised = try Own.touch r; false with Own.Violation _ -> true in
+      check_bool "previous owner now raises" true raised)
+
+let test_ownership_disabled_is_quiet () =
+  Own.set_enabled false;
+  Fun.protect ~finally:(fun () -> Own.set_enabled Own.env_enabled) (fun () ->
+      let r = Own.register ~name:"test.off" in
+      let d = Domain.spawn (fun () -> Own.touch r) in
+      Domain.join d;
+      check_int "no cross count when off" 0 (Own.cross_touches r);
+      check_bool "anonymous when off" true (Own.name r = None))
+
 let test_certify_parallel_plan () =
   let net = make_net ~switches:12 ~seed:8 in
   let cert domains =
@@ -373,6 +445,15 @@ let () =
           Alcotest.test_case "golden randomized s16 @4" `Quick
             test_golden_randomized_drop_par;
           Alcotest.test_case "golden static s24 @4" `Quick test_golden_static_basic_24_par;
+        ] );
+      ( "ownership",
+        [
+          Alcotest.test_case "cross-domain violation" `Quick test_ownership_violation;
+          Alcotest.test_case "guarded and touch_sync" `Quick
+            test_ownership_guarded_and_sync;
+          Alcotest.test_case "adopt transfers" `Quick test_ownership_adopt;
+          Alcotest.test_case "disabled is quiet" `Quick
+            test_ownership_disabled_is_quiet;
         ] );
       ( "certify",
         [ Alcotest.test_case "parallel plan certifies" `Quick test_certify_parallel_plan ] );

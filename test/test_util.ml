@@ -124,6 +124,26 @@ let test_list_init_filter () =
   check_bool "evens" true
     (Misc.list_init_filter 6 (fun i -> if i mod 2 = 0 then Some i else None) = [ 0; 2; 4 ])
 
+(* The deterministic hash-table views (sdncheck rule D001): the same
+   bindings inserted in different orders must render identically. *)
+let test_hashtbl_views () =
+  let of_pairs ps =
+    let t = Hashtbl.create 8 in
+    List.iter (fun (k, v) -> Hashtbl.replace t k v) ps;
+    t
+  in
+  let a = of_pairs [ ("z", 1); ("a", 2); ("m", 3) ] in
+  let b = of_pairs [ ("m", 3); ("z", 1); ("a", 2) ] in
+  check_bool "keys sorted" true (Misc.hashtbl_keys a = [ "a"; "m"; "z" ]);
+  check_bool "insertion order irrelevant" true
+    (Misc.hashtbl_bindings a = Misc.hashtbl_bindings b);
+  check_bool "bindings sorted" true
+    (Misc.hashtbl_bindings a = [ ("a", 2); ("m", 3); ("z", 1) ]);
+  (* Duplicate keys (Hashtbl.add shadowing) keep the latest binding. *)
+  let d = of_pairs [ ("k", 1) ] in
+  Hashtbl.add d "k" 2;
+  check_bool "latest wins" true (Misc.hashtbl_bindings d = [ ("k", 2) ])
+
 (* ------------------------------------------------------------------ *)
 (* Mono: the shared monotonic time source. All timing call sites must
    route through Mono — the regression here installs a fake source that
@@ -235,6 +255,7 @@ let () =
           Alcotest.test_case "group_by" `Quick test_group_by;
           Alcotest.test_case "take" `Quick test_take;
           Alcotest.test_case "list_init_filter" `Quick test_list_init_filter;
+          Alcotest.test_case "hashtbl views" `Quick test_hashtbl_views;
         ] );
       ( "mono",
         [

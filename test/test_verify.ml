@@ -153,7 +153,8 @@ let prop_closure_vs_brute_force =
                 (simulate net ~source h))
             headers;
           let brute_ids =
-            sorted_ids (Hashtbl.fold (fun id _ acc -> id :: acc) brute [])
+            List.sort_uniq Int.compare
+              (Hashtbl.fold (fun id _ acc -> id :: acc) brute [])
           in
           let closure_ids =
             sorted_ids
