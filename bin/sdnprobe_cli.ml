@@ -68,7 +68,14 @@ let seed_term =
 let make_network ~switches ~seed =
   let rng = Sdn_util.Prng.create seed in
   let topo = Topogen.Topo_gen.rocketfuel_like rng ~n_switches:switches () in
-  Topogen.Rule_gen.install rng topo
+  (* Past the historical 50-switch sizes the default spec's O(n^2) rule
+     count is impractical; cap destinations like the bench presets do
+     (Topogen.Preset). 16/50-switch policies are byte-identical. *)
+  if switches > 50 then
+    Topogen.Rule_gen.install
+      ~spec:(Topogen.Rule_gen.scaled_spec ~n_switches:switches ())
+      rng topo
+  else Topogen.Rule_gen.install rng topo
 
 let load_term =
   Arg.(
@@ -97,6 +104,24 @@ let resolve_network ~switches ~seed = function
 let env_pool () =
   if Sdn_parallel.default_domains () > 1 then Some (Sdn_parallel.default_pool ())
   else None
+
+(* Sharded planning (docs/SHARD.md), shared by plan and detect. *)
+let shards_term =
+  Arg.(
+    value & flag
+    & info [ "shards" ]
+        ~doc:
+          "Plan with the sharded two-level pipeline: BFS region partition, \
+           per-region rule graphs and MLPC covers, cross-region stitching. \
+           Detection then localizes hierarchically (region first, then \
+           within-region slicing).")
+
+let shard_target_term =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "shard-target" ] ~docv:"N"
+        ~doc:"Target region size (switches per region) for $(b,--shards).")
 
 (* Shared by plan --delta, watch and verify --edits FILE: read and
    parse an edit stream ("-" = stdin). *)
@@ -152,16 +177,61 @@ let plan_cmd =
       & info [ "json" ]
           ~doc:
             "With $(b,--delta): emit one JSON object per batch (the full plan \
-             patch) instead of text summaries.")
+             patch) instead of text summaries. With $(b,--shards): emit the \
+             plan summary and shard statistics as one JSON object.")
   in
-  let run switches seed randomized certify delta edits_file json load save =
+  let run switches seed randomized certify delta edits_file json shards
+      shard_target load save =
     let net = resolve_network ~switches ~seed load in
     (match save with
     | Some path ->
         Openflow.Serial.save net ~path;
         Format.printf "policy saved to %s@." path
     | None -> ());
-    if randomized && delta then
+    if shards then
+      if randomized || certify || delta then
+        `Error
+          ( false,
+            "--shards is its own planning pipeline; drop \
+             --randomized/--certify/--delta" )
+      else begin
+        let splan =
+          Shard.Splan.create ?pool:(env_pool ()) ?target:shard_target net
+        in
+        let st = splan.Shard.Splan.stats in
+        if json then
+          print_endline
+            (Sdn_util.Json.to_string
+               (Sdn_util.Json.Obj
+                  [
+                    ("probes", Sdn_util.Json.Int (Shard.Splan.size splan));
+                    ( "untestable",
+                      Sdn_util.Json.Int (List.length splan.Shard.Splan.untestable)
+                    );
+                    ( "generation_s",
+                      Sdn_util.Json.Float splan.Shard.Splan.generation_s );
+                    ("shard", Shard.Splan.stats_to_json splan);
+                  ]))
+        else begin
+          Format.printf "%a@." Openflow.Network.pp_summary net;
+          Format.printf
+            "sharded probes: %d over %d region(s) (generated in %.3fs)@."
+            (Shard.Splan.size splan) st.Shard.Splan.regions
+            splan.Shard.Splan.generation_s;
+          Format.printf
+            "shard: cut edges %d, border rules %d, chains %d, stitched %d@."
+            st.Shard.Splan.cut_edges st.Shard.Splan.border_rules
+            st.Shard.Splan.chains st.Shard.Splan.stitched;
+          List.iteri
+            (fun i (p : Sdnprobe.Probe.t) ->
+              if i < 10 then Format.printf "  %a@." Sdnprobe.Probe.pp p)
+            splan.Shard.Splan.probes;
+          if Shard.Splan.size splan > 10 then
+            Format.printf "  ... (%d more)@." (Shard.Splan.size splan - 10)
+        end;
+        `Ok ()
+      end
+    else if randomized && delta then
       `Error (false, "--delta re-plans the static scheme; drop --randomized")
     else if delta && edits_file = None then
       `Error (false, "--delta needs an edit stream (--edits FILE, or --edits -)")
@@ -288,7 +358,8 @@ let plan_cmd =
     Term.(
       ret
         (const run $ switches_term $ seed_term $ randomized $ certify $ delta
-       $ edits_file $ json $ load_term $ save_term))
+       $ edits_file $ json $ shards_term $ shard_target_term $ load_term
+       $ save_term))
 
 (* ------------------------------------------------------------------ *)
 (* watch *)
@@ -527,6 +598,15 @@ let detect_cmd =
       value & opt float 0.02
       & info [ "faulty" ] ~docv:"FRACTION" ~doc:"Fraction of faulty flow entries.")
   in
+  let rounds =
+    Arg.(
+      value & opt int 150
+      & info [ "rounds" ] ~docv:"N"
+          ~doc:
+            "Localization round budget. Dense fault populations (many faulty \
+             switches per probe path) can need more than the default to \
+             isolate every fault.")
+  in
   let kind =
     let kind_conv =
       Arg.enum
@@ -598,7 +678,7 @@ let detect_cmd =
           ~doc:"Emit the detection report as one versioned JSON object.")
   in
   let run switches seed scheme fraction kind load loss jitter flap churn resilient
-      backend json =
+      backend json shards shard_target rounds =
     if
       backend = Sdnprobe.Config.Wire
       && (scheme = Experiments.Schemes.Atpg || scheme = Experiments.Schemes.Per_rule)
@@ -609,6 +689,13 @@ let detect_cmd =
             "the %s baseline drives the emulator directly and cannot run on \
              --backend wire"
             (Experiments.Schemes.name scheme) )
+    else if shards && scheme <> Experiments.Schemes.Sdnprobe then
+      `Error
+        ( false,
+          "--shards replans the static sdnprobe scheme; drop --scheme or use \
+           --scheme sdnprobe" )
+    else if shards && backend = Sdnprobe.Config.Wire then
+      `Error (false, "--shards runs on the in-process emulator backend only")
     else begin
     let net = resolve_network ~switches ~seed load in
     let emulator = Dataplane.Emulator.create net in
@@ -640,18 +727,50 @@ let detect_cmd =
         truth
     end;
     let config =
-      if resilient then Sdnprobe.Config.(with_max_rounds 150 resilient)
-      else Sdnprobe.Config.make ~max_rounds:150 ()
+      if resilient then Sdnprobe.Config.(with_max_rounds rounds resilient)
+      else Sdnprobe.Config.make ~max_rounds:rounds ()
     in
     let config = Sdnprobe.Config.with_backend backend config in
-    let report =
-      Experiments.Schemes.run scheme ~seed
-        ~stop:(Sdnprobe.Runner.stop_when_flagged truth)
-        ~config emulator
+    let stop = Sdnprobe.Runner.stop_when_flagged truth in
+    let report, shard_stats =
+      if not shards then
+        (Experiments.Schemes.run scheme ~seed ~stop ~config emulator, None)
+      else begin
+        (* Sharded plan + hierarchical localization: region-border
+           slicing first, ordinary bisection within the guilty region. *)
+        let splan =
+          Shard.Splan.create ?pool:(env_pool ()) ?target:shard_target net
+        in
+        let backend = Sdnprobe.Backend.of_emulator emulator in
+        let report =
+          Sdnprobe.Runner.execute_probes ~stop ~name:"sharded-sdnprobe"
+            ~region_of:(Shard.Splan.region_of splan) ~config ~backend
+            ~generation_s:splan.Shard.Splan.generation_s
+            splan.Shard.Splan.probes
+        in
+        (report, Some (Shard.Splan.stats_to_json splan))
+      end
     in
-    if json then print_endline (Sdnprobe.Report.to_json report)
+    if json then begin
+      (* One object: the versioned report plus the injected ground
+         truth (the exactness oracle for CI's scale-smoke job) and,
+         when sharded, a "shard" section. Report.of_json ignores
+         unknown fields. *)
+      let extra =
+        ("truth", Sdn_util.Json.List (List.map (fun s -> Sdn_util.Json.Int s) truth))
+        :: (match shard_stats with Some stats -> [ ("shard", stats) ] | None -> [])
+      in
+      print_endline
+        (match Sdn_util.Json.of_string (Sdnprobe.Report.to_json report) with
+        | Ok (Sdn_util.Json.Obj fields) ->
+            Sdn_util.Json.to_string (Sdn_util.Json.Obj (fields @ extra))
+        | _ -> Sdnprobe.Report.to_json report)
+    end
     else begin
       Format.printf "%a@." Sdnprobe.Report.pp report;
+      (match shard_stats with
+      | Some stats -> Format.printf "shard: %s@." (Sdn_util.Json.to_string stats)
+      | None -> ());
       let confusion =
         Metrics.Confusion.compute ~ground_truth:truth
           ~flagged:(Sdnprobe.Report.flagged_switches report)
@@ -670,7 +789,8 @@ let detect_cmd =
     Term.(
       ret
         (const run $ switches_term $ seed_term $ scheme $ fraction $ kind
-       $ load_term $ loss $ jitter $ flap $ churn $ resilient $ backend $ json))
+       $ load_term $ loss $ jitter $ flap $ churn $ resilient $ backend $ json
+       $ shards_term $ shard_target_term $ rounds))
 
 (* ------------------------------------------------------------------ *)
 (* lint *)

@@ -40,7 +40,7 @@ let make net ~id ~rules ~header =
 
 let hop_count t = List.length t.rules
 
-let slice net ~fresh_id t =
+let slice ?region_of net ~fresh_id t =
   let n = List.length t.rules in
   if n < 2 then None
   else begin
@@ -49,12 +49,28 @@ let slice net ~fresh_id t =
        table-0 rule (a clean injection); fall back to any index — the
        packet still reaches a mid-table rule through its switch's
        earlier tables, and the parent's header already survived them.
-       Prefer the cut closest to the middle. *)
+       Prefer the cut closest to the middle. Under [region_of]
+       (hierarchical localization, docs/SHARD.md), table-0 cuts where
+       the path crosses a region border are preferred over all others:
+       the first bisection then says which region the fault is in, and
+       subsequent slices are ordinary within-region bisections. *)
     let all = List.init (n - 1) (fun k -> k + 1) in
     let table0 =
       List.filter (fun i -> (Network.entry net rules.(i)).FE.table = 0) all
     in
-    let candidates = if table0 <> [] then table0 else all in
+    let border =
+      match region_of with
+      | None -> []
+      | Some region_of ->
+          List.filter
+            (fun i ->
+              region_of (Network.entry net rules.(i)).FE.switch
+              <> region_of (Network.entry net rules.(i - 1)).FE.switch)
+            table0
+    in
+    let candidates =
+      if border <> [] then border else if table0 <> [] then table0 else all
+    in
     match candidates with
     | [] -> None
     | _ ->

@@ -28,6 +28,7 @@ val headers_along : Openflow.Network.t -> rules:int list -> Hspace.Header.t -> H
 val hop_count : t -> int
 
 val slice :
+  ?region_of:(int -> int) ->
   Openflow.Network.t ->
   fresh_id:(unit -> int) ->
   t ->
@@ -37,7 +38,15 @@ val slice :
     inject there). [None] when the path has a single rule or no valid
     cut point. The first half keeps the parent's injected header; the
     second half is injected with the header the packet would carry at
-    the cut. *)
+    the cut.
+
+    [region_of] (a switch-to-region map, e.g. [Shard.Splan.region_of])
+    turns slicing hierarchical: table-0 cuts at region borders are
+    preferred, so a failing cross-region probe is first bisected into
+    per-region halves — localizing the fault to a region — before
+    ordinary within-region bisection takes over. Without it (the
+    default) behaviour is byte-identical to before the option
+    existed. *)
 
 val pp : Format.formatter -> t -> unit
 

@@ -90,7 +90,7 @@ let send_round_batched ~config ~send_batch ~packets_sent ~counters probes =
   done;
   Array.to_list (Array.mapi (fun i p -> (p, passed.(i))) arr)
 
-let engine ?(stop = stop_never) ?redraw ?(name = "sdnprobe") ~config
+let engine ?(stop = stop_never) ?redraw ?region_of ?(name = "sdnprobe") ~config
     ~(backend : Backend.t) ~generation_s probes =
   let clock = backend.Backend.clock in
   let start_s = Clock.now_seconds clock in
@@ -192,7 +192,7 @@ let engine ?(stop = stop_never) ?redraw ?(name = "sdnprobe") ~config
           counters.failed_probes <- counters.failed_probes + 1;
           List.iter (Suspicion.bump_rule suspicion) p.rules;
           if List.length p.rules > 1 then
-            match Probe.slice net ~fresh_id p with
+            match Probe.slice ?region_of net ~fresh_id p with
             | Some (a, b) -> follow_up := a :: b :: !follow_up
             | None ->
                 (* Uncuttable multi-rule path (goto chain): treat as a
@@ -271,6 +271,10 @@ let execute_on ?stop ?name ~config ~(backend : Backend.t) (plan : Plan.t) =
 
 let execute ?stop ?name ~config ~emulator (plan : Plan.t) =
   execute_on ?stop ?name ~config ~backend:(Backend.of_emulator emulator) plan
+
+let execute_probes ?stop ?name ?region_of ~config ~(backend : Backend.t)
+    ~generation_s probes =
+  engine ?stop ?region_of ?name ~config ~backend ~generation_s probes
 
 let run ?stop ?redraw ?name ~config ~emulator ~generation_s probes =
   engine ?stop ?redraw ?name ~config ~backend:(Backend.of_emulator emulator)

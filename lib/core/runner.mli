@@ -66,6 +66,23 @@ val execute_on :
 (** {!execute} over an explicit probe-delivery backend. The caller owns
     the backend's lifetime ([Backend.close] is not called here). *)
 
+val execute_probes :
+  ?stop:stop ->
+  ?name:string ->
+  ?region_of:(int -> int) ->
+  config:Config.t ->
+  backend:Backend.t ->
+  generation_s:float ->
+  Probe.t list ->
+  Report.t
+(** The detection engine over a raw probe list — the entry point for
+    sharded plans ([Shard.Splan.t] carries probes, not a {!Plan.t}).
+    [region_of] (e.g. [Shard.Splan.region_of]) enables hierarchical
+    localization: failed cross-region probes are first bisected at
+    region borders ({!Probe.slice}), so suspicion converges on the
+    guilty region before within-region slicing takes over. Without
+    [region_of], behaviour matches {!execute_on} on a static plan. *)
+
 (** {2 Deprecated wrappers}
 
     Kept for source compatibility with pre-[Plan.t] callers; both

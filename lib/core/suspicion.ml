@@ -42,3 +42,22 @@ let detections t =
 let rule_levels t =
   Hashtbl.fold (fun r l acc -> if l > 0 then (r, l) :: acc else acc) t.levels []
   |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let region_levels t ~region_of_rule =
+  (* Aggregate to regions through an intermediate table, then sort on
+     the full (level desc, region asc) key — the order is total, so
+     unlike the folds above nothing depends on hash iteration order. *)
+  let per_region : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  (* sdncheck: allow D001 — per-key addition is commutative, so the
+     aggregate is iteration-order independent *)
+  Hashtbl.iter
+    (fun r l ->
+      if l > 0 then begin
+        let reg = region_of_rule r in
+        Hashtbl.replace per_region reg
+          (l + Option.value ~default:0 (Hashtbl.find_opt per_region reg))
+      end)
+    t.levels;
+  Hashtbl.fold (fun reg l acc -> (reg, l) :: acc) per_region []
+  |> List.sort (fun (ra, la) (rb, lb) ->
+         if la <> lb then compare lb la else compare ra rb)

@@ -40,3 +40,11 @@ val rule_levels : t -> (int * int) list
 (** All non-zero [(rule, level)] pairs, for inspection and ranking
     ("a network administrator can make better decisions in choosing
     which switch to manually inspect first"). *)
+
+val region_levels : t -> region_of_rule:(int -> int) -> (int * int) list
+(** Hierarchical view (docs/SHARD.md): suspicion summed per region,
+    [(region, total)] sorted by total descending then region ascending
+    (a total order — no tie residue). The head names the guilty region
+    before any single rule crosses the flag threshold, which is the
+    region the sliced sub-probes are converging on under
+    [Probe.slice ~region_of]. *)

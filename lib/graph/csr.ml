@@ -1,0 +1,82 @@
+(* Compressed sparse row adjacency: the whole graph in two flat int
+   arrays. A [Digraph.t] costs a list cell and a boxed float per edge
+   plus a per-vertex list head; at the shard layer's scales (tens of
+   thousands of rules, million-edge closures) that pointer soup is the
+   memory bill. CSR is the classic diet: [row] holds n+1 offsets into
+   [col], vertex [v]'s successors are [col.(row.(v)) .. col.(row.(v+1)
+   - 1)], in the source graph's insertion order — int-packed, cache
+   friendly, and immutable. *)
+
+type t = { n : int; row : int array; col : int array }
+
+let n_vertices t = t.n
+
+let n_edges t = Array.length t.col
+
+let of_successors ~n succ =
+  let row = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    row.(v + 1) <- row.(v) + List.length (succ v)
+  done;
+  let col = Array.make row.(n) 0 in
+  for v = 0 to n - 1 do
+    List.iteri (fun k w -> col.(row.(v) + k) <- w) (succ v)
+  done;
+  { n; row; col }
+
+let of_digraph g =
+  of_successors ~n:(Digraph.n_vertices g) (fun v -> Digraph.succ g v)
+
+let of_edges ~n edges =
+  (* Grouped by source in one counting pass; within a source, the input
+     order is kept (matching [of_successors]' contract). *)
+  let deg = Array.make n 0 in
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg "Csr.of_edges: vertex out of range";
+      deg.(u) <- deg.(u) + 1)
+    edges;
+  let row = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    row.(v + 1) <- row.(v) + deg.(v)
+  done;
+  let col = Array.make row.(n) 0 in
+  let fill = Array.copy row in
+  List.iter
+    (fun (u, v) ->
+      col.(fill.(u)) <- v;
+      fill.(u) <- fill.(u) + 1)
+    edges;
+  { n; row; col }
+
+let out_degree t v =
+  if v < 0 || v >= t.n then invalid_arg "Csr.out_degree: vertex out of range";
+  t.row.(v + 1) - t.row.(v)
+
+let iter_succ f t v =
+  if v < 0 || v >= t.n then invalid_arg "Csr.iter_succ: vertex out of range";
+  for k = t.row.(v) to t.row.(v + 1) - 1 do
+    f t.col.(k)
+  done
+
+let fold_succ f acc t v =
+  if v < 0 || v >= t.n then invalid_arg "Csr.fold_succ: vertex out of range";
+  let acc = ref acc in
+  for k = t.row.(v) to t.row.(v + 1) - 1 do
+    acc := f !acc t.col.(k)
+  done;
+  !acc
+
+let succ t v = List.rev (fold_succ (fun acc w -> w :: acc) [] t v)
+
+let mem_edge t u v = fold_succ (fun acc w -> acc || w = v) false t u
+
+let iter_edges f t =
+  for u = 0 to t.n - 1 do
+    for k = t.row.(u) to t.row.(u + 1) - 1 do
+      f u t.col.(k)
+    done
+  done
+
+let words t = (2 * Array.length t.row) + Array.length t.col + 4

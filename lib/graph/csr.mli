@@ -1,0 +1,43 @@
+(** Compressed sparse row adjacency: an immutable digraph packed into
+    two flat [int array]s (offsets + column indices), no per-edge
+    records. The successor order of the source representation is
+    preserved exactly, so algorithms that consult candidates in
+    insertion order (the determinism contract of the planner) behave
+    identically over the CSR form. Used by the shard layer for
+    topology partitioning and the inter-shard graph (docs/SHARD.md). *)
+
+type t
+
+val of_digraph : Digraph.t -> t
+(** Freeze a {!Digraph.t}; successors keep their insertion order. *)
+
+val of_successors : n:int -> (int -> int list) -> t
+(** [of_successors ~n succ] builds the graph on [n] vertices whose
+    vertex [v] has successor list [succ v] (order preserved; [succ] is
+    called twice per vertex). *)
+
+val of_edges : n:int -> (int * int) list -> t
+(** Build from an edge list: edges are grouped by source, and within a
+    source keep the list order. Raises [Invalid_argument] on an
+    out-of-range vertex. *)
+
+val n_vertices : t -> int
+
+val n_edges : t -> int
+
+val out_degree : t -> int -> int
+
+val succ : t -> int -> int list
+
+val iter_succ : (int -> unit) -> t -> int -> unit
+
+val fold_succ : ('a -> int -> 'a) -> 'a -> t -> int -> 'a
+
+val mem_edge : t -> int -> int -> bool
+(** Linear in the out-degree of the source. *)
+
+val iter_edges : (int -> int -> unit) -> t -> unit
+
+val words : t -> int
+(** Approximate heap footprint in words — the number a [Digraph.t]
+    multiplies by a pointer-chasing constant. *)

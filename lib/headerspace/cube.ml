@@ -224,7 +224,39 @@ let inter a b =
       Some { len = a.len; mask; value }
   end
 
-let disjoint a b = inter a b = None
+let disjoint a b =
+  a != b
+  && begin
+       check_lengths a b "Cube.disjoint";
+       (* [inter a b = None] without materializing the intersection:
+          a conflict is a bit fixed in both cubes with differing values. *)
+       let n = Array.length a.mask in
+       let rec conflict i =
+         if i >= n then false
+         else
+           let both = a.mask.(i) land b.mask.(i) in
+           if (a.value.(i) lxor b.value.(i)) land both <> 0 then true
+           else conflict (i + 1)
+       in
+       conflict 0
+     end
+
+let hull a b =
+  if a == b then a
+  else begin
+    check_lengths a b "Cube.hull";
+    (* Smallest enclosing cube: a position stays fixed iff both cubes
+       fix it to the same value. Uninterned like the other algebra
+       results — hulls are throwaway prefilter material. *)
+    let n = Array.length a.mask in
+    let mask = Array.make n 0 and value = Array.make n 0 in
+    for i = 0 to n - 1 do
+      let m = a.mask.(i) land b.mask.(i) land lnot (a.value.(i) lxor b.value.(i)) in
+      mask.(i) <- m;
+      value.(i) <- a.value.(i) land m
+    done;
+    { len = a.len; mask; value }
+  end
 
 let subset a b =
   a == b

@@ -91,7 +91,13 @@ val subset : t -> t -> bool
 (** [subset a b] iff every header in [a] is in [b]. *)
 
 val disjoint : t -> t -> bool
-(** [disjoint a b] iff [inter a b = None]. *)
+(** [disjoint a b] iff [inter a b = None]. Allocation-free. *)
+
+val hull : t -> t -> t
+(** [hull a b] is the smallest cube containing both: a position is
+    fixed iff both cubes fix it to the same value. Disjoint hulls imply
+    disjoint cubes (the converse does not hold), which makes hulls a
+    sound prefilter for intersection emptiness. *)
 
 val diff : t -> t -> t list
 (** [diff a b] is a disjoint list of cubes whose union is [a - b].

@@ -54,6 +54,20 @@ let inter a b =
   in
   { len = a.len; cubes = subsume pieces }
 
+(* Emptiness of an intersection without building it: the edge scans of
+   the rule-graph build only ask whether out ∩ in is inhabited, and
+   [inter] would allocate every piece plus a quadratic subsumption pass
+   just to have the list thrown away. Subsumption never changes
+   emptiness, so one non-disjoint cube pair settles the question — and
+   [Cube.disjoint] is allocation-free, which makes the whole scan
+   allocation-free (the planned cube arena for this path became
+   unnecessary: nothing is allocated at all). *)
+let inter_nonempty a b =
+  check a b "Hs.inter_nonempty";
+  List.exists
+    (fun ca -> List.exists (fun cb -> not (Cube.disjoint ca cb)) b.cubes)
+    a.cubes
+
 let diff_cube t c =
   { len = t.len; cubes = subsume (List.concat_map (fun d -> Cube.diff d c) t.cubes) }
 
@@ -124,6 +138,11 @@ let sample rng t =
 
 let first_member t =
   match t.cubes with [] -> None | c :: _ -> Some (Cube.first_member c)
+
+let hull t =
+  match t.cubes with
+  | [] -> None
+  | c :: rest -> Some (List.fold_left Cube.hull c rest)
 
 let pp fmt t =
   match t.cubes with

@@ -38,6 +38,11 @@ val union : t -> t -> t
 
 val inter : t -> t -> t
 
+val inter_nonempty : t -> t -> bool
+(** [inter_nonempty a b] iff [inter a b] is non-empty, decided without
+    allocating the intersection (one {!Cube.disjoint} check per cube
+    pair, early exit). The rule-graph edge scans run on this. *)
+
 val diff : t -> t -> t
 
 val inter_cube : t -> Cube.t -> t
@@ -82,5 +87,11 @@ val sample : Sdn_util.Prng.t -> t -> Cube.t option
 
 val first_member : t -> Cube.t option
 (** Deterministic concrete member ([None] when empty). *)
+
+val hull : t -> Cube.t option
+(** Smallest single cube containing the whole set ([None] when empty).
+    Two spaces with {!Cube.disjoint} hulls have an empty intersection —
+    the sound prefilter the rule-graph build uses to skip full
+    {!inter} calls on the all-pairs edge scan. *)
 
 val pp : Format.formatter -> t -> unit

@@ -16,6 +16,16 @@ let sat_pick ~distinct_from hs =
      model cannot be deflected by a clause the model already satisfies —
      so dropping them changes nothing but the query size, which is what
      makes reconciliation affordable on thousand-path covers. *)
+  match distinct_from with
+  | [] ->
+      (* Unconstrained query: the canonical solver's model over
+         [inside:[cube]] alone is unit propagation of the fixed bits
+         plus false for every free bit — the cube's first member. Every
+         speculation-phase pick goes through here, so answering from
+         the cube directly (no solver instance) is what keeps header
+         assignment linear on thousand-path covers. *)
+      Option.map Header.of_cube (Hs.first_member hs)
+  | _ :: _ ->
   let rec loop = function
     | [] -> None
     | cube :: rest -> (
@@ -173,7 +183,55 @@ let assign ?pool ?memo ?(key = fun (p : Cover.path) -> p.Cover.rules) policy
      count, and for [Sat_unique] identical to the sequential fold. *)
   let nn = Array.length pols in
   let out = Array.make nn None in
+  (* [seen] feeds the (rare) constrained re-queries; the hash set
+     answers the per-path "is this header taken" membership test, which
+     a list scan would make quadratic in the cover size. *)
   let seen = ref [] in
+  let seen_tbl : (string, unit) Hashtbl.t = Hashtbl.create (max 16 nn) in
+  (* [Sat_unique] collision path: per-cube buckets of the already-taken
+     headers that lie inside the cube. [sat_pick] filters the whole
+     seen-list per query — quadratic in the cover size when thousands of
+     paths share a handful of popular cubes (destination routing). A
+     bucket is seeded with exactly that filter's result when its cube is
+     first queried and kept current by [record], always in the same
+     reverse-chronological order the filter would produce, so the solver
+     receives a byte-identical query and the output — certificate
+     replays included — is unchanged. *)
+  let buckets : (string, Header.t list ref) Hashtbl.t = Hashtbl.create 64 in
+  let registered : (Cube.t * Header.t list ref) list ref = ref [] in
+  let record h =
+    seen := h :: !seen;
+    Hashtbl.replace seen_tbl (Header.to_string h) ();
+    List.iter
+      (fun (cube, b) -> if Header.matches h cube then b := h :: !b)
+      !registered
+  in
+  let bucket_for cube =
+    let ckey = Cube.to_string cube in
+    match Hashtbl.find_opt buckets ckey with
+    | Some b -> b
+    | None ->
+        let b = ref (List.filter (fun h -> Header.matches h cube) !seen) in
+        Hashtbl.add buckets ckey b;
+        registered := (cube, b) :: !registered;
+        b
+  in
+  let pick_unique (p : Cover.path) =
+    let rec try_cubes = function
+      | [] ->
+          (* Every cube exhausted by distinctness: same duplicate
+             fallback as [header_for_path]. *)
+          Option.map Header.of_cube (Hs.first_member p.Cover.start_space)
+      | cube :: rest -> (
+          match
+            Sat.Header_encoding.find_header ~distinct_from:!(bucket_for cube)
+              ~inside:[ cube ] (Cube.length cube)
+          with
+          | Some h -> Some h
+          | None -> try_cubes rest)
+    in
+    try_cubes (Hs.cubes p.Cover.start_space)
+  in
   (* Replay the memoized transcript while the cover's prefix matches it
      (see the [memo] type), then fall back to normal reconciliation from
      the first divergence on. *)
@@ -189,7 +247,7 @@ let assign ?pool ?memo ?(key = fun (p : Cover.path) -> p.Cover.rules) policy
           let k0, hs0, ch = tr.(!i) in
           if k0 = key p && hs_repr_equal hs0 p.Cover.start_space then begin
             out.(!i) <- ch;
-            (match ch with Some h -> seen := h :: !seen | None -> ());
+            (match ch with Some h -> record h | None -> ());
             incr i
           end
           else matching := false
@@ -198,14 +256,17 @@ let assign ?pool ?memo ?(key = fun (p : Cover.path) -> p.Cover.rules) policy
   in
   for i = start to nn - 1 do
     let p, pol = pols.(i) in
-    let taken h = List.exists (Header.equal h) !seen in
+    let taken h = Hashtbl.mem seen_tbl (Header.to_string h) in
     let h =
       match spec.(i) with
       | Some h when not (taken h) -> Some h
-      | _ -> header_for_path ~distinct_from:!seen pol p
+      | _ -> (
+          match pol with
+          | Sat_unique -> pick_unique p
+          | _ -> header_for_path ~distinct_from:!seen pol p)
     in
     out.(i) <- h;
-    match h with Some h -> seen := h :: !seen | None -> ()
+    match h with Some h -> record h | None -> ()
   done;
   (match memo with
   | Some m ->

@@ -92,6 +92,34 @@ let next_switch t (r : Flow_entry.t) =
       Option.map fst (Topology.peer t.topology ~sw:r.switch ~port)
   | Flow_entry.Drop | Flow_entry.Goto_table _ -> None
 
+let sub t switches =
+  let member = Array.make (n_switches t) false in
+  List.iter
+    (fun s ->
+      check_switch t s;
+      member.(s) <- true)
+    switches;
+  let tables =
+    Array.mapi
+      (fun sw tbls ->
+        if member.(sw) then Array.copy tbls
+        else Array.make (Array.length tbls) Flow_table.empty)
+      t.tables
+  in
+  let entries = Hashtbl.create (max 16 (Hashtbl.length t.entries)) in
+  Array.iteri
+    (fun sw tbls ->
+      if member.(sw) then
+        Array.iter
+          (fun tbl ->
+            List.iter
+              (fun (e : Flow_entry.t) -> Hashtbl.replace entries e.id e)
+              (Flow_table.entries tbl))
+          tbls)
+    tables;
+  { header_len = t.header_len; topology = t.topology; tables; entries;
+    next_id = t.next_id }
+
 let pp_summary fmt t =
   Format.fprintf fmt "network: %d switches, %d links, %d entries, %d-bit headers"
     (n_switches t)

@@ -57,4 +57,18 @@ val next_switch : t -> Flow_entry.t -> int option
 (** The switch reached by the entry's [Output] port, if the action is an
     output onto a live link. *)
 
+val sub : t -> int list -> t
+(** [sub t switches] is the region view of the network: the full
+    topology and header length, but only the given switches' flow
+    tables populated (every other switch is empty). Entries are shared
+    with — and keep their ids from — the parent network, and the id
+    allocator continues from the parent's, so region views and the
+    parent agree on every entry they both hold. Because
+    {!input_space}/{!output_space} depend only on an entry's own table,
+    an entry's spaces in the view are identical to its spaces in the
+    parent — the property the shard layer's per-region rule graphs are
+    built on (docs/SHARD.md). The view is a snapshot: later edits to
+    the parent do not propagate. Raises [Invalid_argument] on an
+    out-of-range switch. *)
+
 val pp_summary : Format.formatter -> t -> unit

@@ -201,31 +201,81 @@ let is_closure_edge t u v = Hashtbl.mem t.witness (u, v)
 let witnesses t u v =
   match Hashtbl.find_opt t.witness (u, v) with Some w -> w | None -> []
 
+(* Hull prefilter for the all-pairs edge scans. [Hs.inter out in] over
+   shadow-fragmented spaces is the superlinear hotspot of the flat
+   build (every cube of one side against every cube of the other, plus
+   the quadratic subsumption pass on the pieces) — at 200 switches it
+   dominates the build. A space's hull (smallest enclosing cube) is a
+   one-word-per-chunk summary: disjoint hulls imply an empty
+   intersection, so the expensive [Hs.inter] only runs on pairs whose
+   hulls overlap. [None] = empty space, which can never contribute an
+   edge. See docs/PERF.md for before/after numbers. *)
+let hull_memo spaces =
+  let memo = Array.make (Array.length spaces) None in
+  fun i ->
+    match memo.(i) with
+    | Some h -> h
+    | None ->
+        let h = Hs.hull spaces.(i) in
+        memo.(i) <- Some h;
+        h
+
+let may_intersect out_hull in_hull i j =
+  match (out_hull i, in_hull j) with
+  | Some a, Some b -> not (Hspace.Cube.disjoint a b)
+  | _ -> false
+
 (* Step 1: pairwise edges. An edge (r_i, r_j) exists iff r_j sits where
-   r_i's action sends the packet and r_i.out ∩ r_j.in ≠ ∅. *)
+   r_i's action sends the packet and r_i.out ∩ r_j.in ≠ ∅.
+
+   The scan is all-pairs between neighboring tables, so every table is
+   visited once per rule that feeds it — resolving its entry list and
+   each entry's vertex index through hashtables on every visit was the
+   other half of the superlinear hotspot (20M+ lookups at 200-switch
+   default policy). Candidate vertex arrays are resolved once per
+   table; edge order is unchanged (table entry order either way). *)
 let build_base net vertices index_of inputs outputs =
   let n = Array.length vertices in
   let g = Digraph.create n in
-  let entries_at ~switch ~table =
-    Openflow.Flow_table.entries (Network.table net ~switch ~table)
+  let out_hull = hull_memo outputs and in_hull = hull_memo inputs in
+  let table_verts = Hashtbl.create 64 in
+  let verts_at ~switch ~table =
+    match Hashtbl.find_opt table_verts (switch, table) with
+    | Some a -> a
+    | None ->
+        let a =
+          Array.of_list
+            (List.map
+               (fun (q : Flow_entry.t) -> Hashtbl.find index_of q.id)
+               (Openflow.Flow_table.entries (Network.table net ~switch ~table)))
+        in
+        Hashtbl.add table_verts (switch, table) a;
+        a
   in
   for i = 0 to n - 1 do
     let r = vertices.(i) in
     let candidates =
       match r.Flow_entry.action with
-      | Flow_entry.Drop -> []
+      | Flow_entry.Drop -> [||]
       | Flow_entry.Output _ -> (
           match Network.next_switch net r with
-          | None -> []
-          | Some sw -> entries_at ~switch:sw ~table:0)
-      | Flow_entry.Goto_table tb -> entries_at ~switch:r.Flow_entry.switch ~table:tb
+          | None -> [||]
+          | Some sw -> verts_at ~switch:sw ~table:0)
+      | Flow_entry.Goto_table tb -> verts_at ~switch:r.Flow_entry.switch ~table:tb
     in
-    List.iter
-      (fun (q : Flow_entry.t) ->
-        let j = Hashtbl.find index_of q.id in
-        if not (Hs.is_empty (Hs.inter outputs.(i) inputs.(j))) then
-          Digraph.add_edge g i j)
-      candidates
+    match out_hull i with
+    | None -> ()
+    | Some hi ->
+        Array.iter
+          (fun j ->
+            let overlaps =
+              match in_hull j with
+              | Some hj -> not (Hspace.Cube.disjoint hi hj)
+              | None -> false
+            in
+            if overlaps && Hs.inter_nonempty outputs.(i) inputs.(j) then
+              Digraph.add_edge g i j)
+          candidates
   done;
   g
 
@@ -385,8 +435,12 @@ let update ?(max_witnesses = 3) old ~changed_tables =
   let entries_at ~switch ~table =
     Openflow.Flow_table.entries (Network.table net ~switch ~table)
   in
+  let out_hull = hull_memo outputs and in_hull = hull_memo inputs in
   let try_edge i j =
-    if not (Hs.is_empty (Hs.inter outputs.(i) inputs.(j))) then Digraph.add_edge base i j
+    if
+      may_intersect out_hull in_hull i j
+      && Hs.inter_nonempty outputs.(i) inputs.(j)
+    then Digraph.add_edge base i j
   in
   let candidates_from i =
     let r = vertices.(i) in

@@ -31,6 +31,8 @@ type t = {
   mutable activity : float array;
   mutable phase : bool array; (* saved polarity *)
   mutable seen : bool array; (* scratch for conflict analysis *)
+  mutable simp_mark : int array; (* lit -> epoch: scratch for add_clause *)
+  mutable simp_epoch : int;
   mutable trail : int array;
   mutable trail_size : int;
   mutable trail_lim : int list; (* trail sizes at decision points (head = latest) *)
@@ -70,6 +72,8 @@ let create ?(nvars = 0) () =
     activity = Array.make cap 0.;
     phase = Array.make cap false;
     seen = Array.make cap false;
+    simp_mark = Array.make (2 * cap) 0;
+    simp_epoch = 0;
     trail = Array.make cap 0;
     trail_size = 0;
     trail_lim = [];
@@ -133,7 +137,10 @@ let grow_arrays t needed =
     t.trail <- trail;
     let w = Array.make (2 * ncap) [] in
     Array.blit t.watches 0 w 0 (Array.length t.watches);
-    t.watches <- w
+    t.watches <- w;
+    let m = Array.make (2 * ncap) 0 in
+    Array.blit t.simp_mark 0 m 0 (Array.length t.simp_mark);
+    t.simp_mark <- m
   end
 
 let ensure_var t v =
@@ -329,15 +336,24 @@ let add_clause t dimacs_lits =
     List.iter (fun l -> ensure_var t (abs l)) dimacs_lits;
     let lits = List.map lit_of_dimacs dimacs_lits in
     assert (decision_level t = 0);
-    let module IS = Set.Make (Int) in
     (* Level-0 simplification: drop falsified and duplicate literals;
-       detect tautologies and already-satisfied clauses. *)
-    let rec simplify seen acc = function
+       detect tautologies and already-satisfied clauses. Duplicate
+       tracking marks literals in an epoch-stamped scratch array —
+       clauses arrive by the hundred thousand on big covers, and a
+       per-clause allocated set was the dominant cost of header
+       assignment (docs/PERF.md). *)
+    t.simp_epoch <- t.simp_epoch + 1;
+    let epoch = t.simp_epoch in
+    let rec simplify acc = function
       | [] -> Some acc
       | l :: rest ->
-          if IS.mem (neg l) seen || value_lit t l = 1 then None
-          else if IS.mem l seen || value_lit t l = 0 then simplify seen acc rest
-          else simplify (IS.add l seen) (l :: acc) rest
+          if t.simp_mark.(neg l) = epoch || value_lit t l = 1 then None
+          else if t.simp_mark.(l) = epoch || value_lit t l = 0 then
+            simplify acc rest
+          else begin
+            t.simp_mark.(l) <- epoch;
+            simplify (l :: acc) rest
+          end
     in
     t.nproblem <- t.nproblem + 1;
     (* Strengthened clauses (literals dropped by the simplifier) are RUP
@@ -350,7 +366,7 @@ let add_clause t dimacs_lits =
       if List.compare_lengths ls dimacs_lits <> 0 then
         log_step t (List.rev_map dimacs_of_lit ls)
     in
-    match simplify IS.empty [] lits with
+    match simplify [] lits with
     | None -> ()
     | Some [] -> refute t
     | Some [ l ] ->

@@ -1,0 +1,81 @@
+module Topology = Openflow.Topology
+module Csr = Sdngraph.Csr
+
+type t = {
+  n_regions : int;
+  region_of : int array;
+  sizes : int array;
+  cut_edges : int;
+  adjacency : Csr.t;
+}
+
+let default_target = 50
+
+(* Deterministic BFS edge-cut growth. Seeds are the lowest-numbered
+   unassigned switches; each region absorbs BFS-reachable unassigned
+   neighbours (successors in [Topology.to_digraph]'s link-insertion
+   order) until it reaches the balanced cap. No RNG, no hash-order
+   dependence — the partition is a pure function of the topology, so
+   sharded planning inherits the pipeline's bit-for-bit determinism
+   contract (docs/SHARD.md). BFS growth keeps regions connected
+   whenever the topology allows it, which is what keeps the edge cut —
+   and with it the border-rule count — small on backbone-plus-stub
+   graphs. *)
+let make ?(target = default_target) topo =
+  if target < 1 then invalid_arg "Partition.make: target < 1";
+  let n = Topology.n_switches topo in
+  let adjacency = Csr.of_digraph (Topology.to_digraph topo) in
+  let want = max 1 ((n + target - 1) / target) in
+  let cap = (n + want - 1) / want in
+  let region_of = Array.make n (-1) in
+  let next = ref 0 in
+  for seed = 0 to n - 1 do
+    if region_of.(seed) < 0 then begin
+      let r = !next in
+      incr next;
+      let count = ref 1 in
+      region_of.(seed) <- r;
+      let q = Queue.create () in
+      Queue.add seed q;
+      while not (Queue.is_empty q) do
+        let v = Queue.pop q in
+        Csr.iter_succ
+          (fun w ->
+            if region_of.(w) < 0 && !count < cap then begin
+              region_of.(w) <- r;
+              incr count;
+              Queue.add w q
+            end)
+          adjacency v
+      done
+    end
+  done;
+  let n_regions = !next in
+  let sizes = Array.make n_regions 0 in
+  Array.iter (fun r -> sizes.(r) <- sizes.(r) + 1) region_of;
+  let cut = ref 0 in
+  Csr.iter_edges
+    (fun u v -> if u < v && region_of.(u) <> region_of.(v) then incr cut)
+    adjacency;
+  { n_regions; region_of; sizes; cut_edges = !cut; adjacency }
+
+let n_regions t = t.n_regions
+
+let region_of t sw =
+  if sw < 0 || sw >= Array.length t.region_of then
+    invalid_arg "Partition.region_of: switch out of range";
+  t.region_of.(sw)
+
+let cut_edges t = t.cut_edges
+
+let size t r =
+  if r < 0 || r >= t.n_regions then invalid_arg "Partition.size: bad region";
+  t.sizes.(r)
+
+let switches t r =
+  if r < 0 || r >= t.n_regions then invalid_arg "Partition.switches: bad region";
+  let acc = ref [] in
+  for sw = Array.length t.region_of - 1 downto 0 do
+    if t.region_of.(sw) = r then acc := sw :: !acc
+  done;
+  !acc

@@ -1,0 +1,36 @@
+(** Topology partitioning for sharded planning (docs/SHARD.md).
+
+    Splits the switch set into regions of roughly [target] switches by
+    deterministic capped BFS growth over the topology graph: seeds are
+    the lowest-numbered unassigned switches and each region absorbs
+    BFS-reachable unassigned neighbours (in link-insertion successor
+    order) up to a balanced cap. The partition is a pure function of
+    the topology — no RNG, no hash-order dependence — so everything
+    built on it inherits the planner's bit-for-bit determinism
+    contract. *)
+
+type t
+
+val default_target : int
+(** 50 — the flat pipeline's practical ceiling, which is what a region
+    is sized to stay under. *)
+
+val make : ?target:int -> Openflow.Topology.t -> t
+(** Partition into regions of at most
+    [ceil (n / ceil (n / target))] switches ([target] defaults to
+    {!default_target}). Raises [Invalid_argument] if [target < 1]. *)
+
+val n_regions : t -> int
+
+val region_of : t -> int -> int
+(** Region of a switch. Raises [Invalid_argument] out of range. *)
+
+val cut_edges : t -> int
+(** Number of topology links whose endpoints land in different
+    regions. *)
+
+val size : t -> int -> int
+(** Number of switches in a region. *)
+
+val switches : t -> int -> int list
+(** The switches of a region, ascending. *)

@@ -1,0 +1,15 @@
+(** Canonical workload presets, keyed by switch count.
+
+    [scale ~n_switches] is {e the} deterministic Rocketfuel-like
+    workload at a given size — seed [1000 + n_switches], preferential
+    attachment, {!Rule_gen.install} — shared by the bench-regress
+    suite, the CI scale-smoke job and the scale tests so before/after
+    runs and gates all see byte-identical inputs. Sizes above 50
+    switches use {!Rule_gen.scaled_spec} (bounded destination blocks,
+    rule count O(budget * n)); 16/50 keep the default spec and are
+    bit-identical to the historical bench workloads. *)
+
+val seed : n_switches:int -> int
+(** The preset PRNG seed, [1000 + n_switches]. *)
+
+val scale : n_switches:int -> Openflow.Topology.t * Openflow.Network.t

@@ -25,6 +25,24 @@ let default_spec =
     acl_rules_per_switch = 0;
   }
 
+(* Policies at ISP scale do not carry one aggregate tree per router:
+   the number of externally-visible prefixes a backbone cares about
+   grows far slower than the router count. The scaled spec mirrors
+   that — a fixed budget of destination blocks, stride-sampled over the
+   switch ids (deterministic: no RNG draw, so changing the budget never
+   perturbs the draws the default workloads consume), and a slightly
+   tighter engineered-flow fan so the rule count stays O(budget * n)
+   instead of O(n^2). Small networks keep the default spec unchanged. *)
+let scaled_spec ?(max_destinations = 32) ~n_switches () =
+  if n_switches <= max_destinations then default_spec
+  else
+    let stride = n_switches / max_destinations in
+    {
+      default_spec with
+      destinations = Some (List.init max_destinations (fun k -> k * stride));
+      flows_per_destination = 4;
+    }
+
 let prefix_bits ~n_switches =
   let rec bits p = if 1 lsl p >= n_switches then p else bits (p + 1) in
   max 1 (bits 1)

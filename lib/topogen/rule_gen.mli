@@ -43,6 +43,14 @@ type spec = {
 
 val default_spec : spec
 
+val scaled_spec : ?max_destinations:int -> n_switches:int -> unit -> spec
+(** Spec for large networks: at most [max_destinations] (default 32)
+    destination blocks, stride-sampled deterministically over the
+    switch ids, with a tighter engineered-flow fan — rule count grows
+    O(max_destinations * n) instead of the default spec's O(n^2).
+    Returns {!default_spec} unchanged when [n_switches] fits the
+    budget, so small workloads are bit-identical with or without it. *)
+
 val install : ?spec:spec -> Sdn_util.Prng.t -> Openflow.Topology.t -> Openflow.Network.t
 (** Build a network over the topology and install the policy. Raises
     [Invalid_argument] when the address fields do not fit the header. *)

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Gate the sharded planner's speedup on a bench capture.
+
+    python3 scripts/check_shard_ratio.py BENCH_10.json --switches 200 --min-ratio 2
+
+Reads plan.full/<n> (flat end-to-end planning: global rule graph + MLPC
+cover + unique headers + probes, i.e. Pipeline.create) and
+shard.plan/<n> (the sharded equivalent: BFS partition, per-region
+graphs and covers, cross-region stitching, headers, probes — i.e.
+Shard.Splan.create) from a bench-regress JSON and fails unless
+full/sharded >= --min-ratio. This is the ISSUE acceptance bound:
+sharded end-to-end planning must beat the flat pipeline by at least 2x
+at 200 switches, single-domain. Also asserts that shard.build/1000
+is present — the scale the flat path cannot practically run — unless
+--no-scale-check. Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("capture", help="bench-regress JSON (e.g. BENCH_10.json)")
+    ap.add_argument("--switches", type=int, default=200, metavar="N")
+    ap.add_argument("--min-ratio", type=float, default=2.0, metavar="R")
+    ap.add_argument(
+        "--scale-entry",
+        default="shard.build/1000",
+        metavar="NAME",
+        help="structural-build entry that must exist and have completed "
+        "(default shard.build/1000)",
+    )
+    ap.add_argument(
+        "--no-scale-check",
+        action="store_true",
+        help="skip the --scale-entry presence check (partial captures)",
+    )
+    args = ap.parse_args()
+
+    with open(args.capture) as fh:
+        doc = json.load(fh)
+    entries = {}
+    for e in doc.get("entries", []):
+        ns = e.get("ns", e.get("after_ns"))
+        if e.get("name") and ns is not None:
+            entries[e["name"]] = float(ns)
+
+    full_name = f"plan.full/{args.switches}"
+    shard_name = f"shard.plan/{args.switches}"
+    required = [full_name, shard_name]
+    if not args.no_scale_check:
+        required.append(args.scale_entry)
+    missing = [n for n in required if n not in entries]
+    if missing:
+        sys.exit(f"{args.capture}: missing entries: {', '.join(missing)}")
+
+    full, shard = entries[full_name], entries[shard_name]
+    ratio = full / shard
+    print(
+        f"{full_name}: {full / 1e6:.2f} ms  {shard_name}: {shard / 1e6:.2f} ms"
+        f"  ratio: {ratio:.2f}x (required >= {args.min_ratio:.2f}x)"
+    )
+    if not args.no_scale_check:
+        print(f"{args.scale_entry}: {entries[args.scale_entry] / 1e6:.2f} ms (completed)")
+    if ratio < args.min_ratio:
+        sys.exit(
+            f"sharded planning only {ratio:.2f}x faster than the flat pipeline "
+            f"at {args.switches} switches (need {args.min_ratio:.2f}x)"
+        )
+    print("ok")
+
+
+if __name__ == "__main__":
+    main()

@@ -116,5 +116,61 @@ class TestSingleCorePar4Skip(unittest.TestCase):
         self.assertEqual(code, 0, out)
 
 
+class TestOneSidedEntries(unittest.TestCase):
+    """Entries present in only one file are reported, never gated: a
+    fresh bench entry (shard.plan/200, rulegraph.build/1000, ...) must
+    not fail CI the day it is introduced, before the committed baseline
+    has been recaptured — and a baseline-only entry must not fail a
+    candidate measured at a smaller --switches subset."""
+
+    def setUp(self):
+        self.paths = []
+
+    def tearDown(self):
+        for p in self.paths:
+            os.unlink(p)
+
+    def cap(self, entries, host_cores=4):
+        p = capture(entries, host_cores)
+        self.paths.append(p)
+        return p
+
+    def test_candidate_only_entry_passes(self):
+        base = self.cap(BASE)
+        cur = self.cap({**BASE, "shard.plan/200": 900e6, "shard.build/1000": 1.3e9})
+        code, out = run(base, cur)
+        self.assertEqual(code, 0, out)
+        self.assertIn("(only in current)", out)
+
+    def test_candidate_only_entry_passes_even_if_huge(self):
+        # No baseline number means no ratio — magnitude is irrelevant.
+        base = self.cap(BASE)
+        cur = self.cap({**BASE, "plan.full/1000": 1e15})
+        code, out = run(base, cur)
+        self.assertEqual(code, 0, out)
+
+    def test_candidate_only_entry_passes_under_only_switches(self):
+        base = self.cap(BASE)
+        cur = self.cap({**BASE, "shard.plan/200": 900e6})
+        code, out = run(base, cur, "--only-switches", "200")
+        self.assertEqual(code, 0, out)
+
+    def test_baseline_only_entry_passes(self):
+        # Candidate measured at a subset of the baseline's scales.
+        base = self.cap({**BASE, "plan.full/200": 2.6e9})
+        cur = self.cap(BASE)
+        code, out = run(base, cur)
+        self.assertEqual(code, 0, out)
+        self.assertIn("(only in baseline)", out)
+
+    def test_shared_entries_still_gate_alongside_one_sided(self):
+        # Tolerating new names must not blunt the gate on shared ones.
+        base = self.cap(BASE)
+        cur = self.cap({**BASE, "verify.closure/16": 200e6, "shard.plan/200": 900e6})
+        code, out = run(base, cur)
+        self.assertNotEqual(code, 0, out)
+        self.assertIn("verify.closure/16", out)
+
+
 if __name__ == "__main__":
     unittest.main()
